@@ -1,0 +1,86 @@
+// Command qopt analyzes a conjunctive query through the lens of the
+// paper: its fractional edge packing polytope, pk(q), τ*, the optimal
+// HyperCube share exponents for given statistics, and the induced load
+// bounds.
+//
+// Usage:
+//
+//	qopt -q "C3(x,y,z) = S1(x,y), S2(y,z), S3(z,x)" -p 64 -bits 1048576,1048576,1048576
+//
+// When -bits is omitted, all relations are assumed to have 2^20 bits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/hypercube"
+	"repro/internal/packing"
+	"repro/internal/query"
+)
+
+func main() {
+	qFlag := flag.String("q", "C3(x,y,z) = S1(x,y), S2(y,z), S3(z,x)", "query text")
+	pFlag := flag.Int("p", 64, "number of servers")
+	bitsFlag := flag.String("bits", "", "comma-separated relation sizes in bits (default 2^20 each)")
+	flag.Parse()
+
+	q, err := query.Parse(*qFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qopt: %v\n", err)
+		os.Exit(2)
+	}
+	bits := make([]float64, q.NumAtoms())
+	for j := range bits {
+		bits[j] = 1 << 20
+	}
+	if *bitsFlag != "" {
+		parts := strings.Split(*bitsFlag, ",")
+		if len(parts) != q.NumAtoms() {
+			fmt.Fprintf(os.Stderr, "qopt: -bits needs %d values\n", q.NumAtoms())
+			os.Exit(2)
+		}
+		for j, s := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "qopt: bad bits value %q\n", s)
+				os.Exit(2)
+			}
+			bits[j] = v
+		}
+	}
+
+	fmt.Printf("query:      %s\n", q)
+	fmt.Printf("variables:  %d, atoms: %d, connected: %v\n", q.NumVars(), q.NumAtoms(), q.Connected())
+	fmt.Printf("τ* (max fractional packing value): %.4f\n", packing.Tau(q))
+	_, rho := packing.MinCover(q)
+	rhoF, _ := rho.Float64()
+	fmt.Printf("ρ* (min fractional cover value):   %.4f\n\n", rhoF)
+
+	fmt.Println("pk(q) — non-dominated packing vertices and induced bounds (Thm 3.6):")
+	best, table := bounds.SimpleLower(q, bits, *pFlag)
+	for _, row := range table {
+		fmt.Printf("  u = %v  ->  L(u,M,p) = %.1f bits\n", row.U, row.Bound)
+	}
+	fmt.Printf("L_lower = max = %.1f bits\n\n", best)
+
+	e, lambda := hypercube.OptimalExponents(q, bits, *pFlag)
+	fmt.Printf("optimal share exponents (LP 5): e = %v, λ = %.4f\n", fmtFloats(e), lambda)
+	fmt.Printf("predicted load p^λ = %.1f bits (Thm 3.4: equals L_lower)\n", math.Pow(float64(*pFlag), lambda))
+	shares := hypercube.RoundShares(e, *pFlag, hypercube.RoundGreedy)
+	fmt.Printf("integer shares (greedy rounding):  %v\n", shares)
+	fmt.Printf("space exponent ε (§3.3):           %.4f\n", bounds.SpaceExponent(q, bits, *pFlag))
+}
+
+func fmtFloats(fs []float64) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = fmt.Sprintf("%.3f", f)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,73 @@
+// Command skewbench runs the full experiment suite of DESIGN.md — one
+// experiment per table/example in "Skew in Parallel Query Processing"
+// (Beame–Koutris–Suciu, PODS 2014) plus the ablations — and prints
+// paper-versus-measured tables.
+//
+// Usage:
+//
+//	skewbench [-scale quick|full] [-exp E1,E5,A2] [-markdown out.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+	mdFlag := flag.String("markdown", "", "also write results as markdown to this file")
+	flag.Parse()
+
+	scale := exp.Quick
+	switch *scaleFlag {
+	case "quick":
+	case "full":
+		scale = exp.Full
+	default:
+		fmt.Fprintf(os.Stderr, "skewbench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	var md strings.Builder
+	failures := 0
+	for _, r := range exp.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		table := r.Run(scale)
+		fmt.Print(exp.Render(table))
+		fmt.Printf("    (%.1fs)\n\n", time.Since(start).Seconds())
+		if !table.OK {
+			failures++
+		}
+		if *mdFlag != "" {
+			md.WriteString(exp.Markdown(table))
+			md.WriteString("\n")
+		}
+	}
+	if *mdFlag != "" {
+		if err := os.WriteFile(*mdFlag, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "skewbench: writing %s: %v\n", *mdFlag, err)
+			os.Exit(1)
+		}
+		fmt.Printf("markdown written to %s\n", *mdFlag)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "skewbench: %d experiment(s) failed their checks\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+// Command sweep emits figure-style CSV series from the experiment
+// harness: load versus server count, load versus skew, and the skew
+// resilience of equal-share HyperCube.
+//
+// Usage:
+//
+//	sweep -fig load-vs-p -scale full > loadvsp.csv
+//	sweep -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	figFlag := flag.String("fig", "load-vs-p", "figure to generate")
+	scaleFlag := flag.String("scale", "quick", "quick or full")
+	listFlag := flag.Bool("list", false, "list available figures")
+	flag.Parse()
+
+	figs := exp.Figures()
+	if *listFlag {
+		names := make([]string, 0, len(figs))
+		for n := range figs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	gen, ok := figs[*figFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweep: unknown figure %q (use -list)\n", *figFlag)
+		os.Exit(2)
+	}
+	scale := exp.Quick
+	if *scaleFlag == "full" {
+		scale = exp.Full
+	}
+	fmt.Print(exp.CSV(gen(scale)))
+}

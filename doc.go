@@ -1,0 +1,33 @@
+// Package repro is a from-scratch Go reproduction of "Skew in Parallel
+// Query Processing" (Beame, Koutris, Suciu — PODS 2014): one-round
+// evaluation of full conjunctive queries in the Massively Parallel
+// Communication (MPC) model, with communication cost characterized by
+// fractional edge packings.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Engine (internal/core): plans and executes a query on p simulated
+//     servers, choosing between plain HyperCube (§3), the specialized skew
+//     join (§4.1), and the general bin-combination algorithm (§4.2) based
+//     on heavy-hitter statistics.
+//   - Lower bounds (internal/bounds): the matching communication lower
+//     bounds of Theorems 3.5 and 4.7, in bits.
+//   - Packings (internal/packing): exact fractional edge packing polytope
+//     vertices, pk(q), τ*, covers, and the AGM bound.
+//   - Workloads (internal/workload): the synthetic instance generators the
+//     experiments use (uniform, matching, Zipf, planted heavy hitters,
+//     degree sequences).
+//
+// A minimal session:
+//
+//	q := repro.MustParseQuery("C3(x,y,z) = S1(x,y), S2(y,z), S3(z,x)")
+//	db := repro.NewDatabase()
+//	db.Put(repro.UniformRelation("S1", 2, 10000, 1<<20, 1))
+//	db.Put(repro.UniformRelation("S2", 2, 10000, 1<<20, 2))
+//	db.Put(repro.UniformRelation("S3", 2, 10000, 1<<20, 3))
+//	res := repro.NewEngine(64, 0).Execute(q, db)
+//	fmt.Println(len(res.Output), res.MaxLoadBits, res.Plan.Reason)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every experiment.
+package repro

@@ -1,0 +1,85 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The paper's running example: evaluate a two-relation join in one MPC
+// round, letting the engine pick the algorithm from statistics.
+func Example_quickstart() {
+	q := repro.MustParseQuery("q(x,y,z) = S1(x,z), S2(y,z)")
+	db := repro.NewDatabase()
+	db.Put(repro.MatchingRelation("S1", 2, 1000, 1<<20, 1))
+	db.Put(repro.MatchingRelation("S2", 2, 1000, 1<<20, 2))
+
+	res := repro.NewEngine(16, 42).Execute(q, db)
+	fmt.Println("strategy:", res.Plan.Strategy)
+	fmt.Println("shares:", res.Plan.Shares)
+	// Output:
+	// strategy: hypercube
+	// shares: [1 1 16]
+}
+
+// pk(C3) is the four-vertex set of Example 3.7.
+func ExamplePackingVertices() {
+	vs := repro.PackingVertices(repro.TriangleQuery())
+	fmt.Println(len(vs), "non-dominated packing vertices")
+	// Output:
+	// 4 non-dominated packing vertices
+}
+
+// τ* of the triangle is 3/2 — the fractional vertex covering number.
+func ExampleTau() {
+	fmt.Printf("τ*(C3) = %.1f\n", repro.Tau(repro.TriangleQuery()))
+	fmt.Printf("τ*(C4) = %.1f\n", repro.Tau(repro.CycleQuery(4)))
+	// Output:
+	// τ*(C3) = 1.5
+	// τ*(C4) = 2.0
+}
+
+// The AGM bound for the triangle with equal cardinalities m is m^{3/2}.
+func ExampleAGMBound() {
+	fmt.Printf("%.0f\n", repro.AGMBound(repro.TriangleQuery(), []float64{100, 100, 100}))
+	// Output:
+	// 1000
+}
+
+// Parsing accepts both "=" and ":-" separators.
+func ExampleParseQuery() {
+	q, err := repro.ParseQuery("C3(x,y,z) :- S1(x,y), S2(y,z), S3(z,x)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.NumVars(), "variables,", q.NumAtoms(), "atoms")
+	// Output:
+	// 3 variables, 3 atoms
+}
+
+// A fully skewed join: every tuple shares one z value. The skew join
+// handles it with a per-hitter grid; its output is the full cartesian
+// product of the matching sides.
+func ExampleRunSkewJoin() {
+	db := repro.NewDatabase()
+	db.Put(repro.SingleValueRelation("S1", 2, 100, 1<<20, 1, 7, 1))
+	db.Put(repro.SingleValueRelation("S2", 2, 100, 1<<20, 1, 7, 2))
+	res := repro.RunSkewJoin(db, repro.SkewJoinConfig{P: 16, Seed: 3})
+	fmt.Println("answers:", len(res.Output))
+	fmt.Println("jointly heavy hitters:", res.NumH12)
+	// Output:
+	// answers: 10000
+	// jointly heavy hitters: 1
+}
+
+// Lower bounds react to skew: with a shared heavy hitter the residual
+// bound of Theorem 4.7 exceeds the cardinality-only bound.
+func ExampleLowerBound() {
+	db := repro.NewDatabase()
+	db.Put(repro.SingleValueRelation("S1", 2, 1024, 1<<20, 1, 7, 1))
+	db.Put(repro.SingleValueRelation("S2", 2, 1024, 1<<20, 1, 7, 2))
+	_, witness := repro.LowerBound(repro.Join2Query(), db, 16)
+	fmt.Println("winning bound:", witness)
+	// Output:
+	// winning bound: residual x=[2]
+}

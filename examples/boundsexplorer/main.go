@@ -1,0 +1,54 @@
+// Lower-bound explorer: for each query in the catalog, print τ*, the
+// packing vertices pk(q), the space exponent, and how the communication
+// bound moves when the data becomes skewed — the content of Theorems 1.1
+// and 1.2 as one table.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	const (
+		m      = 1 << 14
+		p      = 64
+		domain = 1 << 20
+	)
+	queries := []*repro.Query{
+		repro.CartesianQuery(2),
+		repro.Join2Query(),
+		repro.PathQuery(3),
+		repro.TriangleQuery(),
+		repro.CycleQuery(4),
+		repro.StarQuery(3),
+	}
+	fmt.Printf("%-8s %6s %8s %6s %16s %16s\n",
+		"query", "τ*", "ε", "|pk|", "L_lower uniform", "L_lower skewed")
+	for _, q := range queries {
+		bitsM := make([]float64, q.NumAtoms())
+		uniform := repro.NewDatabase()
+		skewed := repro.NewDatabase()
+		for j, a := range q.Atoms {
+			var u, s *repro.Relation
+			if a.Arity() == 2 {
+				u = repro.MatchingRelation(a.Name, 2, m, domain, int64(j+1))
+				s = repro.SingleValueRelation(a.Name, 2, m, domain, 1, 7, int64(j+1))
+			} else {
+				u = repro.UniformRelation(a.Name, a.Arity(), m, domain, int64(j+1))
+				s = u.Clone()
+			}
+			uniform.Put(u)
+			skewed.Put(s)
+			bitsM[j] = float64(u.Bits())
+		}
+		lu, _ := repro.LowerBound(q, uniform, p)
+		ls, _ := repro.LowerBound(q, skewed, p)
+		fmt.Printf("%-8s %6.2f %8.3f %6d %16.0f %16.0f\n",
+			q.Name, repro.Tau(q), repro.SpaceExponent(q, bitsM, p),
+			len(repro.PackingVertices(q)), lu, ls)
+	}
+	fmt.Println("\nSkew raises L_lower exactly when a residual packing saturates the")
+	fmt.Println("skewed variable (Theorem 4.7); matchings never do (Theorem 3.5 is tight).")
+}

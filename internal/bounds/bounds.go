@@ -1,0 +1,364 @@
+// Package bounds computes the communication lower bounds of
+// Beame–Koutris–Suciu: the simple-statistics bound of Theorem 3.5
+// (L(u,M,p) maximized over the non-dominated packing vertices pk(q)), the
+// residual-query bounds of Theorem 4.7 for skewed data with known degree
+// sequences, the space exponent of §3.3, and the expected output size of
+// the random-instance space (Lemma A.1).
+//
+// All bounds are reported in bits, matching the model's load definition.
+package bounds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/join"
+	"repro/internal/packing"
+	"repro/internal/query"
+	"repro/internal/rational"
+	"repro/internal/stats"
+)
+
+// K returns K(u, M) = Π_j M_j^{u_j} (Eq. 6). M in bits.
+func K(u, m []float64) float64 {
+	if len(u) != len(m) {
+		panic("bounds: K length mismatch")
+	}
+	out := 1.0
+	for j := range u {
+		if u[j] == 0 {
+			continue // M^0 = 1 even for empty relations
+		}
+		out *= math.Pow(m[j], u[j])
+	}
+	return out
+}
+
+// L returns L(u, M, p) = (K(u, M)/p)^{1/u} with u = Σ_j u_j (Eq. 7).
+// A zero packing yields 0 (it bounds nothing).
+func L(u, m []float64, p int) float64 {
+	total := 0.0
+	for _, uj := range u {
+		total += uj
+	}
+	if total == 0 {
+		return 0
+	}
+	return math.Pow(K(u, m)/float64(p), 1/total)
+}
+
+// PackingBound is one packing vertex with its induced bound.
+type PackingBound struct {
+	U     []float64
+	Bound float64 // bits
+}
+
+// SimpleLower computes L_lower = max_{u ∈ pk(q)} L(u, M, p) (Theorems 3.5
+// and 3.6) and the per-vertex table (the content of Example 3.7's table).
+// bitsM holds M_j in bits per atom.
+func SimpleLower(q *query.Query, bitsM []float64, p int) (float64, []PackingBound) {
+	if len(bitsM) != q.NumAtoms() {
+		panic("bounds: bitsM length mismatch")
+	}
+	var best float64
+	var table []PackingBound
+	for _, v := range packing.PK(q) {
+		u := v.Floats()
+		b := L(u, bitsM, p)
+		table = append(table, PackingBound{U: u, Bound: b})
+		if b > best {
+			best = b
+		}
+	}
+	sort.Slice(table, func(i, j int) bool { return table[i].Bound > table[j].Bound })
+	return best, table
+}
+
+// SpaceExponent returns the space exponent ε for the given statistics
+// (§3.3): writing M = max_j M_j and the optimal load as M/p^{v*}, the space
+// exponent is 1 − v*. Relations with M_j ≤ M/p are broadcast (removed), as
+// the paper prescribes.
+func SpaceExponent(q *query.Query, bitsM []float64, p int) float64 {
+	maxM := 0.0
+	for _, m := range bitsM {
+		if m > maxM {
+			maxM = m
+		}
+	}
+	if maxM == 0 {
+		return 0
+	}
+	// ν_j from M_j = M/p^{ν_j}; broadcast relations get weight-0 atoms by
+	// clamping ν_j at 1 (their contribution to the bound vanishes).
+	logP := math.Log(float64(p))
+	nu := make([]float64, len(bitsM))
+	for j, m := range bitsM {
+		if m <= maxM/float64(p) {
+			nu[j] = 1
+		} else {
+			nu[j] = math.Log(maxM/m) / logP
+		}
+	}
+	vStar := math.Inf(1)
+	for _, vtx := range packing.PK(q) {
+		u := vtx.Floats()
+		total := 0.0
+		dot := 0.0
+		for j := range u {
+			total += u[j]
+			dot += nu[j] * u[j]
+		}
+		if total == 0 {
+			continue
+		}
+		if v := dot + 1/total; v < vStar {
+			vStar = v
+		}
+	}
+	if math.IsInf(vStar, 1) {
+		return 0
+	}
+	eps := 1 - vStar
+	if eps < 0 {
+		eps = 0
+	}
+	return eps
+}
+
+// ExpectedAnswers returns E[|q(I)|] = n^{k-a}·Π_j m_j for the uniform
+// random-instance space (Lemma A.1). m in tuples, n the domain size.
+func ExpectedAnswers(q *query.Query, m []float64, n float64) float64 {
+	if len(m) != q.NumAtoms() {
+		panic("bounds: m length mismatch")
+	}
+	out := math.Pow(n, float64(q.NumVars()-q.TotalArity()))
+	for _, mj := range m {
+		out *= mj
+	}
+	return out
+}
+
+// ResidualBound is the bound L_x(u, M, p) of one saturating packing for one
+// variable set x (Theorem 4.7, Eq. 12).
+type ResidualBound struct {
+	X     []int // variable indices (sorted)
+	U     []float64
+	Bound float64 // bits
+}
+
+// ResidualLower computes, for a fixed variable set x, the best bound
+//
+//	L_x(u, M, p) = (Σ_h Π_j M_j(h_j)^{u_j} / p)^{1/u}
+//
+// over all packings u of the residual query q_x (restricted to the
+// polytope's vertices) that saturate x. Frequencies M_j(h_j) are taken
+// from the database itself: the sum ranges over the joint assignments h to
+// x realized in the data (absent assignments contribute M_j(h_j) = 0 for
+// atoms with u_j > 0, hence vanish). Returns 0 if no vertex saturates x.
+func ResidualLower(q *query.Query, x query.VarSet, db *data.Database, p int) (float64, []ResidualBound) {
+	sat := packing.SaturatingPackings(q, x)
+	if len(sat) == 0 {
+		return 0, nil
+	}
+	xSorted := x.Sorted()
+	assignments := supportAssignments(q, xSorted, db)
+
+	// Per-atom projection machinery.
+	type proj struct {
+		attrs []int // attribute positions of x_j in atom j
+		xIdx  []int // matching indices into xSorted
+		freq  *stats.FreqMap
+		bitsW float64 // bits per tuple of the atom
+		mBits float64 // full M_j in bits
+	}
+	projs := make([]proj, q.NumAtoms())
+	for j, a := range q.Atoms {
+		rel := db.MustGet(a.Name)
+		var pr proj
+		pr.bitsW = float64(rel.BitsPerTuple())
+		pr.mBits = float64(rel.Bits())
+		for pos, v := range a.Vars {
+			for xi, xv := range xSorted {
+				if v == xv {
+					pr.attrs = append(pr.attrs, pos)
+					pr.xIdx = append(pr.xIdx, xi)
+				}
+			}
+		}
+		if len(pr.attrs) > 0 {
+			pr.freq = stats.Frequencies(rel, pr.attrs)
+		}
+		projs[j] = pr
+	}
+
+	var best float64
+	var table []ResidualBound
+	for _, vtx := range sat {
+		u := vtx.Floats()
+		total := 0.0
+		for _, uj := range u {
+			total += uj
+		}
+		if total == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, h := range assignments {
+			term := 1.0
+			for j := range projs {
+				if u[j] == 0 {
+					continue
+				}
+				pr := &projs[j]
+				var mjh float64
+				if pr.freq == nil {
+					mjh = pr.mBits // x_j = ∅: M_j(h) = M_j
+				} else {
+					key := make(data.Tuple, len(pr.attrs))
+					// Keys are in sorted-attribute order (stats sorts).
+					sortedIdx := sortedByAttr(pr.attrs, pr.xIdx)
+					for a2, si := range sortedIdx {
+						key[a2] = h[si]
+					}
+					mjh = float64(pr.freq.Count(key)) * pr.bitsW
+				}
+				if mjh == 0 {
+					term = 0
+					break
+				}
+				term *= math.Pow(mjh, u[j])
+			}
+			sum += term
+		}
+		b := math.Pow(sum/float64(p), 1/total)
+		table = append(table, ResidualBound{X: xSorted, U: u, Bound: b})
+		if b > best {
+			best = b
+		}
+	}
+	sort.Slice(table, func(i, j int) bool { return table[i].Bound > table[j].Bound })
+	return best, table
+}
+
+// sortedByAttr returns xIdx reordered so that the corresponding attrs are
+// ascending (matching stats.Frequencies' canonical key order).
+func sortedByAttr(attrs, xIdx []int) []int {
+	order := make([]int, len(attrs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return attrs[order[a]] < attrs[order[b]] })
+	out := make([]int, len(order))
+	for i, o := range order {
+		out[i] = xIdx[o]
+	}
+	return out
+}
+
+// maxSupport caps the number of joint assignments enumerated per variable
+// set. The sum in Eq. (12) over a truncated support is still a valid lower
+// bound (every term is non-negative); the cap only weakens pathological
+// cases where the support join explodes.
+const maxSupport = 1 << 18
+
+// supportAssignments returns joint assignments to xSorted realized in the
+// data: the join of the atom projections onto their x-variables, truncated
+// at maxSupport.
+func supportAssignments(q *query.Query, xSorted []int, db *data.Database) []data.Tuple {
+	if len(xSorted) == 0 {
+		return []data.Tuple{{}}
+	}
+	// Build a projection query over the x variables only.
+	pq := &query.Query{Name: "support"}
+	for _, v := range xSorted {
+		pq.Vars = append(pq.Vars, q.Vars[v])
+	}
+	rels := make(map[string]*data.Relation)
+	for _, a := range q.Atoms {
+		var atomVars []int
+		var attrs []int
+		for pos, v := range a.Vars {
+			for xi, xv := range xSorted {
+				if v == xv {
+					atomVars = append(atomVars, xi)
+					attrs = append(attrs, pos)
+				}
+			}
+		}
+		if len(atomVars) == 0 {
+			continue
+		}
+		rel := db.MustGet(a.Name)
+		prj := data.NewRelation(a.Name, len(attrs), rel.Domain)
+		seen := make(map[string]bool)
+		rel.Each(func(_ int, t data.Tuple) bool {
+			pt := make(data.Tuple, len(attrs))
+			for i, pos := range attrs {
+				pt[i] = t[pos]
+			}
+			k := pt.Key()
+			if !seen[k] {
+				seen[k] = true
+				prj.Add(pt...)
+			}
+			return true
+		})
+		pq.Atoms = append(pq.Atoms, query.Atom{Name: a.Name, Vars: atomVars})
+		rels[a.Name] = prj
+	}
+	if len(pq.Atoms) == 0 {
+		return nil
+	}
+	return join.JoinLimit(pq, rels, maxSupport)
+}
+
+// BestLower maximizes over the simple bound (x = ∅) and the residual
+// bounds for every non-empty variable subset of size ≤ maxX, returning the
+// winning bound and a description of where it came from (Theorem 1.2's
+// L_lower = max_{x,u} L_x(u, M, p)).
+func BestLower(q *query.Query, db *data.Database, p int, maxX int) (float64, string) {
+	bitsM := make([]float64, q.NumAtoms())
+	for j, a := range q.Atoms {
+		bitsM[j] = float64(db.MustGet(a.Name).Bits())
+	}
+	best, _ := SimpleLower(q, bitsM, p)
+	desc := "simple (x = ∅)"
+	k := q.NumVars()
+	if maxX <= 0 || maxX > k {
+		maxX = k
+	}
+	for mask := 1; mask < 1<<k; mask++ {
+		var vs []int
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				vs = append(vs, i)
+			}
+		}
+		if len(vs) > maxX {
+			continue
+		}
+		x := query.NewVarSet(vs...)
+		b, _ := ResidualLower(q, x, db, p)
+		if b > best {
+			best = b
+			desc = fmt.Sprintf("residual x=%v", vs)
+		}
+	}
+	return best, desc
+}
+
+// LPLowerEqualsVertexMax verifies Theorem 3.6 numerically for a given
+// query/statistics: the LP-based upper bound p^λ equals the vertex-based
+// maximum. Returns the two values for comparison (used by tests and the
+// experiment harness).
+func LPLowerEqualsVertexMax(q *query.Query, bitsM []float64, p int, lambda float64) (lpBound, vertexBound float64) {
+	lpBound = math.Pow(float64(p), lambda)
+	vertexBound, _ = SimpleLower(q, bitsM, p)
+	return lpBound, vertexBound
+}
+
+// RatFloats converts a rational vector to floats (convenience for callers
+// mixing exact packings with float bounds).
+func RatFloats(v rational.Vector) []float64 { return v.Floats() }

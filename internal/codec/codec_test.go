@@ -1,0 +1,169 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+	"repro/internal/workload"
+)
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	var w BitWriter
+	vals := []uint64{0, 1, 5, 1023, 7}
+	widths := []int{1, 3, 4, 10, 3}
+	for i, v := range vals {
+		w.WriteBits(v, widths[i])
+	}
+	r := NewBitReader(w.Bytes())
+	for i, want := range vals {
+		got, err := r.ReadBits(widths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("value %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBitWriterBitCount(t *testing.T) {
+	var w BitWriter
+	w.WriteBits(3, 7)
+	w.WriteBits(1, 9)
+	if w.Bits() != 16 {
+		t.Errorf("Bits = %d, want 16", w.Bits())
+	}
+}
+
+func TestBitReaderShortBuffer(t *testing.T) {
+	r := NewBitReader([]byte{0xFF})
+	if _, err := r.ReadBits(9); err == nil {
+		t.Error("expected short-buffer error")
+	}
+}
+
+func TestWriteBitsPanicsOnBadWidth(t *testing.T) {
+	for _, width := range []int{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			var w BitWriter
+			w.WriteBits(1, width)
+		}()
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rel := workload.Uniform("S", 3, 500, 1000, 1)
+	wire := Encode(rel)
+	back, err := Decode("S", wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != rel.Size() || back.Arity != rel.Arity || back.Domain != rel.Domain {
+		t.Fatalf("shape mismatch: %d/%d/%d", back.Size(), back.Arity, back.Domain)
+	}
+	for i := 0; i < rel.Size(); i++ {
+		if rel.Tuple(i).Key() != back.Tuple(i).Key() {
+			t.Fatalf("tuple %d differs", i)
+		}
+	}
+}
+
+func TestPayloadBitsMatchesModel(t *testing.T) {
+	// The wire payload must realize exactly M_j = a·m·⌈log₂ n⌉ bits.
+	rel := workload.Uniform("S", 2, 321, 1<<13, 2)
+	var w BitWriter
+	width := data.BitsPerValue(rel.Domain)
+	rel.Each(func(_ int, tu data.Tuple) bool {
+		for _, v := range tu {
+			w.WriteBits(uint64(v), width)
+		}
+		return true
+	})
+	if int64(w.Bits()) != rel.Bits() {
+		t.Errorf("payload %d bits, model says %d", w.Bits(), rel.Bits())
+	}
+	if PayloadBits(rel) != rel.Bits() {
+		t.Error("PayloadBits disagrees")
+	}
+}
+
+func TestEncodeEmptyRelation(t *testing.T) {
+	rel := data.NewRelation("E", 2, 16)
+	back, err := Decode("E", Encode(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != 0 {
+		t.Errorf("Size = %d", back.Size())
+	}
+}
+
+func TestDecodeCorruptHeaders(t *testing.T) {
+	if _, err := Decode("X", nil); err == nil {
+		t.Error("nil wire should fail")
+	}
+	if _, err := Decode("X", []byte{2}); err == nil {
+		t.Error("truncated header should fail")
+	}
+	// Valid header claiming more tuples than the payload holds.
+	rel := data.NewRelation("X", 1, 16)
+	rel.Add(3)
+	wire := Encode(rel)
+	wire = wire[:len(wire)-1] // chop payload
+	if _, err := Decode("X", wire); err == nil {
+		t.Error("chopped payload should fail")
+	}
+}
+
+func TestDecodeDomainOneValues(t *testing.T) {
+	rel := data.NewRelation("D", 2, 1) // all values 0, width 1
+	rel.Add(0, 0)
+	rel.Add(0, 0)
+	back, err := Decode("D", Encode(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != 2 {
+		t.Errorf("Size = %d", back.Size())
+	}
+}
+
+// Property: encode/decode is the identity on random relations.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, arity8, m8 uint8) bool {
+		arity := 1 + int(arity8%3)
+		m := 1 + int(m8%64)
+		domain := int64(1 + (seed&0xFF)*7 + 2)
+		if pow := int64(1); true {
+			for i := 0; i < arity; i++ {
+				pow *= domain
+			}
+			if int64(m) > pow/2 {
+				return true // skip too-dense draws
+			}
+		}
+		rel := workload.Uniform("R", arity, m, domain, seed)
+		back, err := Decode("R", Encode(rel))
+		if err != nil {
+			return false
+		}
+		if back.Size() != rel.Size() {
+			return false
+		}
+		for i := 0; i < rel.Size(); i++ {
+			if rel.Tuple(i).Key() != back.Tuple(i).Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package core is the top of the stack: a one-round MPC query-evaluation
+// engine that puts the paper's pieces together. Given a conjunctive query,
+// a database, and p servers, the engine collects statistics, decides which
+// algorithm applies — plain HyperCube on skew-free data (§3), the
+// specialized skew join for the two-relation join (§4.1), or the general
+// bin-combination algorithm (§4.2) — computes the matching lower bound
+// (Theorems 3.5/4.7), and executes the plan on the simulator.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/data"
+	"repro/internal/hypercube"
+	"repro/internal/query"
+	"repro/internal/skew"
+	"repro/internal/stats"
+)
+
+// Strategy identifies which of the paper's algorithms a plan uses.
+type Strategy int
+
+// Strategies.
+const (
+	// HyperCube is the §3.1 algorithm with LP-optimal shares (skew-free
+	// data, simple statistics).
+	HyperCube Strategy = iota
+	// SkewJoin is the §4.1 algorithm specialized for
+	// q(x,y,z) = S1(x,z), S2(y,z) with heavy hitters.
+	SkewJoin
+	// BinCombination is the general §4.2 algorithm for arbitrary
+	// conjunctive queries with heavy hitters.
+	BinCombination
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case HyperCube:
+		return "hypercube"
+	case SkewJoin:
+		return "skew-join"
+	case BinCombination:
+		return "bin-combination"
+	}
+	return "?"
+}
+
+// Engine evaluates conjunctive queries in one communication round on p
+// simulated servers.
+type Engine struct {
+	P    int
+	Seed uint64
+	// ForceStrategy overrides plan selection when non-nil.
+	ForceStrategy *Strategy
+}
+
+// Plan describes the chosen algorithm and the bound analysis for one
+// query/database pair.
+type Plan struct {
+	Strategy       Strategy
+	Shares         []int   // HyperCube only
+	LowerBoundBits float64 // Theorem 1.2's L_lower = max_{x,u} L_x(u,M,p)
+	HasSkew        bool
+	Reason         string
+}
+
+// Result is the outcome of Execute.
+type Result struct {
+	Plan          Plan
+	Output        []data.Tuple
+	MaxLoadBits   int64 // max virtual-processor load (what the theorems bound)
+	TotalBits     int64
+	PredictedBits float64
+}
+
+// NewEngine returns an engine for p servers.
+func NewEngine(p int, seed uint64) *Engine {
+	if p < 2 {
+		panic("core: need p >= 2")
+	}
+	return &Engine{P: p, Seed: seed}
+}
+
+// PlanQuery analyzes statistics and picks the algorithm.
+func (e *Engine) PlanQuery(q *query.Query, db *data.Database) Plan {
+	if err := q.Validate(); err != nil {
+		panic(fmt.Sprintf("core: invalid query: %v", err))
+	}
+	dbStats := stats.CollectDB(db, e.P)
+	hasSkew := false
+	for _, a := range q.Atoms {
+		rs := dbStats.Relations[a.Name]
+		if rs == nil {
+			panic("core: database missing relation " + a.Name)
+		}
+		for _, f := range rs.ByAttrs {
+			if len(f.HeavyHitters(rs.Threshold)) > 0 {
+				hasSkew = true
+			}
+		}
+	}
+	lower, desc := bounds.BestLower(q, db, e.P, 0)
+	plan := Plan{LowerBoundBits: lower, HasSkew: hasSkew}
+	switch {
+	case e.ForceStrategy != nil:
+		plan.Strategy = *e.ForceStrategy
+		plan.Reason = "forced: " + plan.Strategy.String()
+	case !hasSkew:
+		plan.Strategy = HyperCube
+		plan.Reason = "no heavy hitters at threshold m/p; LP shares are optimal (" + desc + ")"
+	case isJoin2Shaped(q):
+		plan.Strategy = SkewJoin
+		plan.Reason = "two-relation join with heavy hitters; §4.1 specialized algorithm (" + desc + ")"
+	default:
+		plan.Strategy = BinCombination
+		plan.Reason = "heavy hitters on a general query; §4.2 bin combinations (" + desc + ")"
+	}
+	return plan
+}
+
+// Execute plans and runs the query, returning answers and realized loads.
+func (e *Engine) Execute(q *query.Query, db *data.Database) Result {
+	plan := e.PlanQuery(q, db)
+	res := Result{Plan: plan}
+	switch plan.Strategy {
+	case HyperCube:
+		hc := hypercube.Run(q, db, hypercube.Config{P: e.P, Seed: e.Seed})
+		res.Plan.Shares = hc.Shares
+		res.Output = hc.Output
+		res.MaxLoadBits = hc.Loads.MaxBits
+		res.TotalBits = hc.Loads.TotalBits
+		res.PredictedBits = hc.PredictedBits
+	case SkewJoin:
+		sj := skew.RunJoin(remapJoin2(q, db), skew.JoinConfig{P: e.P, Seed: e.Seed})
+		res.Output = remapOutput(q, sj.Output)
+		res.MaxLoadBits = sj.MaxVirtualBits
+		res.PredictedBits = sj.PredictedBits
+	case BinCombination:
+		g := skew.RunGeneral(q, db, skew.GeneralConfig{P: e.P, Seed: e.Seed})
+		res.Output = g.Output
+		res.MaxLoadBits = g.MaxVirtualBits
+		res.PredictedBits = g.PredictedBits
+	}
+	return res
+}
+
+// isJoin2Shaped recognizes q(x,y,z) = S1(x,z), S2(y,z) up to renaming:
+// two binary atoms sharing exactly one variable, which sits at the second
+// position of both atoms.
+func isJoin2Shaped(q *query.Query) bool {
+	if q.NumAtoms() != 2 || q.NumVars() != 3 {
+		return false
+	}
+	a, b := q.Atoms[0], q.Atoms[1]
+	if a.Arity() != 2 || b.Arity() != 2 {
+		return false
+	}
+	return a.Vars[1] == b.Vars[1] && a.Vars[0] != b.Vars[0]
+}
+
+// remapJoin2 renames the two relations to the S1/S2 names the §4.1 skew
+// join expects, preserving column order.
+func remapJoin2(q *query.Query, db *data.Database) *data.Database {
+	out := data.NewDatabase()
+	r1 := db.MustGet(q.Atoms[0].Name).Clone()
+	r1.Name = "S1"
+	r2 := db.MustGet(q.Atoms[1].Name).Clone()
+	r2.Name = "S2"
+	out.Put(r1)
+	out.Put(r2)
+	return out
+}
+
+// remapOutput reorders skew-join outputs (always in Join2's x,y,z variable
+// order) into q's own head order.
+func remapOutput(q *query.Query, out []data.Tuple) []data.Tuple {
+	// Join2 canonical variable order: x = atom0 var0, y = atom1 var0,
+	// z = shared. Build the permutation into q's head order.
+	x, z := q.Atoms[0].Vars[0], q.Atoms[0].Vars[1]
+	y := q.Atoms[1].Vars[0]
+	remapped := make([]data.Tuple, len(out))
+	for i, t := range out {
+		nt := make(data.Tuple, 3)
+		nt[x], nt[y], nt[z] = t[0], t[1], t[2]
+		remapped[i] = nt
+	}
+	return remapped
+}

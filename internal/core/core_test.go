@@ -1,0 +1,210 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/join"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func db2(s1, s2 *data.Relation) *data.Database {
+	db := data.NewDatabase()
+	db.Put(s1)
+	db.Put(s2)
+	return db
+}
+
+func TestPlanSkewFreePicksHyperCube(t *testing.T) {
+	q := query.Join2()
+	db := db2(
+		workload.Matching("S1", 2, 1000, 100000, 1),
+		workload.Matching("S2", 2, 1000, 100000, 2),
+	)
+	e := NewEngine(16, 1)
+	plan := e.PlanQuery(q, db)
+	if plan.Strategy != HyperCube {
+		t.Errorf("strategy = %v, want hypercube", plan.Strategy)
+	}
+	if plan.HasSkew {
+		t.Error("matching data reported as skewed")
+	}
+	if plan.LowerBoundBits <= 0 {
+		t.Error("missing lower bound")
+	}
+}
+
+func TestPlanSkewedJoinPicksSkewJoin(t *testing.T) {
+	q := query.Join2()
+	db := db2(
+		workload.SingleValue("S1", 2, 500, 100000, 1, 7, 1),
+		workload.SingleValue("S2", 2, 500, 100000, 1, 7, 2),
+	)
+	e := NewEngine(16, 1)
+	plan := e.PlanQuery(q, db)
+	if plan.Strategy != SkewJoin {
+		t.Errorf("strategy = %v, want skew-join", plan.Strategy)
+	}
+	if !plan.HasSkew {
+		t.Error("skew not detected")
+	}
+}
+
+func TestPlanSkewedTrianglePicksBinCombination(t *testing.T) {
+	q := query.Triangle()
+	db := data.NewDatabase()
+	db.Put(workload.PlantedHeavy("S1", 400, 100000, 0, []workload.HeavySpec{{Value: 0, Count: 150}}, 1))
+	db.Put(workload.Uniform("S2", 2, 400, 100, 2))
+	db.Put(workload.Uniform("S3", 2, 400, 100, 3))
+	e := NewEngine(16, 1)
+	plan := e.PlanQuery(q, db)
+	if plan.Strategy != BinCombination {
+		t.Errorf("strategy = %v, want bin-combination", plan.Strategy)
+	}
+}
+
+func TestExecuteMatchesReferenceAcrossStrategies(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *query.Query
+		db   *data.Database
+	}{
+		{"hypercube", query.Triangle(), func() *data.Database {
+			db := data.NewDatabase()
+			db.Put(workload.Matching("S1", 2, 300, 100000, 1))
+			db.Put(workload.Matching("S2", 2, 300, 100000, 2))
+			db.Put(workload.Matching("S3", 2, 300, 100000, 3))
+			return db
+		}()},
+		{"skew-join", query.Join2(), db2(
+			workload.Zipf("S1", 600, 100000, 1, 1.8, 100, 4),
+			workload.Zipf("S2", 600, 100000, 1, 1.8, 100, 5),
+		)},
+		{"bin-combination", query.Star(2), func() *data.Database {
+			db := data.NewDatabase()
+			db.Put(workload.PlantedHeavy("S1", 300, 100000, 0, []workload.HeavySpec{{Value: 5, Count: 100}}, 6))
+			db.Put(workload.PlantedHeavy("S2", 300, 100000, 0, []workload.HeavySpec{{Value: 5, Count: 90}}, 7))
+			return db
+		}()},
+	}
+	for _, c := range cases {
+		e := NewEngine(16, 9)
+		res := e.Execute(c.q, c.db)
+		want := join.Join(c.q, join.FromDatabase(c.db))
+		if !join.EqualTupleSets(res.Output, want) {
+			t.Errorf("%s (%v): output %d tuples, want %d",
+				c.name, res.Plan.Strategy, len(res.Output), len(want))
+		}
+		if res.MaxLoadBits <= 0 && len(want) > 0 {
+			t.Errorf("%s: no load recorded", c.name)
+		}
+	}
+}
+
+func TestExecuteSkewJoinRemapsRenamedRelations(t *testing.T) {
+	// Same Join2 shape but with different relation names and head order.
+	q := query.MustParse("q(a,b,c) = R(a,c), T(b,c)")
+	db := data.NewDatabase()
+	r := workload.SingleValue("R", 2, 300, 100000, 1, 7, 1)
+	s := workload.SingleValue("T", 2, 300, 100000, 1, 7, 2)
+	db.Put(r)
+	db.Put(s)
+	e := NewEngine(8, 1)
+	plan := e.PlanQuery(q, db)
+	if plan.Strategy != SkewJoin {
+		t.Fatalf("strategy = %v", plan.Strategy)
+	}
+	res := e.Execute(q, db)
+	want := join.Join(q, join.FromDatabase(db))
+	if !join.EqualTupleSets(res.Output, want) {
+		t.Errorf("remapped skew join wrong: %d vs %d tuples", len(res.Output), len(want))
+	}
+}
+
+func TestForceStrategy(t *testing.T) {
+	q := query.Join2()
+	db := db2(
+		workload.Matching("S1", 2, 300, 100000, 1),
+		workload.Matching("S2", 2, 300, 100000, 2),
+	)
+	force := BinCombination
+	e := NewEngine(8, 1)
+	e.ForceStrategy = &force
+	res := e.Execute(q, db)
+	if res.Plan.Strategy != BinCombination {
+		t.Errorf("forced strategy ignored: %v", res.Plan.Strategy)
+	}
+	want := join.Join(q, join.FromDatabase(db))
+	if !join.EqualTupleSets(res.Output, want) {
+		t.Error("forced bin-combination gave wrong output")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if HyperCube.String() != "hypercube" || SkewJoin.String() != "skew-join" ||
+		BinCombination.String() != "bin-combination" || Strategy(9).String() != "?" {
+		t.Error("Strategy strings wrong")
+	}
+}
+
+func TestNewEnginePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewEngine(1, 0)
+}
+
+func TestPlanMissingRelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewEngine(4, 0).PlanQuery(query.Join2(), data.NewDatabase())
+}
+
+func TestIsJoin2Shaped(t *testing.T) {
+	if !isJoin2Shaped(query.Join2()) {
+		t.Error("Join2 not recognized")
+	}
+	if isJoin2Shaped(query.Triangle()) || isJoin2Shaped(query.Cartesian(2)) {
+		t.Error("false positive")
+	}
+	// Shared variable at first position: not the §4.1 shape.
+	q := query.MustParse("q(x,y,z) = A(z,x), B(z,y)")
+	if isJoin2Shaped(q) {
+		t.Error("first-position share misclassified")
+	}
+}
+
+func TestExplainContainsAnalysis(t *testing.T) {
+	q := query.Triangle()
+	db := data.NewDatabase()
+	db.Put(workload.Matching("S1", 2, 500, 100000, 1))
+	db.Put(workload.Matching("S2", 2, 500, 100000, 2))
+	db.Put(workload.Matching("S3", 2, 500, 100000, 3))
+	out := NewEngine(16, 1).Explain(q, db)
+	for _, want := range []string{
+		"strategy: hypercube", "τ*", "packing vertices", "share exponents",
+		"integer shares", "lower bound",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainShowsBinCombosUnderSkew(t *testing.T) {
+	q := query.Star(2)
+	db := data.NewDatabase()
+	db.Put(workload.PlantedHeavy("S1", 300, 100000, 0, []workload.HeavySpec{{Value: 5, Count: 100}}, 1))
+	db.Put(workload.PlantedHeavy("S2", 300, 100000, 0, []workload.HeavySpec{{Value: 5, Count: 90}}, 2))
+	out := NewEngine(16, 1).Explain(q, db)
+	if !strings.Contains(out, "bin combinations") {
+		t.Errorf("Explain should list bin combinations under skew:\n%s", out)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/data"
+	"repro/internal/hypercube"
+	"repro/internal/packing"
+	"repro/internal/query"
+	"repro/internal/skew"
+)
+
+// Explain renders a human-readable analysis of how the engine would
+// evaluate q over db: the chosen strategy and why, the packing polytope
+// vertices with their induced bounds (Example 3.7's table for the given
+// statistics), the optimal share exponents, and — when skew is present —
+// the bin combinations the §4.2 algorithm would build.
+func (e *Engine) Explain(q *query.Query, db *data.Database) string {
+	plan := e.PlanQuery(q, db)
+	var b strings.Builder
+	fmt.Fprintf(&b, "query:    %s\n", q)
+	fmt.Fprintf(&b, "servers:  p = %d\n", e.P)
+	fmt.Fprintf(&b, "strategy: %s\n", plan.Strategy)
+	fmt.Fprintf(&b, "reason:   %s\n", plan.Reason)
+	fmt.Fprintf(&b, "skew:     heavy hitters present = %v\n\n", plan.HasSkew)
+
+	bitsM := make([]float64, q.NumAtoms())
+	for j, a := range q.Atoms {
+		rel := db.MustGet(a.Name)
+		bitsM[j] = float64(rel.Bits())
+		fmt.Fprintf(&b, "relation %-6s m = %8d tuples, M = %10d bits\n",
+			a.Name, rel.Size(), rel.Bits())
+	}
+	fmt.Fprintf(&b, "\nτ* = %.3f  (max fractional edge packing value)\n", packing.Tau(q))
+
+	best, table := bounds.SimpleLower(q, bitsM, e.P)
+	fmt.Fprintf(&b, "\npacking vertices pk(q) and induced bounds (Theorem 3.6):\n")
+	for _, row := range table {
+		us := make([]string, len(row.U))
+		for i, u := range row.U {
+			us[i] = fmt.Sprintf("%.2f", u)
+		}
+		fmt.Fprintf(&b, "  u = (%s)  L(u,M,p) = %.0f bits\n", strings.Join(us, ","), row.Bound)
+	}
+	fmt.Fprintf(&b, "simple-statistics bound: %.0f bits\n", best)
+	fmt.Fprintf(&b, "full lower bound (Thm 1.2, with residual packings): %.0f bits\n",
+		plan.LowerBoundBits)
+
+	exps, lambda := hypercube.OptimalExponents(q, bitsM, e.P)
+	shares := hypercube.RoundShares(exps, e.P, hypercube.RoundGreedy)
+	fmt.Fprintf(&b, "\nshare exponents (LP 5): %s, λ = %.4f → predicted p^λ bits\n",
+		fmtExps(q, exps), lambda)
+	fmt.Fprintf(&b, "integer shares: %v (%d of %d servers used)\n",
+		shares, productInts(shares), e.P)
+
+	if plan.HasSkew && plan.Strategy == BinCombination {
+		fmt.Fprintf(&b, "\nbin combinations (§4.2):\n")
+		for _, info := range skew.InspectBinCombos(q, db, e.P) {
+			vars := make([]string, len(info.Vars))
+			for i, v := range info.Vars {
+				vars[i] = q.Vars[v]
+			}
+			fmt.Fprintf(&b, "  x = {%s}  bins = %v  |C'| = %d  λ = %.3f\n",
+				strings.Join(vars, ","), info.Bins, info.CSize, info.Lambda)
+		}
+	}
+	return b.String()
+}
+
+func fmtExps(q *query.Query, e []float64) string {
+	parts := make([]string, len(e))
+	for i, v := range e {
+		parts[i] = fmt.Sprintf("%s=%.3f", q.Vars[i], v)
+	}
+	return strings.Join(parts, " ")
+}
+
+func productInts(xs []int) int {
+	p := 1
+	for _, x := range xs {
+		p *= x
+	}
+	return p
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/hypercube"
+	"repro/internal/join"
+	"repro/internal/query"
+	"repro/internal/rounds"
+	"repro/internal/skew"
+)
+
+// randomInstance generates a small random instance for q, with occasional
+// planted skew so both code paths of every algorithm are exercised.
+func randomInstance(q *query.Query, rng *rand.Rand) *data.Database {
+	db := data.NewDatabase()
+	const domain = 8 // dense: plenty of matches and repeated values
+	for _, a := range q.Atoms {
+		r := data.NewRelation(a.Name, a.Arity(), domain)
+		seen := make(map[string]bool)
+		n := 4 + rng.Intn(20)
+		hot := int64(rng.Intn(domain)) // a value to overuse sometimes
+		for i := 0; i < n; i++ {
+			t := make(data.Tuple, a.Arity())
+			for j := range t {
+				if rng.Intn(3) == 0 {
+					t[j] = hot
+				} else {
+					t[j] = int64(rng.Intn(domain))
+				}
+			}
+			if !seen[t.Key()] {
+				seen[t.Key()] = true
+				r.Add(t...)
+			}
+		}
+		db.Put(r)
+	}
+	return db
+}
+
+// TestFuzzAllAlgorithmsAgree cross-checks every evaluation strategy on
+// random queries and random (often skewed) instances against the
+// independent nested-loop reference. This is the repository's strongest
+// correctness gate.
+func TestFuzzAllAlgorithmsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz is integration-scale")
+	}
+	rng := rand.New(rand.NewSource(2014))
+	trials := 150
+	for trial := 0; trial < trials; trial++ {
+		q := query.Random(rng, 4, 3)
+		db := randomInstance(q, rng)
+		want := join.NestedLoop(q, join.FromDatabase(db))
+		want = join.Dedup(want)
+
+		// HyperCube with LP shares.
+		hc := hypercube.Run(q, db, hypercube.Config{P: 8, Seed: uint64(trial)})
+		if !join.EqualTupleSets(hc.Output, want) {
+			t.Fatalf("trial %d %s: hypercube %d vs reference %d tuples",
+				trial, q, len(hc.Output), len(want))
+		}
+		// HyperCube with equal shares (skew-resilient mode).
+		eq := hypercube.Run(q, db, hypercube.Config{P: 8, Seed: uint64(trial), EqualShares: true})
+		if !join.EqualTupleSets(eq.Output, want) {
+			t.Fatalf("trial %d %s: equal-share HC %d vs %d",
+				trial, q, len(eq.Output), len(want))
+		}
+		// General bin-combination algorithm.
+		gen := skew.RunGeneral(q, db, skew.GeneralConfig{P: 8, Seed: uint64(trial)})
+		if !join.EqualTupleSets(gen.Output, want) {
+			t.Fatalf("trial %d %s: bin-combination %d vs %d",
+				trial, q, len(gen.Output), len(want))
+		}
+		// Multi-round plan.
+		mr := rounds.Run(rounds.BuildPlan(q), db, rounds.Config{P: 8, Seed: uint64(trial)})
+		if !join.EqualTupleSets(mr.Output, want) {
+			t.Fatalf("trial %d %s: multi-round %d vs %d",
+				trial, q, len(mr.Output), len(want))
+		}
+		// Skew-aware multi-round.
+		mrs := rounds.Run(rounds.BuildPlan(q), db, rounds.Config{P: 8, Seed: uint64(trial), SkewAware: true})
+		if !join.EqualTupleSets(mrs.Output, want) {
+			t.Fatalf("trial %d %s: skew-aware multi-round %d vs %d",
+				trial, q, len(mrs.Output), len(want))
+		}
+		// The engine's own choice.
+		res := NewEngine(8, uint64(trial)).Execute(q, db)
+		if !join.EqualTupleSets(join.Dedup(res.Output), want) {
+			t.Fatalf("trial %d %s: engine(%v) %d vs %d",
+				trial, q, res.Plan.Strategy, len(res.Output), len(want))
+		}
+	}
+}

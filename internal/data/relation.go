@@ -1,0 +1,193 @@
+// Package data stores relation instances over an integer domain [n] and
+// accounts their size in bits, matching the paper's convention
+// M_j = a_j · m_j · log n for a relation with arity a_j and m_j tuples.
+//
+// Tuples are kept in a flat row-major int64 slice for locality; a Tuple view
+// is a sub-slice and must not be retained across Add calls.
+package data
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Tuple is one row of a relation; len(Tuple) is the relation's arity.
+type Tuple []int64
+
+// Key renders a tuple as a compact map key.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// BitsPerValue returns ⌈log₂ n⌉ (minimum 1), the bits needed to encode one
+// value from a domain of size n.
+func BitsPerValue(domain int64) int {
+	if domain <= 1 {
+		return 1
+	}
+	return bits.Len64(uint64(domain - 1))
+}
+
+// Relation is a named multiset-free relation instance S_j ⊆ [domain]^arity.
+// Duplicate insertion is the caller's responsibility to avoid (generators
+// never produce duplicates; AddUnique enforces it when needed).
+type Relation struct {
+	Name   string
+	Arity  int
+	Domain int64
+	flat   []int64
+}
+
+// NewRelation returns an empty relation.
+func NewRelation(name string, arity int, domain int64) *Relation {
+	if arity < 0 || domain < 1 {
+		panic(fmt.Sprintf("data: bad relation shape arity=%d domain=%d", arity, domain))
+	}
+	return &Relation{Name: name, Arity: arity, Domain: domain}
+}
+
+// Add appends a tuple. Values must lie in [0, Domain).
+func (r *Relation) Add(vals ...int64) {
+	if len(vals) != r.Arity {
+		panic(fmt.Sprintf("data: %s: tuple arity %d, want %d", r.Name, len(vals), r.Arity))
+	}
+	for _, v := range vals {
+		if v < 0 || v >= r.Domain {
+			panic(fmt.Sprintf("data: %s: value %d outside domain [0,%d)", r.Name, v, r.Domain))
+		}
+	}
+	r.flat = append(r.flat, vals...)
+}
+
+// Size returns m, the number of tuples.
+func (r *Relation) Size() int {
+	if r.Arity == 0 {
+		return len(r.flat) // degenerate; nullary relations unused in practice
+	}
+	return len(r.flat) / r.Arity
+}
+
+// Tuple returns a view of the i-th tuple. The view aliases internal storage.
+func (r *Relation) Tuple(i int) Tuple {
+	return Tuple(r.flat[i*r.Arity : (i+1)*r.Arity])
+}
+
+// Each calls f on every tuple; returning false stops early.
+func (r *Relation) Each(f func(i int, t Tuple) bool) {
+	n := r.Size()
+	for i := 0; i < n; i++ {
+		if !f(i, r.Tuple(i)) {
+			return
+		}
+	}
+}
+
+// BitsPerTuple returns a_j·⌈log₂ n⌉.
+func (r *Relation) BitsPerTuple() int64 {
+	return int64(r.Arity) * int64(BitsPerValue(r.Domain))
+}
+
+// Bits returns M_j = a_j · m_j · ⌈log₂ n⌉, the size of the relation in bits.
+func (r *Relation) Bits() int64 {
+	return int64(r.Size()) * r.BitsPerTuple()
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.Name, r.Arity, r.Domain)
+	c.flat = append([]int64(nil), r.flat...)
+	return c
+}
+
+// Sort orders tuples lexicographically in place (used to canonicalize for
+// comparisons in tests).
+func (r *Relation) Sort() {
+	n := r.Size()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ta, tb := r.Tuple(idx[a]), r.Tuple(idx[b])
+		for i := range ta {
+			if ta[i] != tb[i] {
+				return ta[i] < tb[i]
+			}
+		}
+		return false
+	})
+	sorted := make([]int64, 0, len(r.flat))
+	for _, i := range idx {
+		sorted = append(sorted, r.Tuple(i)...)
+	}
+	r.flat = sorted
+}
+
+// ContainsDuplicates reports whether any tuple occurs twice.
+func (r *Relation) ContainsDuplicates() bool {
+	seen := make(map[string]bool, r.Size())
+	dup := false
+	r.Each(func(_ int, t Tuple) bool {
+		k := t.Key()
+		if seen[k] {
+			dup = true
+			return false
+		}
+		seen[k] = true
+		return true
+	})
+	return dup
+}
+
+// Database is a set of relations keyed by relation (atom) name.
+type Database struct {
+	Relations map[string]*Relation
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{Relations: make(map[string]*Relation)}
+}
+
+// Put stores a relation under its own name.
+func (db *Database) Put(r *Relation) { db.Relations[r.Name] = r }
+
+// Get returns the named relation or nil.
+func (db *Database) Get(name string) *Relation { return db.Relations[name] }
+
+// MustGet returns the named relation or panics.
+func (db *Database) MustGet(name string) *Relation {
+	r := db.Relations[name]
+	if r == nil {
+		panic("data: missing relation " + name)
+	}
+	return r
+}
+
+// TotalBits returns Σ_j M_j, the database size in bits.
+func (db *Database) TotalBits() int64 {
+	var total int64
+	for _, r := range db.Relations {
+		total += r.Bits()
+	}
+	return total
+}
+
+// Names returns the relation names in sorted order.
+func (db *Database) Names() []string {
+	names := make([]string, 0, len(db.Relations))
+	for n := range db.Relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

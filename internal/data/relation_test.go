@@ -1,0 +1,200 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsPerValue(t *testing.T) {
+	cases := []struct {
+		domain int64
+		want   int
+	}{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := BitsPerValue(c.domain); got != c.want {
+			t.Errorf("BitsPerValue(%d) = %d, want %d", c.domain, got, c.want)
+		}
+	}
+}
+
+func TestRelationAddSizeTuple(t *testing.T) {
+	r := NewRelation("S", 2, 10)
+	r.Add(1, 2)
+	r.Add(3, 4)
+	if r.Size() != 2 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	if tu := r.Tuple(1); tu[0] != 3 || tu[1] != 4 {
+		t.Errorf("Tuple(1) = %v", tu)
+	}
+}
+
+func TestRelationBits(t *testing.T) {
+	// arity 2, domain 1024 (10 bits), 3 tuples: M = 2*3*10 = 60 bits.
+	r := NewRelation("S", 2, 1024)
+	r.Add(0, 1)
+	r.Add(2, 3)
+	r.Add(4, 5)
+	if r.Bits() != 60 {
+		t.Errorf("Bits = %d, want 60", r.Bits())
+	}
+	if r.BitsPerTuple() != 20 {
+		t.Errorf("BitsPerTuple = %d, want 20", r.BitsPerTuple())
+	}
+}
+
+func TestRelationAddPanics(t *testing.T) {
+	r := NewRelation("S", 2, 10)
+	for _, f := range []func(){
+		func() { r.Add(1) },     // wrong arity
+		func() { r.Add(1, 10) }, // out of domain
+		func() { r.Add(-1, 0) }, // negative
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Add did not panic on bad input")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewRelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRelation("S", 1, 0)
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	r := NewRelation("S", 1, 10)
+	for i := int64(0); i < 5; i++ {
+		r.Add(i)
+	}
+	count := 0
+	r.Each(func(i int, tu Tuple) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("Each visited %d, want 3", count)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	r := NewRelation("S", 1, 10)
+	r.Add(1)
+	c := r.Clone()
+	c.Add(2)
+	if r.Size() != 1 || c.Size() != 2 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestSort(t *testing.T) {
+	r := NewRelation("S", 2, 10)
+	r.Add(3, 1)
+	r.Add(1, 2)
+	r.Add(1, 1)
+	r.Sort()
+	want := [][2]int64{{1, 1}, {1, 2}, {3, 1}}
+	for i, w := range want {
+		tu := r.Tuple(i)
+		if tu[0] != w[0] || tu[1] != w[1] {
+			t.Errorf("after Sort tuple %d = %v, want %v", i, tu, w)
+		}
+	}
+}
+
+func TestContainsDuplicates(t *testing.T) {
+	r := NewRelation("S", 2, 10)
+	r.Add(1, 2)
+	r.Add(3, 4)
+	if r.ContainsDuplicates() {
+		t.Error("false positive")
+	}
+	r.Add(1, 2)
+	if !r.ContainsDuplicates() {
+		t.Error("false negative")
+	}
+}
+
+func TestTupleKey(t *testing.T) {
+	if k := (Tuple{1, 22, 3}).Key(); k != "1,22,3" {
+		t.Errorf("Key = %q", k)
+	}
+	if k := (Tuple{}).Key(); k != "" {
+		t.Errorf("empty Key = %q", k)
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase()
+	r1 := NewRelation("S1", 1, 4) // 2 bits/value
+	r1.Add(1)
+	r2 := NewRelation("S2", 2, 4)
+	r2.Add(1, 2)
+	db.Put(r1)
+	db.Put(r2)
+	if db.Get("S1") != r1 || db.Get("nope") != nil {
+		t.Error("Get wrong")
+	}
+	if db.MustGet("S2") != r2 {
+		t.Error("MustGet wrong")
+	}
+	if got := db.TotalBits(); got != 2+4 {
+		t.Errorf("TotalBits = %d, want 6", got)
+	}
+	names := db.Names()
+	if len(names) != 2 || names[0] != "S1" || names[1] != "S2" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet did not panic")
+		}
+	}()
+	NewDatabase().MustGet("missing")
+}
+
+// Property: Sort preserves multiset of tuples.
+func TestSortPreservesTuplesProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		r := NewRelation("S", 1, 256)
+		for _, v := range vals {
+			r.Add(int64(v))
+		}
+		before := make(map[int64]int)
+		r.Each(func(_ int, tu Tuple) bool { before[tu[0]]++; return true })
+		r.Sort()
+		after := make(map[int64]int)
+		r.Each(func(_ int, tu Tuple) bool { after[tu[0]]++; return true })
+		if len(before) != len(after) {
+			return false
+		}
+		for k, v := range before {
+			if after[k] != v {
+				return false
+			}
+		}
+		// And sortedness.
+		for i := 1; i < r.Size(); i++ {
+			if r.Tuple(i - 1)[0] > r.Tuple(i)[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

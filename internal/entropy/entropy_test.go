@@ -1,0 +1,128 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogBinomialSmallExact(t *testing.T) {
+	cases := []struct {
+		n, k float64
+		want float64 // C(n,k)
+	}{
+		{5, 2, 10}, {10, 3, 120}, {6, 0, 1}, {6, 6, 1}, {52, 5, 2598960},
+	}
+	for _, c := range cases {
+		got := LogBinomial(c.n, c.k)
+		want := math.Log2(c.want)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("LogBinomial(%v,%v) = %v, want %v", c.n, c.k, got, want)
+		}
+	}
+}
+
+func TestLogBinomialInvalid(t *testing.T) {
+	if !math.IsInf(LogBinomial(5, -1), -1) || !math.IsInf(LogBinomial(5, 6), -1) {
+		t.Error("invalid arguments should give -Inf")
+	}
+}
+
+func TestRelationEntropyMatchesDirect(t *testing.T) {
+	// H for a binary relation over n=4 with m=3: log2 C(16,3) = log2 560.
+	got := RelationEntropy(4, 2, 3)
+	want := math.Log2(560)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("H = %v, want %v", got, want)
+	}
+}
+
+func TestRelationEntropyScale(t *testing.T) {
+	// For m ≪ n^a, H ≈ m·log2(n^a/m) + O(m): check the paper's
+	// log C(n^a, m) ≥ m(a−δ)log n estimate with m = n^δ.
+	n, a, delta := 1024.0, 2.0, 1.0
+	m := math.Pow(n, delta)
+	h := RelationEntropy(n, int(a), m)
+	lower := m * (a - delta) * math.Log2(n)
+	if h < lower {
+		t.Errorf("H = %v below the paper's estimate %v", h, lower)
+	}
+}
+
+func TestLemmaA3ExplicitCases(t *testing.T) {
+	cases := []struct{ n, m, k float64 }{
+		{1000, 100, 10},
+		{1000, 100, 100}, // k = m
+		{1 << 20, 4096, 64},
+		{100, 50, 1}, // m = N/2 boundary
+	}
+	for _, c := range cases {
+		if !LemmaA3Holds(c.n, c.m, c.k) {
+			t.Errorf("Lemma A.3 fails at N=%v m=%v k=%v: %v > %v",
+				c.n, c.m, c.k, LemmaA3LHS(c.n, c.m, c.k), LemmaA3RHS(c.n, c.m, c.k))
+		}
+	}
+}
+
+func TestLemmaA3Property(t *testing.T) {
+	// Random parameter triples within the hypotheses.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bigN := float64(100 + rng.Intn(1<<20))
+		m := float64(1 + rng.Intn(int(bigN/2)))
+		k := float64(rng.Intn(int(m + 1)))
+		return LemmaA3Holds(bigN, m, k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLemmaA3OutsideHypotheses(t *testing.T) {
+	// Outside the hypotheses the checker reports true (lemma says nothing).
+	if !LemmaA3Holds(100, 80, 5) { // m > N/2
+		t.Error("outside-hypothesis case should pass vacuously")
+	}
+}
+
+func TestKnowledgeBound(t *testing.T) {
+	// f = 1 (the whole relation): bound (log2 e + 1)·m ≥ m, consistent
+	// with knowing everything.
+	m := 1000.0
+	if KnowledgeBound(1, m) < m {
+		t.Error("full-message bound must allow knowing all tuples")
+	}
+	// Linear in f.
+	if math.Abs(KnowledgeBound(0.5, m)*2-KnowledgeBound(1, m)) > 1e-9 {
+		t.Error("bound should be linear in f")
+	}
+}
+
+func TestMessageFraction(t *testing.T) {
+	// Receiving the C0-discounted full size is fraction 1.
+	mBits := 10000.0
+	got := MessageFraction(mBits/2, mBits, 2, 1) // C0 = 1/2
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("fraction = %v, want 1", got)
+	}
+}
+
+func TestMessageFractionPanics(t *testing.T) {
+	for _, delta := range []float64{0, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			MessageFraction(1, 1, 2, delta)
+		}()
+	}
+}
+
+func TestConstantC(t *testing.T) {
+	if math.Abs(C-(math.Log2E+1)) > 1e-15 {
+		t.Error("C drifted")
+	}
+}

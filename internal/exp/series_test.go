@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVFormat(t *testing.T) {
+	out := CSV([]Series{{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}}})
+	want := "series,x,y\na,1,10\na,2,20\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestFigureLoadVsPShapes(t *testing.T) {
+	series := FigureLoadVsP(Quick)
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	hc, lower, multi := byName["hypercube"], byName["lower-bound"], byName["multi-round"]
+	if len(hc.X) == 0 || len(lower.X) != len(hc.X) || len(multi.X) != len(hc.X) {
+		t.Fatal("missing series")
+	}
+	for i := range hc.X {
+		// Measured ≥ bound (it is a lower bound) and loads decrease in p.
+		if hc.Y[i] < lower.Y[i]*0.99 {
+			t.Errorf("p=%v: measured %v below lower bound %v", hc.X[i], hc.Y[i], lower.Y[i])
+		}
+		if i > 0 && hc.Y[i] > hc.Y[i-1]*1.05 {
+			t.Errorf("HC load not decreasing at p=%v", hc.X[i])
+		}
+	}
+	// The HC curve should decay roughly as p^{-2/3}: check the endpoint
+	// ratio against the prediction within a factor 2.
+	n := len(hc.X) - 1
+	gotRatio := hc.Y[0] / hc.Y[n]
+	wantRatio := math.Pow(hc.X[n]/hc.X[0], 2.0/3)
+	if gotRatio < wantRatio/2 || gotRatio > wantRatio*2 {
+		t.Errorf("HC decay ratio %v, want ≈ p^{2/3} ratio %v", gotRatio, wantRatio)
+	}
+	// Multi-round on matchings decays like 1/p: steeper than HC.
+	mrRatio := multi.Y[0] / multi.Y[n]
+	if mrRatio <= gotRatio {
+		t.Errorf("multi-round decay %v should exceed HC decay %v on matchings", mrRatio, gotRatio)
+	}
+}
+
+func TestFigureLoadVsSkewShapes(t *testing.T) {
+	series := FigureLoadVsSkew(Quick)
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	sj, v := byName["skew-join"], byName["vanilla-hash"]
+	n := len(sj.X) - 1
+	// At the highest skew, vanilla must be much worse than the skew join.
+	if v.Y[n] < 2*sj.Y[n] {
+		t.Errorf("at zipf %v vanilla %v not clearly above skew join %v", sj.X[n], v.Y[n], sj.Y[n])
+	}
+	// Vanilla load grows with skew.
+	if v.Y[n] <= v.Y[0] {
+		t.Errorf("vanilla load should grow with skew: %v vs %v", v.Y[0], v.Y[n])
+	}
+}
+
+func TestFigureResilienceShapes(t *testing.T) {
+	series := FigureResilience(Quick)
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	eq, hash, ref := byName["equal-shares"], byName["hash-join"], byName["m-over-cbrt-p"]
+	n := len(eq.X) - 1
+	// Equal shares decay; hash join stays flat (within 10%).
+	if eq.Y[n] >= eq.Y[0] {
+		t.Error("equal-share load should decrease with p")
+	}
+	if math.Abs(hash.Y[n]-hash.Y[0])/hash.Y[0] > 0.1 {
+		t.Errorf("hash join load should stay ~flat under total skew: %v vs %v", hash.Y[0], hash.Y[n])
+	}
+	// Equal-share curve tracks the reference within a factor of 3.
+	for i := range eq.X {
+		r := eq.Y[i] / ref.Y[i]
+		if r < 0.3 || r > 3 {
+			t.Errorf("p=%v: equal-share load %v off reference %v (ratio %v)",
+				eq.X[i], eq.Y[i], ref.Y[i], r)
+		}
+	}
+}
+
+func TestFiguresRegistry(t *testing.T) {
+	figs := Figures()
+	for _, name := range []string{"load-vs-p", "load-vs-skew", "resilience"} {
+		if figs[name] == nil {
+			t.Errorf("missing figure %s", name)
+		}
+	}
+	out := CSV(figs["load-vs-skew"](Quick))
+	if !strings.HasPrefix(out, "series,x,y\n") || strings.Count(out, "\n") < 10 {
+		t.Error("figure CSV too small")
+	}
+}

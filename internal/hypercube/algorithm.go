@@ -1,0 +1,187 @@
+package hypercube
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/hashing"
+	"repro/internal/join"
+	"repro/internal/mpc"
+	"repro/internal/query"
+	"repro/internal/wcoj"
+)
+
+// Router routes tuples to hypercube subcubes: a tuple of S_j fixes the
+// coordinates of the dimensions of vars(S_j) by hashing and is replicated
+// over every combination of the remaining dimensions (§3.1).
+type Router struct {
+	q      *query.Query
+	grid   *hashing.Grid
+	shares []int
+	// atomVars[name] maps attribute position → variable index (dimension).
+	atomVars map[string][]int
+}
+
+// NewRouter builds the HC router for the given integer shares (one per
+// query variable, product ≤ the cluster size).
+func NewRouter(q *query.Query, shares []int, family *hashing.Family) *Router {
+	if len(shares) != q.NumVars() {
+		panic("hypercube: shares length must equal variable count")
+	}
+	r := &Router{
+		q:        q,
+		grid:     hashing.NewGrid(shares, family),
+		shares:   append([]int(nil), shares...),
+		atomVars: make(map[string][]int),
+	}
+	for _, a := range q.Atoms {
+		r.atomVars[a.Name] = append([]int(nil), a.Vars...)
+	}
+	return r
+}
+
+// Size returns the number of hypercube cells (Π p_i).
+func (r *Router) Size() int { return r.grid.Size() }
+
+// Destinations implements mpc.Router: the subcube of servers receiving t.
+func (r *Router) Destinations(rel string, t data.Tuple, dst []int) []int {
+	vars, ok := r.atomVars[rel]
+	if !ok {
+		panic("hypercube: relation " + rel + " not in query")
+	}
+	k := len(r.shares)
+	coords := make([]int, k)
+	fixed := make([]bool, k)
+	for pos, v := range vars {
+		coords[v] = r.grid.HashDim(v, t[pos])
+		fixed[v] = true
+	}
+	// Enumerate the free dimensions.
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == k {
+			dst = append(dst, r.grid.Linear(coords))
+			return
+		}
+		if fixed[dim] {
+			rec(dim + 1)
+			return
+		}
+		for c := 0; c < r.shares[dim]; c++ {
+			coords[dim] = c
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+	return dst
+}
+
+// Config controls a HyperCube run.
+type Config struct {
+	P    int    // number of servers
+	Seed uint64 // hash-family seed; same seed → identical run
+
+	// Shares overrides share selection entirely when non-nil.
+	Shares []int
+	// Exponents overrides the LP when non-nil (rounded per Strategy).
+	Exponents []float64
+	// Strategy selects integer rounding (default RoundGreedy).
+	Strategy Rounding
+	// UseAfratiUllman selects the baseline total-load optimizer instead of
+	// the paper's LP (ablation A2).
+	UseAfratiUllman bool
+	// EqualShares forces the skew-resilient p^{1/k} configuration
+	// (Corollary 3.2 (ii)).
+	EqualShares bool
+	// SkipJoin measures communication only: servers receive their
+	// fragments but do not compute the local join. Loads are identical;
+	// Output stays empty. Load-focused experiments use this to avoid
+	// materializing quadratic outputs.
+	SkipJoin bool
+	// UseWCOJ computes the local joins with the generic worst-case
+	// optimal algorithm instead of binary hash joins — useful when server
+	// fragments are cyclic and dense enough that binary plans blow up
+	// locally (the NPRR separation, [9] in the paper).
+	UseWCOJ bool
+}
+
+// Result reports a HyperCube run.
+type Result struct {
+	Shares        []int
+	Exponents     []float64
+	Lambda        float64 // LP optimum: predicted load is p^λ bits
+	PredictedBits float64 // p^λ (only for LP-based share selection)
+	Output        []data.Tuple
+	Loads         mpc.LoadSummary
+}
+
+// Run executes the one-round HC algorithm for q over db on cfg.P simulated
+// servers and returns the answers plus the realized loads.
+func Run(q *query.Query, db *data.Database, cfg Config) Result {
+	if cfg.P < 1 {
+		panic("hypercube: P must be >= 1")
+	}
+	res := Result{}
+	bits := atomBits(q, db)
+	switch {
+	case cfg.Shares != nil:
+		res.Shares = append([]int(nil), cfg.Shares...)
+	case cfg.EqualShares:
+		res.Shares = EqualShares(q.NumVars(), cfg.P)
+	case cfg.Exponents != nil:
+		res.Exponents = append([]float64(nil), cfg.Exponents...)
+		res.Shares = RoundShares(res.Exponents, cfg.P, cfg.Strategy)
+	case cfg.UseAfratiUllman:
+		res.Exponents = AfratiUllmanExponents(q, bits, cfg.P)
+		res.Shares = RoundShares(res.Exponents, cfg.P, cfg.Strategy)
+	default:
+		e, lambda := OptimalExponents(q, bits, cfg.P)
+		res.Exponents = e
+		res.Lambda = lambda
+		res.PredictedBits = math.Pow(float64(cfg.P), lambda)
+		res.Shares = RoundShares(e, cfg.P, cfg.Strategy)
+	}
+	if got := product(res.Shares); got > cfg.P {
+		panic(fmt.Sprintf("hypercube: shares %v use %d > p = %d servers", res.Shares, got, cfg.P))
+	}
+
+	family := hashing.NewFamily(cfg.Seed)
+	router := NewRouter(q, res.Shares, family)
+	cluster := mpc.NewCluster(cfg.P)
+	if err := cluster.Round(db, router); err != nil {
+		// The share product was validated above, so HC routing cannot emit
+		// out-of-range destinations; any error is an internal bug.
+		panic(err)
+	}
+	if !cfg.SkipJoin {
+		local := func(s *mpc.Server) []data.Tuple {
+			return join.Join(q, s.Received)
+		}
+		if cfg.UseWCOJ {
+			local = func(s *mpc.Server) []data.Tuple {
+				return wcoj.Join(q, s.Received)
+			}
+		}
+		res.Output = cluster.Compute(local)
+	}
+	res.Loads = cluster.Loads().WithReplication(db.TotalBits())
+	return res
+}
+
+// atomBits returns M_j in bits for each atom of q, looked up in db.
+func atomBits(q *query.Query, db *data.Database) []float64 {
+	bits := make([]float64, q.NumAtoms())
+	for j, a := range q.Atoms {
+		r := db.Get(a.Name)
+		if r == nil {
+			panic("hypercube: database missing relation " + a.Name)
+		}
+		b := r.Bits()
+		if b <= 0 {
+			b = 1 // empty relations: keep logs finite; the join is empty anyway
+		}
+		bits[j] = float64(b)
+	}
+	return bits
+}

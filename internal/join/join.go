@@ -1,0 +1,236 @@
+// Package join evaluates full conjunctive queries over in-memory relation
+// instances. It provides the local computation that MPC servers run on
+// their received fragments (a hash-based multiway join) and an independent
+// nested-loop reference implementation used to verify every distributed
+// algorithm's output in tests.
+//
+// The MPC model gives servers unlimited computational power, so only
+// correctness matters here; the hash join keeps experiments tractable.
+package join
+
+import (
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/query"
+)
+
+// Join returns all answers of q over the given relations (keyed by atom
+// name). A missing or empty relation yields no answers. Input relations
+// must be duplicate-free; then the output is duplicate-free too.
+func Join(q *query.Query, rels map[string]*data.Relation) []data.Tuple {
+	return JoinLimit(q, rels, 0)
+}
+
+// JoinLimit is Join with a cap on intermediate and final result sizes:
+// whenever the binding set exceeds limit, it is truncated to the first
+// limit bindings, so the output is an arbitrary subset of the true
+// answers. limit ≤ 0 means unlimited. Lower-bound computations use this —
+// a bound summed over a subset of the support is still a valid lower
+// bound.
+func JoinLimit(q *query.Query, rels map[string]*data.Relation, limit int) []data.Tuple {
+	k := q.NumVars()
+	order := planOrder(q, rels)
+
+	// bindings holds partial assignments to the k query variables; bound
+	// tracks which variables are assigned (same for every binding at a
+	// given step).
+	bindings := []data.Tuple{make(data.Tuple, k)}
+	bound := make([]bool, k)
+
+	for _, j := range order {
+		atom := q.Atoms[j]
+		rel := rels[atom.Name]
+		if rel == nil || rel.Size() == 0 {
+			return nil
+		}
+		// Split atom variables into already-bound (join positions) and new.
+		var joinPos []int // positions within the atom
+		var joinVar []int // corresponding query variables
+		for pos, v := range atom.Vars {
+			if bound[v] {
+				joinPos = append(joinPos, pos)
+				joinVar = append(joinVar, v)
+			}
+		}
+		// Index the relation by the join positions.
+		index := make(map[string][]int, rel.Size())
+		key := make(data.Tuple, len(joinPos))
+		rel.Each(func(i int, t data.Tuple) bool {
+			for a, pos := range joinPos {
+				key[a] = t[pos]
+			}
+			ks := key.Key()
+			index[ks] = append(index[ks], i)
+			return true
+		})
+		var next []data.Tuple
+		probe := make(data.Tuple, len(joinVar))
+	extend:
+		for _, b := range bindings {
+			for a, v := range joinVar {
+				probe[a] = b[v]
+			}
+			for _, ti := range index[probe.Key()] {
+				t := rel.Tuple(ti)
+				nb := append(data.Tuple(nil), b...)
+				for pos, v := range atom.Vars {
+					nb[v] = t[pos]
+				}
+				next = append(next, nb)
+				if limit > 0 && len(next) >= limit {
+					break extend
+				}
+			}
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			return nil
+		}
+		for _, v := range atom.Vars {
+			bound[v] = true
+		}
+	}
+	return bindings
+}
+
+// planOrder returns a greedy atom order: start from the smallest relation,
+// then repeatedly take the atom sharing the most variables with the bound
+// set (ties to the smaller relation). Connected queries thus avoid
+// intermediate cartesian blowups where possible.
+func planOrder(q *query.Query, rels map[string]*data.Relation) []int {
+	l := q.NumAtoms()
+	size := func(j int) int {
+		if r := rels[q.Atoms[j].Name]; r != nil {
+			return r.Size()
+		}
+		return 0
+	}
+	used := make([]bool, l)
+	bound := make(map[int]bool)
+	var order []int
+	for len(order) < l {
+		best, bestShared, bestSize := -1, -1, 0
+		for j := 0; j < l; j++ {
+			if used[j] {
+				continue
+			}
+			shared := 0
+			for _, v := range q.Atoms[j].Vars {
+				if bound[v] {
+					shared++
+				}
+			}
+			if best == -1 || shared > bestShared ||
+				(shared == bestShared && size(j) < bestSize) {
+				best, bestShared, bestSize = j, shared, size(j)
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range q.Atoms[best].Vars {
+			bound[v] = true
+		}
+	}
+	return order
+}
+
+// NestedLoop is an independent reference join: plain backtracking over
+// atoms with no indexing. Exponential in the worst case — use on small
+// inputs (tests) only.
+func NestedLoop(q *query.Query, rels map[string]*data.Relation) []data.Tuple {
+	k := q.NumVars()
+	assignment := make(data.Tuple, k)
+	bound := make([]bool, k)
+	var out []data.Tuple
+
+	var rec func(ai int)
+	rec = func(ai int) {
+		if ai == q.NumAtoms() {
+			out = append(out, append(data.Tuple(nil), assignment...))
+			return
+		}
+		atom := q.Atoms[ai]
+		rel := rels[atom.Name]
+		if rel == nil {
+			return
+		}
+		rel.Each(func(_ int, t data.Tuple) bool {
+			var newly []int
+			ok := true
+			for pos, v := range atom.Vars {
+				if bound[v] {
+					if assignment[v] != t[pos] {
+						ok = false
+						break
+					}
+				} else {
+					bound[v] = true
+					assignment[v] = t[pos]
+					newly = append(newly, v)
+				}
+			}
+			if ok {
+				rec(ai + 1)
+			}
+			for _, v := range newly {
+				bound[v] = false
+			}
+			return true
+		})
+	}
+	rec(0)
+	return out
+}
+
+// FromDatabase adapts a Database to the map form Join expects.
+func FromDatabase(db *data.Database) map[string]*data.Relation {
+	return db.Relations
+}
+
+// SortTuples orders tuples lexicographically in place and returns them.
+func SortTuples(ts []data.Tuple) []data.Tuple {
+	sort.Slice(ts, func(a, b int) bool {
+		ta, tb := ts[a], ts[b]
+		for i := range ta {
+			if ta[i] != tb[i] {
+				return ta[i] < tb[i]
+			}
+		}
+		return false
+	})
+	return ts
+}
+
+// EqualTupleSets reports whether two tuple collections are equal as
+// multisets.
+func EqualTupleSets(a, b []data.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[string]int, len(a))
+	for _, t := range a {
+		counts[t.Key()]++
+	}
+	for _, t := range b {
+		counts[t.Key()]--
+		if counts[t.Key()] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Dedup removes duplicate tuples, preserving first occurrence order.
+func Dedup(ts []data.Tuple) []data.Tuple {
+	seen := make(map[string]bool, len(ts))
+	out := ts[:0]
+	for _, t := range ts {
+		k := t.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func relOf(name string, arity int, domain int64, rows ...[]int64) *data.Relation {
+	r := data.NewRelation(name, arity, domain)
+	for _, row := range rows {
+		r.Add(row...)
+	}
+	return r
+}
+
+func TestJoinTwoRelations(t *testing.T) {
+	// q(x,y,z) = S1(x,z), S2(y,z)
+	q := query.Join2()
+	rels := map[string]*data.Relation{
+		"S1": relOf("S1", 2, 10, []int64{1, 5}, []int64{2, 6}),
+		"S2": relOf("S2", 2, 10, []int64{3, 5}, []int64{4, 5}, []int64{7, 9}),
+	}
+	out := SortTuples(Join(q, rels))
+	// z=5 joins (1) with (3),(4): outputs (1,3,5),(1,4,5).
+	want := []data.Tuple{{1, 3, 5}, {1, 4, 5}}
+	if !EqualTupleSets(out, want) {
+		t.Errorf("Join = %v, want %v", out, want)
+	}
+}
+
+func TestJoinTriangle(t *testing.T) {
+	q := query.Triangle()
+	// Edges forming triangle (1,2,3) plus noise.
+	rels := map[string]*data.Relation{
+		"S1": relOf("S1", 2, 10, []int64{1, 2}, []int64{4, 5}),
+		"S2": relOf("S2", 2, 10, []int64{2, 3}, []int64{5, 6}),
+		"S3": relOf("S3", 2, 10, []int64{3, 1}, []int64{6, 7}),
+	}
+	out := Join(q, rels)
+	want := []data.Tuple{{1, 2, 3}}
+	if !EqualTupleSets(out, want) {
+		t.Errorf("Join = %v, want %v", out, want)
+	}
+}
+
+func TestJoinCartesian(t *testing.T) {
+	q := query.Cartesian(2)
+	rels := map[string]*data.Relation{
+		"S1": relOf("S1", 1, 10, []int64{1}, []int64{2}),
+		"S2": relOf("S2", 1, 10, []int64{8}, []int64{9}),
+	}
+	out := Join(q, rels)
+	if len(out) != 4 {
+		t.Errorf("cartesian size = %d, want 4", len(out))
+	}
+}
+
+func TestJoinEmptyRelation(t *testing.T) {
+	q := query.Join2()
+	rels := map[string]*data.Relation{
+		"S1": relOf("S1", 2, 10, []int64{1, 5}),
+		"S2": relOf("S2", 2, 10),
+	}
+	if out := Join(q, rels); len(out) != 0 {
+		t.Errorf("Join with empty relation = %v", out)
+	}
+}
+
+func TestJoinMissingRelation(t *testing.T) {
+	q := query.Join2()
+	rels := map[string]*data.Relation{
+		"S1": relOf("S1", 2, 10, []int64{1, 5}),
+	}
+	if out := Join(q, rels); len(out) != 0 {
+		t.Errorf("Join with missing relation = %v", out)
+	}
+	if out := NestedLoop(q, rels); len(out) != 0 {
+		t.Errorf("NestedLoop with missing relation = %v", out)
+	}
+}
+
+func TestJoinNoMatches(t *testing.T) {
+	q := query.Join2()
+	rels := map[string]*data.Relation{
+		"S1": relOf("S1", 2, 10, []int64{1, 5}),
+		"S2": relOf("S2", 2, 10, []int64{2, 6}),
+	}
+	if out := Join(q, rels); len(out) != 0 {
+		t.Errorf("Join = %v, want empty", out)
+	}
+}
+
+func TestJoinSingleAtomIdentity(t *testing.T) {
+	q := query.MustParse("q(x,y) = R(x,y)")
+	r := relOf("R", 2, 10, []int64{1, 2}, []int64{3, 4})
+	out := SortTuples(Join(q, map[string]*data.Relation{"R": r}))
+	want := []data.Tuple{{1, 2}, {3, 4}}
+	if !EqualTupleSets(out, want) {
+		t.Errorf("Join = %v", out)
+	}
+}
+
+func TestJoinAgainstNestedLoopRandom(t *testing.T) {
+	queries := []*query.Query{
+		query.Join2(), query.Triangle(), query.Path(3), query.Star(2), query.Cycle(4), query.Cartesian(2),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, q := range queries {
+		for trial := 0; trial < 5; trial++ {
+			rels := make(map[string]*data.Relation)
+			for _, a := range q.Atoms {
+				// Small domain to force collisions and matches.
+				r := data.NewRelation(a.Name, a.Arity(), 6)
+				seen := make(map[string]bool)
+				for i := 0; i < 12; i++ {
+					tu := make(data.Tuple, a.Arity())
+					for j := range tu {
+						tu[j] = int64(rng.Intn(6))
+					}
+					if !seen[tu.Key()] {
+						seen[tu.Key()] = true
+						r.Add(tu...)
+					}
+				}
+				rels[a.Name] = r
+			}
+			fast := Join(q, rels)
+			slow := NestedLoop(q, rels)
+			if !EqualTupleSets(fast, slow) {
+				t.Errorf("%s trial %d: hash join and nested loop disagree (%d vs %d tuples)",
+					q.Name, trial, len(fast), len(slow))
+			}
+		}
+	}
+}
+
+func TestJoinProducesNoDuplicates(t *testing.T) {
+	q := query.Triangle()
+	db := workload.ForQuery([]workload.AtomSpec{
+		{Name: "S1", Arity: 2, M: 200, Domain: 20},
+		{Name: "S2", Arity: 2, M: 180, Domain: 20},
+		{Name: "S3", Arity: 2, M: 150, Domain: 20},
+	}, 3)
+	out := Join(q, FromDatabase(db))
+	if len(Dedup(append([]data.Tuple(nil), out...))) != len(out) {
+		t.Error("Join produced duplicate outputs on duplicate-free input")
+	}
+}
+
+func TestPlanOrderStartsConnected(t *testing.T) {
+	// For a path query, the plan should never insert a cross product: each
+	// subsequent atom must share a variable with the bound set.
+	q := query.Path(4)
+	rels := make(map[string]*data.Relation)
+	for _, a := range q.Atoms {
+		rels[a.Name] = relOf(a.Name, 2, 10, []int64{1, 2})
+	}
+	order := planOrder(q, rels)
+	bound := map[int]bool{}
+	for step, j := range order {
+		if step > 0 {
+			shared := false
+			for _, v := range q.Atoms[j].Vars {
+				if bound[v] {
+					shared = true
+				}
+			}
+			if !shared {
+				t.Errorf("step %d atom %d shares no variable with prefix", step, j)
+			}
+		}
+		for _, v := range q.Atoms[j].Vars {
+			bound[v] = true
+		}
+	}
+}
+
+func TestJoinLimitTruncates(t *testing.T) {
+	// Cartesian 10×10 = 100 answers; limit 7 returns exactly 7 of them.
+	q := query.Cartesian(2)
+	r1 := data.NewRelation("S1", 1, 100)
+	r2 := data.NewRelation("S2", 1, 100)
+	for i := int64(0); i < 10; i++ {
+		r1.Add(i)
+		r2.Add(i + 50)
+	}
+	rels := map[string]*data.Relation{"S1": r1, "S2": r2}
+	got := JoinLimit(q, rels, 7)
+	if len(got) != 7 {
+		t.Fatalf("JoinLimit = %d tuples, want 7", len(got))
+	}
+	// Every returned tuple must be a genuine answer.
+	full := Join(q, rels)
+	set := map[string]bool{}
+	for _, tu := range full {
+		set[tu.Key()] = true
+	}
+	for _, tu := range got {
+		if !set[tu.Key()] {
+			t.Errorf("JoinLimit fabricated tuple %v", tu)
+		}
+	}
+}
+
+func TestJoinLimitZeroMeansUnlimited(t *testing.T) {
+	q := query.Cartesian(2)
+	r1 := data.NewRelation("S1", 1, 100)
+	r2 := data.NewRelation("S2", 1, 100)
+	for i := int64(0); i < 5; i++ {
+		r1.Add(i)
+		r2.Add(i)
+	}
+	rels := map[string]*data.Relation{"S1": r1, "S2": r2}
+	if got := JoinLimit(q, rels, 0); len(got) != 25 {
+		t.Errorf("unlimited JoinLimit = %d, want 25", len(got))
+	}
+}
+
+func TestSortTuples(t *testing.T) {
+	ts := []data.Tuple{{2, 1}, {1, 9}, {1, 2}}
+	SortTuples(ts)
+	if ts[0].Key() != "1,2" || ts[1].Key() != "1,9" || ts[2].Key() != "2,1" {
+		t.Errorf("SortTuples = %v", ts)
+	}
+}
+
+func TestEqualTupleSets(t *testing.T) {
+	a := []data.Tuple{{1, 2}, {3, 4}}
+	b := []data.Tuple{{3, 4}, {1, 2}}
+	if !EqualTupleSets(a, b) {
+		t.Error("order should not matter")
+	}
+	if EqualTupleSets(a, a[:1]) {
+		t.Error("length mismatch accepted")
+	}
+	c := []data.Tuple{{1, 2}, {1, 2}}
+	if EqualTupleSets(a, c) {
+		t.Error("multiset counts must match")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	ts := []data.Tuple{{1}, {2}, {1}, {3}, {2}}
+	got := Dedup(ts)
+	if len(got) != 3 || got[0][0] != 1 || got[1][0] != 2 || got[2][0] != 3 {
+		t.Errorf("Dedup = %v", got)
+	}
+}
+
+// Property: joining a relation with itself's copy under a two-atom chain
+// yields exactly the composable pairs.
+func TestJoinChainCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := query.Path(2) // S1(x1,x2), S2(x2,x3)
+		r1 := data.NewRelation("S1", 2, 5)
+		r2 := data.NewRelation("S2", 2, 5)
+		seen1 := map[string]bool{}
+		seen2 := map[string]bool{}
+		for i := 0; i < 10; i++ {
+			t1 := data.Tuple{int64(rng.Intn(5)), int64(rng.Intn(5))}
+			if !seen1[t1.Key()] {
+				seen1[t1.Key()] = true
+				r1.Add(t1...)
+			}
+			t2 := data.Tuple{int64(rng.Intn(5)), int64(rng.Intn(5))}
+			if !seen2[t2.Key()] {
+				seen2[t2.Key()] = true
+				r2.Add(t2...)
+			}
+		}
+		rels := map[string]*data.Relation{"S1": r1, "S2": r2}
+		// Count matches directly.
+		want := 0
+		r1.Each(func(_ int, a data.Tuple) bool {
+			r2.Each(func(_ int, b data.Tuple) bool {
+				if a[1] == b[0] {
+					want++
+				}
+				return true
+			})
+			return true
+		})
+		return len(Join(q, rels)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,361 @@
+// Package lp implements an exact linear-programming solver over
+// arbitrary-precision rationals, plus vertex enumeration for small polytopes.
+//
+// The solver is a classic dense two-phase primal simplex with Bland's rule,
+// which terminates on every input because all arithmetic is exact (no
+// epsilon tolerances, no cycling under Bland's rule). Problems in this
+// repository are tiny — the share-exponent LP (5) of Beame–Koutris–Suciu has
+// k+1 variables and ℓ+1 constraints — so a dense rational tableau is both
+// simple and fast enough.
+package lp
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/rational"
+)
+
+// Rel is the comparison direction of a constraint row.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // Coeffs·x ≤ RHS
+	GE            // Coeffs·x ≥ RHS
+	EQ            // Coeffs·x = RHS
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Constraint is one linear constraint over the problem's variables.
+type Constraint struct {
+	Coeffs rational.Vector
+	Rel    Rel
+	RHS    *big.Rat
+}
+
+// Problem is a linear program over n variables, all implicitly constrained
+// to be ≥ 0. Set Maximize to maximize the objective instead of minimizing.
+type Problem struct {
+	NumVars     int
+	Objective   rational.Vector
+	Constraints []Constraint
+	Maximize    bool
+}
+
+// NewProblem returns an empty minimization problem with n variables.
+func NewProblem(n int) *Problem {
+	return &Problem{NumVars: n, Objective: rational.NewVector(n)}
+}
+
+// AddConstraint appends a constraint; coeffs must have length NumVars.
+func (p *Problem) AddConstraint(coeffs rational.Vector, rel Rel, rhs *big.Rat) {
+	if len(coeffs) != p.NumVars {
+		panic(fmt.Sprintf("lp: constraint arity %d, want %d", len(coeffs), p.NumVars))
+	}
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs.Clone(), Rel: rel, RHS: rational.Clone(rhs)})
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	X         rational.Vector // values of the original variables
+	Objective *big.Rat        // objective value at X (in the problem's sense)
+}
+
+// tableau is the standard-form simplex state: minimize cost·x subject to
+// a·x = b, x ≥ 0, with b ≥ 0 maintained as an invariant.
+type tableau struct {
+	m, n     int // rows, columns (excluding RHS)
+	a        []rational.Vector
+	b        rational.Vector
+	cost     rational.Vector
+	basis    []int    // basis[i] = column basic in row i
+	costRHSv *big.Rat // running objective value cB·xB
+}
+
+// Solve runs two-phase simplex and returns the solution.
+func (p *Problem) Solve() Solution {
+	// Standard form: one slack/surplus column per inequality; artificial
+	// variables added in phase 1 where no identity column exists.
+	m := len(p.Constraints)
+	nSlack := 0
+	for _, c := range p.Constraints {
+		if c.Rel != EQ {
+			nSlack++
+		}
+	}
+	n := p.NumVars + nSlack
+	t := &tableau{m: m, n: n}
+	t.a = make([]rational.Vector, m)
+	t.b = rational.NewVector(m)
+	t.basis = make([]int, m)
+
+	slackCol := p.NumVars
+	slackOf := make([]int, m) // slack column of row i, or -1
+	for i, c := range p.Constraints {
+		row := rational.NewVector(n)
+		for j := 0; j < p.NumVars; j++ {
+			row[j].Set(c.Coeffs[j])
+		}
+		slackOf[i] = -1
+		switch c.Rel {
+		case LE:
+			row[slackCol].SetInt64(1)
+			slackOf[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol].SetInt64(-1)
+			slackOf[i] = slackCol
+			slackCol++
+		}
+		t.a[i] = row
+		t.b[i].Set(c.RHS)
+		// Normalize to b ≥ 0.
+		if t.b[i].Sign() < 0 {
+			neg := big.NewRat(-1, 1)
+			for j := range row {
+				row[j].Mul(row[j], neg)
+			}
+			t.b[i].Mul(t.b[i], neg)
+		}
+	}
+
+	// Phase 1: find rows that need artificials. A slack column serves as the
+	// initial basis only if its coefficient is +1 after normalization.
+	needArt := make([]bool, m)
+	one := rational.One()
+	for i := 0; i < m; i++ {
+		if s := slackOf[i]; s >= 0 && t.a[i][s].Cmp(one) == 0 {
+			t.basis[i] = s
+		} else {
+			needArt[i] = true
+		}
+	}
+	nArt := 0
+	for _, need := range needArt {
+		if need {
+			nArt++
+		}
+	}
+	if nArt > 0 {
+		art := n
+		t.n = n + nArt
+		for i := 0; i < m; i++ {
+			t.a[i] = append(t.a[i], rational.NewVector(nArt)...)
+			if needArt[i] {
+				t.a[i][art].SetInt64(1)
+				t.basis[i] = art
+				art++
+			}
+		}
+		// Phase-1 cost: sum of artificials.
+		t.cost = rational.NewVector(t.n)
+		for j := n; j < t.n; j++ {
+			t.cost[j].SetInt64(1)
+		}
+		t.priceOut()
+		if !t.pivotLoop() {
+			// Phase-1 objective is bounded below by 0, so this cannot occur.
+			panic("lp: phase 1 unbounded")
+		}
+		if t.objective().Sign() != 0 {
+			return Solution{Status: Infeasible}
+		}
+		// Drive artificials out of the basis; drop redundant rows.
+		t.evictArtificials(n)
+		// Truncate artificial columns.
+		t.n = n
+		for i := range t.a {
+			t.a[i] = t.a[i][:n]
+		}
+	}
+
+	// Phase 2.
+	t.cost = rational.NewVector(t.n)
+	for j := 0; j < p.NumVars; j++ {
+		if p.Maximize {
+			t.cost[j].Neg(p.Objective[j])
+		} else {
+			t.cost[j].Set(p.Objective[j])
+		}
+	}
+	t.priceOut()
+	if !t.pivotLoop() {
+		return Solution{Status: Unbounded}
+	}
+
+	x := rational.NewVector(p.NumVars)
+	for i, bj := range t.basis {
+		if bj < p.NumVars {
+			x[bj].Set(t.b[i])
+		}
+	}
+	obj := p.Objective.Dot(x)
+	return Solution{Status: Optimal, X: x, Objective: obj}
+}
+
+// priceOut rewrites the cost row into reduced-cost form for the current
+// basis: cost ← cost − Σ_i cost[basis[i]]·row_i, tracking the running
+// objective in costRHS.
+func (t *tableau) priceOut() {
+	t.costRHSv = rational.Zero()
+	tmp := new(big.Rat)
+	for i, bj := range t.basis {
+		cb := rational.Clone(t.cost[bj])
+		if rational.IsZero(cb) {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			tmp.Mul(cb, t.a[i][j])
+			t.cost[j].Sub(t.cost[j], tmp)
+		}
+		tmp.Mul(cb, t.b[i])
+		t.costRHSv.Add(t.costRHSv, tmp)
+	}
+}
+
+func (t *tableau) objective() *big.Rat { return t.costRHSv }
+
+// pivotLoop runs Bland's-rule pivots until optimality. It returns false if
+// the problem is unbounded.
+func (t *tableau) pivotLoop() bool {
+	for {
+		// Entering column: smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			if t.cost[j].Sign() < 0 {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return true
+		}
+		// Leaving row: min ratio b_i / a_ij over a_ij > 0; ties broken by
+		// smallest basis index (Bland).
+		leave := -1
+		var best *big.Rat
+		ratio := new(big.Rat)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter].Sign() <= 0 {
+				continue
+			}
+			ratio.Quo(t.b[i], t.a[i][enter])
+			if leave == -1 || ratio.Cmp(best) < 0 ||
+				(ratio.Cmp(best) == 0 && t.basis[i] < t.basis[leave]) {
+				leave = i
+				best = rational.Clone(ratio)
+			}
+		}
+		if leave == -1 {
+			return false // unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	inv := new(big.Rat).Inv(t.a[leave][enter])
+	row := t.a[leave]
+	for j := 0; j < t.n; j++ {
+		row[j].Mul(row[j], inv)
+	}
+	t.b[leave].Mul(t.b[leave], inv)
+	tmp := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		if i == leave || rational.IsZero(t.a[i][enter]) {
+			continue
+		}
+		f := rational.Clone(t.a[i][enter])
+		for j := 0; j < t.n; j++ {
+			tmp.Mul(f, row[j])
+			t.a[i][j].Sub(t.a[i][j], tmp)
+		}
+		tmp.Mul(f, t.b[leave])
+		t.b[i].Sub(t.b[i], tmp)
+	}
+	if !rational.IsZero(t.cost[enter]) {
+		f := rational.Clone(t.cost[enter])
+		for j := 0; j < t.n; j++ {
+			tmp.Mul(f, row[j])
+			t.cost[j].Sub(t.cost[j], tmp)
+		}
+		// Objective moves by (reduced cost of enter)·θ, where θ is the
+		// post-normalization b[leave].
+		tmp.Mul(f, t.b[leave])
+		t.costRHSv.Add(t.costRHSv, tmp)
+	}
+	t.basis[leave] = enter
+}
+
+// evictArtificials pivots basic artificial variables (columns ≥ nReal) out
+// of the basis where possible; rows where no real pivot exists are redundant
+// (all-zero over the real columns with b_i = 0 at the phase-1 optimum) and
+// are deleted from the tableau.
+func (t *tableau) evictArtificials(nReal int) {
+	keep := make([]int, 0, t.m)
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < nReal {
+			keep = append(keep, i)
+			continue
+		}
+		pivotCol := -1
+		for j := 0; j < nReal; j++ {
+			if !rational.IsZero(t.a[i][j]) {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol >= 0 {
+			t.pivot(i, pivotCol)
+			keep = append(keep, i)
+		}
+		// else: redundant row, dropped below.
+	}
+	if len(keep) != t.m {
+		a := make([]rational.Vector, 0, len(keep))
+		b := make(rational.Vector, 0, len(keep))
+		basis := make([]int, 0, len(keep))
+		for _, i := range keep {
+			a = append(a, t.a[i])
+			b = append(b, t.b[i])
+			basis = append(basis, t.basis[i])
+		}
+		t.a, t.b, t.basis, t.m = a, b, basis, len(keep)
+	}
+}

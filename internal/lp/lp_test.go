@@ -1,0 +1,295 @@
+package lp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rational"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func TestSolveSimpleMin(t *testing.T) {
+	// minimize x + y s.t. x + y >= 2, x >= 0, y >= 0 -> optimum 2.
+	p := NewProblem(2)
+	p.Objective = rational.VectorFromInts(1, 1)
+	p.AddConstraint(rational.VectorFromInts(1, 1), GE, rat(2, 1))
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if s.Objective.Cmp(rat(2, 1)) != 0 {
+		t.Errorf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestSolveSimpleMax(t *testing.T) {
+	// maximize 3x + 2y s.t. x + y <= 4, x <= 2 -> x=2, y=2, obj=10.
+	p := NewProblem(2)
+	p.Objective = rational.VectorFromInts(3, 2)
+	p.Maximize = true
+	p.AddConstraint(rational.VectorFromInts(1, 1), LE, rat(4, 1))
+	p.AddConstraint(rational.VectorFromInts(1, 0), LE, rat(2, 1))
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if s.Objective.Cmp(rat(10, 1)) != 0 {
+		t.Errorf("objective = %v, want 10", s.Objective)
+	}
+	if s.X[0].Cmp(rat(2, 1)) != 0 || s.X[1].Cmp(rat(2, 1)) != 0 {
+		t.Errorf("X = %v, want (2,2)", s.X)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// minimize x + 2y s.t. x + y = 3, x <= 1 -> x=1, y=2, obj=5.
+	p := NewProblem(2)
+	p.Objective = rational.VectorFromInts(1, 2)
+	p.AddConstraint(rational.VectorFromInts(1, 1), EQ, rat(3, 1))
+	p.AddConstraint(rational.VectorFromInts(1, 0), LE, rat(1, 1))
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if s.Objective.Cmp(rat(5, 1)) != 0 {
+		t.Errorf("objective = %v, want 5", s.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x >= 2 and x <= 1 is infeasible.
+	p := NewProblem(1)
+	p.Objective = rational.VectorFromInts(1)
+	p.AddConstraint(rational.VectorFromInts(1), GE, rat(2, 1))
+	p.AddConstraint(rational.VectorFromInts(1), LE, rat(1, 1))
+	if s := p.Solve(); s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// maximize x with no upper bound.
+	p := NewProblem(1)
+	p.Objective = rational.VectorFromInts(1)
+	p.Maximize = true
+	p.AddConstraint(rational.VectorFromInts(1), GE, rat(0, 1))
+	if s := p.Solve(); s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestSolveMinimizationUnboundedBelowViaNegativeDirection(t *testing.T) {
+	// minimize x - y s.t. x <= 1: y can grow without bound -> unbounded.
+	p := NewProblem(2)
+	p.Objective = rational.VectorFromInts(1, -1)
+	p.AddConstraint(rational.VectorFromInts(1, 0), LE, rat(1, 1))
+	if s := p.Solve(); s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestSolveNegativeRHSNormalization(t *testing.T) {
+	// -x <= -3 means x >= 3; minimize x -> 3.
+	p := NewProblem(1)
+	p.Objective = rational.VectorFromInts(1)
+	p.AddConstraint(rational.VectorFromInts(-1), LE, rat(-3, 1))
+	s := p.Solve()
+	if s.Status != Optimal || s.Objective.Cmp(rat(3, 1)) != 0 {
+		t.Errorf("got %v obj=%v, want optimal 3", s.Status, s.Objective)
+	}
+}
+
+func TestSolveDegenerateNoCycle(t *testing.T) {
+	// A classically degenerate LP; Bland's rule must terminate.
+	// minimize -3/4 x1 + 150 x2 - 1/50 x3 + 6 x4 (Beale's example)
+	p := NewProblem(4)
+	p.Objective = rational.Vector{rat(-3, 4), rat(150, 1), rat(-1, 50), rat(6, 1)}
+	p.AddConstraint(rational.Vector{rat(1, 4), rat(-60, 1), rat(-1, 25), rat(9, 1)}, LE, rat(0, 1))
+	p.AddConstraint(rational.Vector{rat(1, 2), rat(-90, 1), rat(-1, 50), rat(3, 1)}, LE, rat(0, 1))
+	p.AddConstraint(rational.Vector{rat(0, 1), rat(0, 1), rat(1, 1), rat(0, 1)}, LE, rat(1, 1))
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if s.Objective.Cmp(rat(-1, 20)) != 0 {
+		t.Errorf("objective = %v, want -1/20", s.Objective)
+	}
+}
+
+func TestSolveRedundantEqualities(t *testing.T) {
+	// x + y = 2 stated twice; phase 1 must drop the redundant row.
+	p := NewProblem(2)
+	p.Objective = rational.VectorFromInts(1, 0)
+	p.AddConstraint(rational.VectorFromInts(1, 1), EQ, rat(2, 1))
+	p.AddConstraint(rational.VectorFromInts(1, 1), EQ, rat(2, 1))
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if s.Objective.Sign() != 0 {
+		t.Errorf("objective = %v, want 0 (x can be 0)", s.Objective)
+	}
+}
+
+// The share-exponent LP (5) from the paper for the triangle query with equal
+// cardinalities: minimize λ s.t. e1+e2+e3 <= 1, λ + e_i + e_j >= μ for each
+// edge. With μ = 1 the optimum is λ = 1/3 at e = (1/3,1/3,1/3).
+func TestSolveTriangleShareLP(t *testing.T) {
+	p := NewProblem(4) // e1,e2,e3,λ
+	p.Objective = rational.VectorFromInts(0, 0, 0, 1)
+	p.AddConstraint(rational.VectorFromInts(1, 1, 1, 0), LE, rat(1, 1))
+	mu := rat(1, 1)
+	p.AddConstraint(rational.VectorFromInts(1, 1, 0, 1), GE, mu)
+	p.AddConstraint(rational.VectorFromInts(0, 1, 1, 1), GE, mu)
+	p.AddConstraint(rational.VectorFromInts(1, 0, 1, 1), GE, mu)
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if s.Objective.Cmp(rat(1, 3)) != 0 {
+		t.Errorf("λ = %v, want 1/3", s.Objective)
+	}
+}
+
+func TestAddConstraintArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p := NewProblem(2)
+	p.AddConstraint(rational.VectorFromInts(1), LE, rat(1, 1))
+}
+
+func TestStatusAndRelStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("Status strings wrong")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Rel strings wrong")
+	}
+	if Status(99).String() != "unknown" || Rel(99).String() != "?" {
+		t.Error("fallback strings wrong")
+	}
+}
+
+func TestEnumerateVerticesUnitSquare(t *testing.T) {
+	// x <= 1, y <= 1, x,y >= 0: vertices are the 4 corners.
+	a := rational.MatrixFromRows(rational.VectorFromInts(1, 0), rational.VectorFromInts(0, 1))
+	b := rational.VectorFromInts(1, 1)
+	vs := EnumerateVertices(a, b)
+	if len(vs) != 4 {
+		t.Fatalf("got %d vertices, want 4: %v", len(vs), vs)
+	}
+}
+
+func TestEnumerateVerticesSimplex(t *testing.T) {
+	// x + y + z <= 1: vertices are origin and 3 unit points.
+	a := rational.MatrixFromRows(rational.VectorFromInts(1, 1, 1))
+	b := rational.VectorFromInts(1)
+	vs := EnumerateVertices(a, b)
+	if len(vs) != 4 {
+		t.Fatalf("got %d vertices, want 4: %v", len(vs), vs)
+	}
+}
+
+func TestEnumerateVerticesTrianglePacking(t *testing.T) {
+	// Packing polytope of C3: u1+u2<=1, u2+u3<=1, u1+u3<=1, u>=0.
+	// Vertices: 0, three unit vectors, three (1,0,... pairs?) Let's check:
+	// known vertex set: (0,0,0),(1,0,0),(0,1,0),(0,0,1),(1/2,1/2,1/2).
+	a := rational.MatrixFromRows(
+		rational.VectorFromInts(1, 1, 0),
+		rational.VectorFromInts(0, 1, 1),
+		rational.VectorFromInts(1, 0, 1),
+	)
+	b := rational.VectorFromInts(1, 1, 1)
+	vs := EnumerateVertices(a, b)
+	if len(vs) != 5 {
+		t.Fatalf("got %d vertices, want 5: %v", len(vs), vs)
+	}
+	half := rational.Vector{rat(1, 2), rat(1, 2), rat(1, 2)}
+	found := false
+	for _, v := range vs {
+		if v.Equal(half) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing (1/2,1/2,1/2) vertex in %v", vs)
+	}
+}
+
+func TestMaximizeOverVertices(t *testing.T) {
+	vs := []rational.Vector{
+		rational.VectorFromInts(0, 0),
+		rational.VectorFromInts(1, 0),
+		rational.VectorFromInts(0, 1),
+	}
+	v, val := MaximizeOverVertices(vs, rational.VectorFromInts(2, 3))
+	if val.Cmp(rat(3, 1)) != 0 || !v.Equal(rational.VectorFromInts(0, 1)) {
+		t.Errorf("got %v val=%v", v, val)
+	}
+}
+
+// Property: for random small LPs, the simplex optimum (when optimal) is at
+// least as good as every vertex enumerated from the same constraint set.
+func TestSimplexMatchesVertexEnumerationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		m := 1 + r.Intn(3)
+		a := rational.NewMatrix(m, n)
+		b := rational.NewVector(m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.SetInt(i, j, int64(r.Intn(3))) // nonneg rows keep it bounded-ish
+			}
+			b[i].SetInt64(int64(1 + r.Intn(5)))
+		}
+		obj := rational.NewVector(n)
+		for j := 0; j < n; j++ {
+			obj[j].SetInt64(int64(r.Intn(5)))
+		}
+		// Ensure boundedness: add sum x_i <= 10.
+		p := NewProblem(n)
+		p.Objective = obj
+		p.Maximize = true
+		for i := 0; i < m; i++ {
+			p.AddConstraint(a.Row(i), LE, b[i])
+		}
+		ones := rational.NewVector(n)
+		for j := range ones {
+			ones[j].SetInt64(1)
+		}
+		p.AddConstraint(ones, LE, rat(10, 1))
+
+		full := rational.NewMatrix(m+1, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				full.Set(i, j, a.At(i, j))
+			}
+		}
+		for j := 0; j < n; j++ {
+			full.SetInt(m, j, 1)
+		}
+		fb := append(b.Clone(), rat(10, 1))
+
+		s := p.Solve()
+		if s.Status != Optimal {
+			return true
+		}
+		vs := EnumerateVertices(full, fb)
+		for _, v := range vs {
+			if obj.Dot(v).Cmp(s.Objective) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package lp
+
+import (
+	"math/big"
+	"sort"
+
+	"repro/internal/rational"
+)
+
+// EnumerateVertices returns all vertices of the polytope
+//
+//	{ x ∈ R^n : A·x ≤ b, x ≥ 0 }
+//
+// by the textbook method: a vertex is a feasible point at which n linearly
+// independent constraints hold with equality, so we enumerate all n-subsets
+// of the m+n constraints (the m rows of A plus the n axis constraints
+// x_i ≥ 0), solve the resulting square system exactly, and keep feasible,
+// deduplicated solutions. This is exponential in n but the packing polytopes
+// of conjunctive queries have n = ℓ atoms, which is tiny.
+//
+// The polytope must be bounded in the directions explored; unbounded
+// polytopes simply yield their vertex set (rays are not reported).
+func EnumerateVertices(a *rational.Matrix, b rational.Vector) []rational.Vector {
+	m, n := a.Rows, a.Cols
+	if len(b) != m {
+		panic("lp: EnumerateVertices shape mismatch")
+	}
+	total := m + n // constraint indices: 0..m-1 rows of A, m..m+n-1 axes
+	var out []rational.Vector
+	seen := make(map[string]bool)
+
+	idx := make([]int, n)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == n {
+			v, ok := solveTight(a, b, idx)
+			if !ok || !feasible(a, b, v) {
+				return
+			}
+			key := v.String()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, v)
+			}
+			return
+		}
+		for c := start; c < total; c++ {
+			idx[depth] = c
+			rec(c+1, depth+1)
+		}
+	}
+	rec(0, 0)
+
+	sort.Slice(out, func(i, j int) bool { return lexLess(out[i], out[j]) })
+	return out
+}
+
+// solveTight solves the n×n system formed by making the chosen constraints
+// tight. Constraint index c < a.Rows selects row c of A·x = b_c; index
+// c ≥ a.Rows selects x_{c-a.Rows} = 0.
+func solveTight(a *rational.Matrix, b rational.Vector, chosen []int) (rational.Vector, bool) {
+	n := a.Cols
+	sys := rational.NewMatrix(n, n)
+	rhs := rational.NewVector(n)
+	for r, c := range chosen {
+		if c < a.Rows {
+			for j := 0; j < n; j++ {
+				sys.Set(r, j, a.At(c, j))
+			}
+			rhs[r].Set(b[c])
+		} else {
+			sys.SetInt(r, c-a.Rows, 1)
+			// rhs stays 0
+		}
+	}
+	return rational.Solve(sys, rhs)
+}
+
+// feasible reports whether v satisfies A·v ≤ b and v ≥ 0.
+func feasible(a *rational.Matrix, b rational.Vector, v rational.Vector) bool {
+	for _, x := range v {
+		if x.Sign() < 0 {
+			return false
+		}
+	}
+	lhs := a.MulVec(v)
+	for i := range lhs {
+		if lhs[i].Cmp(b[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func lexLess(a, b rational.Vector) bool {
+	for i := range a {
+		if c := a[i].Cmp(b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// MaximizeOverVertices returns the vertex maximizing the linear functional
+// obj (and the attained value), among the given vertices. It panics if the
+// vertex list is empty.
+func MaximizeOverVertices(vertices []rational.Vector, obj rational.Vector) (rational.Vector, *big.Rat) {
+	if len(vertices) == 0 {
+		panic("lp: no vertices")
+	}
+	best := vertices[0]
+	bestVal := obj.Dot(best)
+	for _, v := range vertices[1:] {
+		if val := obj.Dot(v); val.Cmp(bestVal) > 0 {
+			best, bestVal = v, val
+		}
+	}
+	return best, bestVal
+}

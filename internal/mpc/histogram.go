@@ -1,0 +1,92 @@
+package mpc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram buckets the per-server loads (in bits) into `buckets` equal
+// ranges from 0 to the max load and returns the server count per bucket.
+// It answers the question the model's L statistic summarizes: how uneven
+// is the distribution behind the max?
+func (c *Cluster) Histogram(buckets int) []int {
+	if buckets < 1 {
+		panic("mpc: need at least one bucket")
+	}
+	max := int64(0)
+	for _, s := range c.Servers {
+		if s.BitsIn > max {
+			max = s.BitsIn
+		}
+	}
+	counts := make([]int, buckets)
+	if max == 0 {
+		counts[0] = c.P
+		return counts
+	}
+	for _, s := range c.Servers {
+		b := int(s.BitsIn * int64(buckets) / (max + 1))
+		counts[b]++
+	}
+	return counts
+}
+
+// RenderHistogram draws an ASCII histogram of per-server loads: one row
+// per bucket, bar length proportional to the server count.
+func (c *Cluster) RenderHistogram(buckets, width int) string {
+	counts := c.Histogram(buckets)
+	maxCount := 0
+	for _, n := range counts {
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	maxLoad := int64(0)
+	for _, s := range c.Servers {
+		if s.BitsIn > maxLoad {
+			maxLoad = s.BitsIn
+		}
+	}
+	var b strings.Builder
+	for i, n := range counts {
+		lo := maxLoad * int64(i) / int64(buckets)
+		hi := maxLoad * int64(i+1) / int64(buckets)
+		bar := 0
+		if maxCount > 0 {
+			bar = n * width / maxCount
+		}
+		fmt.Fprintf(&b, "%10d-%-10d |%-*s| %d servers\n",
+			lo, hi, width, strings.Repeat("#", bar), n)
+	}
+	return b.String()
+}
+
+// GiniCoefficient returns the Gini index of the per-server bit loads: 0
+// for perfectly balanced, approaching 1 when one server holds everything.
+// A direct scalar for "how skewed did the communication end up".
+func (c *Cluster) GiniCoefficient() float64 {
+	n := len(c.Servers)
+	if n == 0 {
+		return 0
+	}
+	loads := make([]int64, n)
+	var total int64
+	for i, s := range c.Servers {
+		loads[i] = s.BitsIn
+		total += s.BitsIn
+	}
+	if total == 0 {
+		return 0
+	}
+	// Sort ascending (insertion sort: n is the server count, small).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && loads[j] < loads[j-1]; j-- {
+			loads[j], loads[j-1] = loads[j-1], loads[j]
+		}
+	}
+	var weighted float64
+	for i, l := range loads {
+		weighted += float64(i+1) * float64(l)
+	}
+	return (2*weighted)/(float64(n)*float64(total)) - float64(n+1)/float64(n)
+}

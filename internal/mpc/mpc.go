@@ -1,0 +1,271 @@
+// Package mpc simulates the Massively Parallel Communication model of
+// Beame–Koutris–Suciu: p servers connected by private channels, computing
+// in rounds of local computation interleaved with global communication.
+// Servers are goroutines; "private channels" are Go channels; the load of a
+// server is the number of bits it receives during the communication phase,
+// exactly as the model defines it.
+//
+// The one-round restriction is enforced structurally: a Router decides the
+// destinations of a tuple from the tuple alone plus global statistics fixed
+// before the round, never from other servers' data.
+package mpc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/data"
+)
+
+// Router decides which servers receive a tuple of a relation during the
+// communication phase. Implementations must be pure functions of
+// (relation, tuple) and pre-round statistics. Destinations appends server
+// IDs to dst and returns it (allowing allocation-free reuse); IDs must lie
+// in [0, P). Duplicate IDs are delivered once.
+type Router interface {
+	Destinations(rel string, t data.Tuple, dst []int) []int
+}
+
+// RouterFunc adapts a function to the Router interface.
+type RouterFunc func(rel string, t data.Tuple, dst []int) []int
+
+// Destinations implements Router.
+func (f RouterFunc) Destinations(rel string, t data.Tuple, dst []int) []int {
+	return f(rel, t, dst)
+}
+
+// Server is one MPC worker: it accumulates the relation fragments routed to
+// it and tracks its load in bits and tuples.
+type Server struct {
+	ID       int
+	Received map[string]*data.Relation
+	BitsIn   int64
+	TuplesIn int64
+}
+
+// Fragment returns this server's fragment of the named relation (possibly
+// empty but never nil after a round that routed that relation).
+func (s *Server) Fragment(name string) *data.Relation { return s.Received[name] }
+
+// Cluster is a set of p MPC servers.
+type Cluster struct {
+	P       int
+	Servers []*Server
+	// Senders is the number of concurrent input partitions (goroutines)
+	// used during routing; defaults to a small multiple of CPUs via
+	// DefaultSenders when zero.
+	Senders int
+}
+
+// DefaultSenders is the routing fan-in used when Cluster.Senders is zero.
+const DefaultSenders = 8
+
+// NewCluster returns a cluster of p idle servers.
+func NewCluster(p int) *Cluster {
+	if p < 1 {
+		panic(fmt.Sprintf("mpc: p = %d", p))
+	}
+	c := &Cluster{P: p, Servers: make([]*Server, p)}
+	for i := range c.Servers {
+		c.Servers[i] = &Server{ID: i, Received: make(map[string]*data.Relation)}
+	}
+	return c
+}
+
+// delivery is one routed tuple batch destined for a single server.
+type delivery struct {
+	rel    string
+	arity  int
+	domain int64
+	bits   int64 // bits per tuple
+	flat   []int64
+	count  int
+}
+
+// Round executes the communication phase: every tuple of every relation in
+// db is routed by router and delivered to its destination servers. The
+// input is split among sender goroutines (the "input servers" holding
+// uniform partitions of each relation), and each MPC server runs a receiver
+// goroutine draining its private channel. Loads accumulate across calls, so
+// a multi-step single-round algorithm (like the skew join's four logical
+// steps) may call Round repeatedly before Compute.
+//
+// Round returns an error if the router emits a destination outside
+// [0, P); tuples with bad destinations are dropped and the first error is
+// reported after all goroutines drain.
+func (c *Cluster) Round(db *data.Database, router Router) error {
+	senders := c.Senders
+	if senders <= 0 {
+		senders = DefaultSenders
+	}
+	var errOnce sync.Once
+	var routeErr error
+	report := func(err error) {
+		errOnce.Do(func() { routeErr = err })
+	}
+	inboxes := make([]chan delivery, c.P)
+	for i := range inboxes {
+		// Small buffers keep memory proportional to the virtual-server
+		// count manageable (the §4.2 algorithm spawns Θ(p) servers per bin
+		// combination).
+		inboxes[i] = make(chan delivery, 8)
+	}
+
+	var recvWG sync.WaitGroup
+	recvWG.Add(c.P)
+	for i := 0; i < c.P; i++ {
+		go func(s *Server, in <-chan delivery) {
+			defer recvWG.Done()
+			for d := range in {
+				frag, ok := s.Received[d.rel]
+				if !ok {
+					frag = data.NewRelation(d.rel, d.arity, d.domain)
+					s.Received[d.rel] = frag
+				}
+				for t := 0; t < d.count; t++ {
+					frag.Add(d.flat[t*d.arity : (t+1)*d.arity]...)
+				}
+				s.BitsIn += d.bits * int64(d.count)
+				s.TuplesIn += int64(d.count)
+			}
+		}(c.Servers[i], inboxes[i])
+	}
+
+	const batchTuples = 128
+	var sendWG sync.WaitGroup
+	for _, name := range db.Names() {
+		rel := db.Relations[name]
+		m := rel.Size()
+		chunk := (m + senders - 1) / senders
+		if chunk == 0 {
+			chunk = 1
+		}
+		for lo := 0; lo < m; lo += chunk {
+			hi := lo + chunk
+			if hi > m {
+				hi = m
+			}
+			sendWG.Add(1)
+			go func(rel *data.Relation, lo, hi int) {
+				defer sendWG.Done()
+				// Per-destination batches local to this sender.
+				bufs := make(map[int]*delivery)
+				var dst []int
+				flush := func(server int) {
+					d := bufs[server]
+					if d == nil || d.count == 0 {
+						return
+					}
+					inboxes[server] <- *d
+					bufs[server] = &delivery{
+						rel: d.rel, arity: d.arity, domain: d.domain, bits: d.bits,
+					}
+				}
+				for i := lo; i < hi; i++ {
+					t := rel.Tuple(i)
+					dst = router.Destinations(rel.Name, t, dst[:0])
+					seen := make(map[int]bool, len(dst))
+					for _, server := range dst {
+						if server < 0 || server >= c.P {
+							report(fmt.Errorf("mpc: destination %d out of range [0,%d)", server, c.P))
+							continue
+						}
+						if seen[server] {
+							continue
+						}
+						seen[server] = true
+						d := bufs[server]
+						if d == nil {
+							d = &delivery{
+								rel: rel.Name, arity: rel.Arity, domain: rel.Domain,
+								bits: rel.BitsPerTuple(),
+							}
+							bufs[server] = d
+						}
+						d.flat = append(d.flat, t...)
+						d.count++
+						if d.count >= batchTuples {
+							flush(server)
+						}
+					}
+				}
+				for server := range bufs {
+					flush(server)
+				}
+			}(rel, lo, hi)
+		}
+	}
+	sendWG.Wait()
+	for _, in := range inboxes {
+		close(in)
+	}
+	recvWG.Wait()
+	return routeErr
+}
+
+// Compute runs f on every server concurrently (the local-computation phase)
+// and returns the concatenated outputs in server order.
+func (c *Cluster) Compute(f func(s *Server) []data.Tuple) []data.Tuple {
+	outs := make([][]data.Tuple, c.P)
+	var wg sync.WaitGroup
+	wg.Add(c.P)
+	for i := range c.Servers {
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = f(c.Servers[i])
+		}(i)
+	}
+	wg.Wait()
+	var all []data.Tuple
+	for _, o := range outs {
+		all = append(all, o...)
+	}
+	return all
+}
+
+// LoadSummary aggregates per-server loads after one or more Round calls.
+type LoadSummary struct {
+	MaxBits     int64
+	MaxTuples   int64
+	TotalBits   int64
+	TotalTuples int64
+	P           int
+	// Replication is TotalBits divided by the input size in bits; callers
+	// supply the input size to FinishReplication.
+	Replication float64
+}
+
+// Loads summarizes the current per-server loads.
+func (c *Cluster) Loads() LoadSummary {
+	var s LoadSummary
+	s.P = c.P
+	for _, sv := range c.Servers {
+		if sv.BitsIn > s.MaxBits {
+			s.MaxBits = sv.BitsIn
+		}
+		if sv.TuplesIn > s.MaxTuples {
+			s.MaxTuples = sv.TuplesIn
+		}
+		s.TotalBits += sv.BitsIn
+		s.TotalTuples += sv.TuplesIn
+	}
+	return s
+}
+
+// WithReplication returns a copy of s with Replication = TotalBits /
+// inputBits.
+func (s LoadSummary) WithReplication(inputBits int64) LoadSummary {
+	if inputBits > 0 {
+		s.Replication = float64(s.TotalBits) / float64(inputBits)
+	}
+	return s
+}
+
+// Reset clears all fragments and load counters.
+func (c *Cluster) Reset() {
+	for _, s := range c.Servers {
+		s.Received = make(map[string]*data.Relation)
+		s.BitsIn = 0
+		s.TuplesIn = 0
+	}
+}

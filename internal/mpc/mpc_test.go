@@ -1,0 +1,312 @@
+package mpc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func singleRel(m int) *data.Database {
+	domain := int64(1024) // 10 bits/value for m <= 1024
+	for domain < int64(m) {
+		domain *= 2
+	}
+	db := data.NewDatabase()
+	r := data.NewRelation("S", 1, domain)
+	for i := int64(0); i < int64(m); i++ {
+		r.Add(i)
+	}
+	db.Put(r)
+	return db
+}
+
+func TestRoundHashPartition(t *testing.T) {
+	db := singleRel(1000)
+	c := NewCluster(10)
+	c.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, int(tu[0]%10))
+	}))
+	loads := c.Loads()
+	if loads.TotalTuples != 1000 {
+		t.Errorf("TotalTuples = %d, want 1000 (no replication)", loads.TotalTuples)
+	}
+	if loads.MaxTuples != 100 {
+		t.Errorf("MaxTuples = %d, want exactly 100 (mod partition)", loads.MaxTuples)
+	}
+	// 10 bits per tuple.
+	if loads.TotalBits != 10000 {
+		t.Errorf("TotalBits = %d, want 10000", loads.TotalBits)
+	}
+}
+
+func TestRoundBroadcast(t *testing.T) {
+	db := singleRel(50)
+	c := NewCluster(4)
+	all := []int{0, 1, 2, 3}
+	c.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, all...)
+	}))
+	loads := c.Loads()
+	if loads.TotalTuples != 200 {
+		t.Errorf("TotalTuples = %d, want 200", loads.TotalTuples)
+	}
+	for _, s := range c.Servers {
+		if s.TuplesIn != 50 {
+			t.Errorf("server %d received %d, want 50", s.ID, s.TuplesIn)
+		}
+		if s.Fragment("S").Size() != 50 {
+			t.Errorf("server %d fragment size %d", s.ID, s.Fragment("S").Size())
+		}
+	}
+}
+
+func TestRoundDuplicateDestinationsDeliveredOnce(t *testing.T) {
+	db := singleRel(10)
+	c := NewCluster(2)
+	c.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, 0, 0, 0)
+	}))
+	if got := c.Servers[0].TuplesIn; got != 10 {
+		t.Errorf("duplicates delivered: %d tuples, want 10", got)
+	}
+}
+
+func TestRoundAccumulatesAcrossCalls(t *testing.T) {
+	db := singleRel(10)
+	c := NewCluster(2)
+	r := RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, 0)
+	})
+	c.Round(db, r)
+	c.Round(db, r)
+	if got := c.Servers[0].TuplesIn; got != 20 {
+		t.Errorf("TuplesIn = %d, want 20 after two rounds", got)
+	}
+}
+
+func TestRoundOutOfRangeReportsError(t *testing.T) {
+	db := singleRel(1)
+	c := NewCluster(2)
+	c.Senders = 1
+	err := c.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, 7)
+	}))
+	if err == nil {
+		t.Fatal("expected error for bad destination")
+	}
+	if c.Loads().TotalTuples != 0 {
+		t.Error("bad-destination tuple should be dropped")
+	}
+}
+
+func TestComputeCollects(t *testing.T) {
+	c := NewCluster(5)
+	out := c.Compute(func(s *Server) []data.Tuple {
+		return []data.Tuple{{int64(s.ID)}}
+	})
+	if len(out) != 5 {
+		t.Fatalf("Compute returned %d tuples", len(out))
+	}
+	// Server order must be preserved.
+	for i, tu := range out {
+		if tu[0] != int64(i) {
+			t.Errorf("out[%d] = %v", i, tu)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	db := singleRel(10)
+	c := NewCluster(2)
+	c.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, 0)
+	}))
+	c.Reset()
+	loads := c.Loads()
+	if loads.TotalBits != 0 || loads.TotalTuples != 0 {
+		t.Error("Reset did not clear loads")
+	}
+	if c.Servers[0].Fragment("S") != nil {
+		t.Error("Reset did not clear fragments")
+	}
+}
+
+func TestWithReplication(t *testing.T) {
+	s := LoadSummary{TotalBits: 300}
+	if got := s.WithReplication(100).Replication; got != 3 {
+		t.Errorf("Replication = %v, want 3", got)
+	}
+	if got := s.WithReplication(0).Replication; got != 0 {
+		t.Errorf("Replication with zero input = %v", got)
+	}
+}
+
+func TestNewClusterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCluster(0)
+}
+
+func TestRoundMultipleRelations(t *testing.T) {
+	db := data.NewDatabase()
+	r1 := data.NewRelation("A", 1, 4) // 2 bits
+	r1.Add(0)
+	r1.Add(1)
+	r2 := data.NewRelation("B", 2, 4) // 4 bits
+	r2.Add(2, 3)
+	db.Put(r1)
+	db.Put(r2)
+	c := NewCluster(2)
+	c.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		if rel == "A" {
+			return append(dst, 0)
+		}
+		return append(dst, 1)
+	}))
+	if c.Servers[0].Fragment("A").Size() != 2 || c.Servers[0].Fragment("B") != nil {
+		t.Error("relation A misrouted")
+	}
+	if c.Servers[1].Fragment("B").Size() != 1 {
+		t.Error("relation B misrouted")
+	}
+	if c.Servers[0].BitsIn != 4 || c.Servers[1].BitsIn != 4 {
+		t.Errorf("bits: %d, %d; want 4, 4", c.Servers[0].BitsIn, c.Servers[1].BitsIn)
+	}
+}
+
+func TestRoundManySendersConsistent(t *testing.T) {
+	// Same routing with different sender counts must give identical loads.
+	ref := NewCluster(8)
+	refRouter := RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, int(tu[0]%8), int((tu[0]*7)%8))
+	})
+	db := singleRel(5000)
+	ref.Senders = 1
+	ref.Round(db, refRouter)
+
+	c2 := NewCluster(8)
+	c2.Senders = 13
+	c2.Round(db, refRouter)
+
+	l1, l2 := ref.Loads(), c2.Loads()
+	if l1.TotalBits != l2.TotalBits || l1.MaxBits != l2.MaxBits {
+		t.Errorf("sender count changed loads: %+v vs %+v", l1, l2)
+	}
+}
+
+func TestHistogramBalanced(t *testing.T) {
+	db := singleRel(1000)
+	c := NewCluster(10)
+	c.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, int(tu[0]%10))
+	}))
+	h := c.Histogram(4)
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != 10 {
+		t.Errorf("histogram counts %v do not sum to p", h)
+	}
+	// Perfectly balanced: every server in the top bucket.
+	if h[3] != 10 {
+		t.Errorf("balanced loads should land in top bucket: %v", h)
+	}
+}
+
+func TestHistogramEmptyCluster(t *testing.T) {
+	c := NewCluster(5)
+	h := c.Histogram(3)
+	if h[0] != 5 {
+		t.Errorf("zero-load histogram = %v", h)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCluster(1).Histogram(0)
+}
+
+func TestRenderHistogram(t *testing.T) {
+	db := singleRel(100)
+	c := NewCluster(4)
+	c.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, 0) // everything to server 0
+	}))
+	out := c.RenderHistogram(4, 20)
+	if !strings.Contains(out, "servers") || !strings.Contains(out, "#") {
+		t.Errorf("RenderHistogram output:\n%s", out)
+	}
+}
+
+func TestGiniCoefficient(t *testing.T) {
+	// All to one server: Gini near (n-1)/n.
+	db := singleRel(100)
+	c := NewCluster(4)
+	c.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, 0)
+	}))
+	g := c.GiniCoefficient()
+	if g < 0.7 {
+		t.Errorf("one-server Gini = %v, want near 0.75", g)
+	}
+	// Balanced: near 0.
+	c2 := NewCluster(4)
+	c2.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, int(tu[0]%4))
+	}))
+	if g2 := c2.GiniCoefficient(); g2 > 0.1 {
+		t.Errorf("balanced Gini = %v, want near 0", g2)
+	}
+	if NewCluster(3).GiniCoefficient() != 0 {
+		t.Error("zero-load Gini should be 0")
+	}
+}
+
+// Router purity property: the one-round model requires destinations to be
+// a pure function of (relation, tuple). Routing the same database twice
+// must produce bit-identical loads.
+func TestRouterPurityProperty(t *testing.T) {
+	db := singleRel(2000)
+	router := RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, int(tu[0]%7), int((tu[0]*13)%7))
+	})
+	a := NewCluster(7)
+	a.Round(db, router)
+	b := NewCluster(7)
+	b.Round(db, router)
+	for i := range a.Servers {
+		if a.Servers[i].BitsIn != b.Servers[i].BitsIn {
+			t.Fatalf("server %d loads differ across identical rounds", i)
+		}
+	}
+}
+
+// Stress: many concurrent rounds on distinct clusters must not interfere.
+func TestConcurrentClustersIndependent(t *testing.T) {
+	db := singleRel(500)
+	done := make(chan int64, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			c := NewCluster(4)
+			c.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+				return append(dst, int(tu[0]%4))
+			}))
+			done <- c.Loads().TotalBits
+		}()
+	}
+	first := <-done
+	for g := 1; g < 8; g++ {
+		if got := <-done; got != first {
+			t.Fatalf("concurrent clusters disagree: %d vs %d", got, first)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package packing
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/hypercube"
+	"repro/internal/query"
+	"repro/internal/rational"
+)
+
+func TestFractionalVertexCoverEqualsTau(t *testing.T) {
+	// LP duality: the fractional vertex covering number equals τ* (§3.2).
+	for _, q := range []*query.Query{
+		query.Triangle(), query.Join2(), query.Path(3), query.Star(3),
+		query.Cycle(4), query.Cycle(5), query.Cartesian(3),
+	} {
+		_, coverVal := FractionalVertexCover(q)
+		_, tau := MaxPacking(q)
+		if coverVal.Cmp(tau) != 0 {
+			t.Errorf("%s: vertex cover %v != τ* %v", q.Name, coverVal, tau)
+		}
+	}
+}
+
+func TestFractionalVertexCoverC5(t *testing.T) {
+	// Odd cycle C5: fractional vertex cover number 5/2.
+	_, val := FractionalVertexCover(query.Cycle(5))
+	if val.Cmp(big.NewRat(5, 2)) != 0 {
+		t.Errorf("C5 cover = %v, want 5/2", val)
+	}
+}
+
+func TestDualShareLPStrongDuality(t *testing.T) {
+	// The dual optimum (8) must equal the primal λ from LP (5) for a range
+	// of statistics — the numerical heart of Theorem 3.6's proof.
+	cases := []struct {
+		q    *query.Query
+		bits []float64
+	}{
+		{query.Triangle(), []float64{1 << 18, 1 << 18, 1 << 18}},
+		{query.Triangle(), []float64{1 << 22, 1 << 12, 1 << 15}},
+		{query.Join2(), []float64{1 << 20, 1 << 13}},
+		{query.Path(3), []float64{1 << 14, 1 << 19, 1 << 16}},
+		{query.Star(3), []float64{1 << 15, 1 << 16, 1 << 17}},
+	}
+	p := 64
+	logP := math.Log(float64(p))
+	for _, c := range cases {
+		_, lambda := hypercube.OptimalExponents(c.q, c.bits, p)
+		mu := rational.NewVector(c.q.NumAtoms())
+		for j, bits := range c.bits {
+			mu[j] = rational.FromFloat(math.Log(bits) / logP)
+		}
+		_, _, dualObj := DualShareLP(c.q, mu)
+		dualF, _ := dualObj.Float64()
+		if math.Abs(dualF-lambda) > 1e-9 {
+			t.Errorf("%s: dual %v != primal λ %v", c.q.Name, dualF, lambda)
+		}
+	}
+}
+
+func TestPackingFromDualIsPacking(t *testing.T) {
+	// Lemma 3.8: the transformation u = f/f maps dual solutions to
+	// feasible fractional edge packings.
+	q := query.Triangle()
+	mu := rational.Vector{
+		rational.New(3, 2), rational.New(3, 2), rational.New(3, 2),
+	}
+	f, fScalar, _ := DualShareLP(q, mu)
+	u := PackingFromDual(f, fScalar)
+	if u == nil {
+		t.Fatal("dual had f = 0")
+	}
+	if !IsPacking(q, u) {
+		t.Errorf("transformed dual %v is not a packing", u)
+	}
+	// For symmetric C3 with μ > 1 the packing should be the (1/2,1/2,1/2)
+	// vertex (the one maximizing L(u,M,p) at equal sizes).
+	half := rational.Vector{rational.New(1, 2), rational.New(1, 2), rational.New(1, 2)}
+	if !u.Equal(half) {
+		t.Errorf("dual packing = %v, want (1/2,1/2,1/2)", u)
+	}
+}
+
+func TestPackingFromDualZeroScalar(t *testing.T) {
+	if PackingFromDual(rational.NewVector(2), new(big.Rat)) != nil {
+		t.Error("f = 0 should map to nil")
+	}
+}
+
+func TestDualShareLPPanicsOnBadMu(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DualShareLP(query.Join2(), rational.NewVector(1))
+}

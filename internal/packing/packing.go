@@ -1,0 +1,252 @@
+// Package packing computes fractional edge packings and covers of
+// conjunctive queries — the combinatorial objects that characterize
+// one-round communication cost in Beame–Koutris–Suciu (PODS 2014).
+//
+// A fractional edge packing of q assigns a weight u_j ≥ 0 to every atom so
+// that for each variable x_i, Σ_{j: x_i ∈ S_j} u_j ≤ 1 (Eq. 2 of the
+// paper). The package enumerates the vertices of this polytope exactly,
+// extracts the non-dominated vertex set pk(q) of Theorem 3.6, computes the
+// maximum packing value τ* (= fractional vertex covering number), fractional
+// edge covers and the AGM size bound, and the saturating packings of
+// residual queries used by the skew lower bounds of §4.3.
+package packing
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/lp"
+	"repro/internal/query"
+	"repro/internal/rational"
+)
+
+// Polytope returns the constraint system (A, b) of the fractional edge
+// packing polytope {u ≥ 0 : A·u ≤ b} of q: one row per variable
+// (Σ_{j: x_i ∈ S_j} u_j ≤ 1) plus one cap row u_j ≤ 1 per atom. The caps
+// are redundant for atoms that contain at least one variable and keep the
+// polytope bounded for nullary atoms, which arise in residual queries; they
+// never exclude a packing of the original query, where u_j ≤ 1 always holds.
+func Polytope(q *query.Query) (*rational.Matrix, rational.Vector) {
+	k, l := q.NumVars(), q.NumAtoms()
+	a := rational.NewMatrix(k+l, l)
+	b := rational.NewVector(k + l)
+	for i := 0; i < k; i++ {
+		for _, j := range q.AtomsWithVar(i) {
+			a.SetInt(i, j, 1)
+		}
+		b[i].SetInt64(1)
+	}
+	for j := 0; j < l; j++ {
+		a.SetInt(k+j, j, 1)
+		b[k+j].SetInt64(1)
+	}
+	return a, b
+}
+
+// Vertices returns all vertices of the packing polytope of q, in
+// lexicographic order.
+func Vertices(q *query.Query) []rational.Vector {
+	a, b := Polytope(q)
+	return lp.EnumerateVertices(a, b)
+}
+
+// NonDominated filters a vertex list down to the vectors not dominated by
+// another vector in the list (u is dominated by u' when u' ≥ u
+// componentwise and u' ≠ u). This is pk(q) when applied to Vertices(q).
+func NonDominated(vs []rational.Vector) []rational.Vector {
+	var out []rational.Vector
+	for i, u := range vs {
+		dominated := false
+		for j, w := range vs {
+			if i != j && w.Dominates(u) && !w.Equal(u) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// PK returns pk(q): the non-dominated vertices of the packing polytope
+// (Theorem 3.6). By that theorem, both the optimal HyperCube load and the
+// lower bound are max_{u ∈ pk(q)} L(u, M, p).
+func PK(q *query.Query) []rational.Vector {
+	return NonDominated(Vertices(q))
+}
+
+// IsPacking reports whether u is a feasible fractional edge packing of q.
+func IsPacking(q *query.Query, u rational.Vector) bool {
+	if len(u) != q.NumAtoms() {
+		return false
+	}
+	for _, x := range u {
+		if x.Sign() < 0 {
+			return false
+		}
+	}
+	one := rational.One()
+	for i := 0; i < q.NumVars(); i++ {
+		sum := new(big.Rat)
+		for _, j := range q.AtomsWithVar(i) {
+			sum.Add(sum, u[j])
+		}
+		if sum.Cmp(one) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsCover reports whether u is a feasible fractional edge cover of q
+// (Eq. 2 with ≥).
+func IsCover(q *query.Query, u rational.Vector) bool {
+	if len(u) != q.NumAtoms() {
+		return false
+	}
+	for _, x := range u {
+		if x.Sign() < 0 {
+			return false
+		}
+	}
+	one := rational.One()
+	for i := 0; i < q.NumVars(); i++ {
+		sum := new(big.Rat)
+		for _, j := range q.AtomsWithVar(i) {
+			sum.Add(sum, u[j])
+		}
+		if sum.Cmp(one) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTight reports whether u satisfies every variable constraint with
+// equality; a tight packing is simultaneously a tight cover (§2.2).
+func IsTight(q *query.Query, u rational.Vector) bool {
+	one := rational.One()
+	for i := 0; i < q.NumVars(); i++ {
+		sum := new(big.Rat)
+		for _, j := range q.AtomsWithVar(i) {
+			sum.Add(sum, u[j])
+		}
+		if sum.Cmp(one) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns u = Σ_j u_j, the value of the packing.
+func Value(u rational.Vector) *big.Rat { return u.Sum() }
+
+// MaxPacking returns a maximum fractional edge packing of q and its value
+// τ*, which equals the fractional vertex covering number of q.
+func MaxPacking(q *query.Query) (rational.Vector, *big.Rat) {
+	vs := Vertices(q)
+	ones := rational.NewVector(q.NumAtoms())
+	for j := range ones {
+		ones[j].SetInt64(1)
+	}
+	return lp.MaximizeOverVertices(vs, ones)
+}
+
+// Tau returns τ*(q) as a float for convenience.
+func Tau(q *query.Query) float64 {
+	_, v := MaxPacking(q)
+	f, _ := v.Float64()
+	return f
+}
+
+// MinCover returns a minimum fractional edge cover of q and its value ρ*
+// by solving the covering LP exactly.
+func MinCover(q *query.Query) (rational.Vector, *big.Rat) {
+	l := q.NumAtoms()
+	p := lp.NewProblem(l)
+	for j := 0; j < l; j++ {
+		p.Objective[j].SetInt64(1)
+	}
+	for i := 0; i < q.NumVars(); i++ {
+		row := rational.NewVector(l)
+		for _, j := range q.AtomsWithVar(i) {
+			row[j].SetInt64(1)
+		}
+		p.AddConstraint(row, lp.GE, rational.One())
+	}
+	s := p.Solve()
+	if s.Status != lp.Optimal {
+		panic("packing: covering LP not optimal: " + s.Status.String())
+	}
+	return s.X, s.Objective
+}
+
+// AGMBound returns the Atserias–Grohe–Marx bound on the number of output
+// tuples: min over fractional edge covers u of Π_j m_j^{u_j}, computed by
+// minimizing Σ_j u_j·log(m_j) over the covering LP. Cardinalities must be
+// ≥ 1.
+func AGMBound(q *query.Query, m []float64) float64 {
+	if len(m) != q.NumAtoms() {
+		panic("packing: AGMBound cardinality count mismatch")
+	}
+	l := q.NumAtoms()
+	p := lp.NewProblem(l)
+	for j := 0; j < l; j++ {
+		if m[j] < 1 {
+			panic("packing: AGMBound needs cardinalities >= 1")
+		}
+		p.Objective[j] = rational.FromFloat(math.Log2(m[j]))
+	}
+	for i := 0; i < q.NumVars(); i++ {
+		row := rational.NewVector(l)
+		for _, j := range q.AtomsWithVar(i) {
+			row[j].SetInt64(1)
+		}
+		p.AddConstraint(row, lp.GE, rational.One())
+	}
+	s := p.Solve()
+	if s.Status != lp.Optimal {
+		panic("packing: AGM LP not optimal: " + s.Status.String())
+	}
+	obj, _ := s.Objective.Float64()
+	return math.Exp2(obj)
+}
+
+// Saturates reports whether the packing u of the residual query q_x
+// saturates every variable of x in the original query q: for each x_i ∈ x,
+// Σ_{j: x_i ∈ vars(S_j) in q} u_j ≥ 1 (§4.3).
+func Saturates(q *query.Query, u rational.Vector, x query.VarSet) bool {
+	one := rational.One()
+	for v := range x {
+		sum := new(big.Rat)
+		for _, j := range q.AtomsWithVar(v) {
+			sum.Add(sum, u[j])
+		}
+		if sum.Cmp(one) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ResidualVertices returns the vertices of the packing polytope of the
+// residual query q_x. Atom order (and hence weight indices) matches q.
+func ResidualVertices(q *query.Query, x query.VarSet) []rational.Vector {
+	res, _ := q.Residual(x)
+	return Vertices(res)
+}
+
+// SaturatingPackings returns the residual-polytope vertices that saturate x,
+// the candidate set for the lower bound L_x of Theorem 4.7. The result may
+// be empty (then x contributes no bound).
+func SaturatingPackings(q *query.Query, x query.VarSet) []rational.Vector {
+	var out []rational.Vector
+	for _, u := range ResidualVertices(q, x) {
+		if Saturates(q, u, x) {
+			out = append(out, u)
+		}
+	}
+	return out
+}

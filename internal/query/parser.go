@@ -1,0 +1,124 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a conjunctive query in a small datalog-like syntax:
+//
+//	C3(x,y,z) = S1(x,y), S2(y,z), S3(z,x)
+//	q(x,y,z) :- S1(x,z), S2(y,z)
+//
+// Either "=" or ":-" may separate head and body. The head declares the
+// variable order; all body variables must appear in the head (the queries in
+// the paper are full) and all head variables must be used.
+func Parse(input string) (*Query, error) {
+	sep := "="
+	if strings.Contains(input, ":-") {
+		sep = ":-"
+	}
+	parts := strings.SplitN(input, sep, 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("query: missing %q separator in %q", sep, input)
+	}
+	headName, headVars, err := parseAtomText(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, fmt.Errorf("query head: %w", err)
+	}
+	q := &Query{Name: headName}
+	varIdx := make(map[string]int)
+	for _, v := range headVars {
+		if _, dup := varIdx[v]; dup {
+			return nil, fmt.Errorf("query head: duplicate variable %q", v)
+		}
+		varIdx[v] = len(q.Vars)
+		q.Vars = append(q.Vars, v)
+	}
+
+	for _, atomText := range splitTopLevel(strings.TrimSpace(parts[1])) {
+		name, vars, err := parseAtomText(strings.TrimSpace(atomText))
+		if err != nil {
+			return nil, fmt.Errorf("query body: %w", err)
+		}
+		atom := Atom{Name: name}
+		for _, v := range vars {
+			idx, ok := varIdx[v]
+			if !ok {
+				return nil, fmt.Errorf("query: body variable %q not in head (query must be full)", v)
+			}
+			atom.Vars = append(atom.Vars, idx)
+		}
+		q.Atoms = append(q.Atoms, atom)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and examples
+// with literal queries.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// parseAtomText parses "Name(v1,v2,...)".
+func parseAtomText(s string) (string, []string, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("malformed atom %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if name == "" || !isIdent(name) {
+		return "", nil, fmt.Errorf("bad atom name in %q", s)
+	}
+	inner := s[open+1 : len(s)-1]
+	var vars []string
+	if strings.TrimSpace(inner) != "" {
+		for _, v := range strings.Split(inner, ",") {
+			v = strings.TrimSpace(v)
+			if v == "" || !isIdent(v) {
+				return "", nil, fmt.Errorf("bad variable %q in atom %q", v, s)
+			}
+			vars = append(vars, v)
+		}
+	}
+	return name, vars, nil
+}
+
+// splitTopLevel splits a body on commas that are not inside parentheses.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return s != ""
+}

@@ -1,0 +1,82 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Random generates a random full conjunctive query without self-joins:
+// up to maxVars variables and maxAtoms atoms, arities in [1,3], no
+// repeated variable within an atom, every variable used, and (when
+// possible) a connected hypergraph. It is the driver for cross-algorithm
+// fuzz tests: every evaluation strategy must agree with the reference
+// join on any query Random produces.
+func Random(rng *rand.Rand, maxVars, maxAtoms int) *Query {
+	if maxVars < 1 || maxAtoms < 1 {
+		panic("query: Random needs positive limits")
+	}
+	k := 1 + rng.Intn(maxVars)
+	l := 1 + rng.Intn(maxAtoms)
+	q := &Query{Name: "rand"}
+	for i := 0; i < k; i++ {
+		q.Vars = append(q.Vars, fmt.Sprintf("v%d", i))
+	}
+	covered := make([]bool, k)
+	for j := 0; j < l; j++ {
+		arity := 1 + rng.Intn(3)
+		if arity > k {
+			arity = k
+		}
+		vars := rng.Perm(k)[:arity]
+		// Bias later atoms toward touching an uncovered variable so that
+		// validation ("every head variable used") usually succeeds.
+		for idx := range vars {
+			if covered[vars[idx]] {
+				for cand := 0; cand < k; cand++ {
+					if !covered[cand] && !containsIntSlice(vars, cand) {
+						vars[idx] = cand
+						break
+					}
+				}
+			}
+		}
+		for _, v := range vars {
+			covered[v] = true
+		}
+		q.Atoms = append(q.Atoms, Atom{Name: fmt.Sprintf("R%d", j), Vars: vars})
+	}
+	// Force-cover any stragglers by widening the last atoms.
+	for v := 0; v < k; v++ {
+		if covered[v] {
+			continue
+		}
+		for j := range q.Atoms {
+			a := &q.Atoms[j]
+			if len(a.Vars) < 3 && !a.HasVar(v) {
+				a.Vars = append(a.Vars, v)
+				covered[v] = true
+				break
+			}
+		}
+		if !covered[v] {
+			// All atoms full: add a fresh unary atom.
+			q.Atoms = append(q.Atoms, Atom{
+				Name: fmt.Sprintf("R%d", len(q.Atoms)), Vars: []int{v},
+			})
+			covered[v] = true
+		}
+	}
+	if err := q.Validate(); err != nil {
+		panic("query: Random produced invalid query: " + err.Error())
+	}
+	return q
+}
+
+func containsIntSlice(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

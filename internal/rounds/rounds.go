@@ -1,0 +1,413 @@
+// Package rounds implements multi-round MPC query evaluation — the
+// traditional one-join-per-round strategy the paper's introduction
+// contrasts with its one-round HyperCube algorithm ("the traditional
+// approach is to compute one join at a time leading to a number of
+// communication rounds at least as large as the depth of the query plan").
+//
+// A plan is a left-deep sequence of binary join steps. Each step is one
+// communication round: both sides are repartitioned by the join keys
+// (with §4.1-style heavy-hitter handling per key when skew-aware mode is
+// on), servers join locally, and the intermediate result feeds the next
+// round. Loads are tracked per round and summed per server, so the
+// multi-round cost is directly comparable to the one-round algorithms.
+package rounds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/hashing"
+	"repro/internal/mpc"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Step is one binary join in the plan: join Left and Right (base atom
+// names or prior step outputs) into Output.
+type Step struct {
+	Left, Right string
+	Output      string
+	// LeftVars/RightVars give the query-variable index of every column of
+	// the two inputs; OutVars is the schema of the result.
+	LeftVars, RightVars, OutVars []int
+	// JoinVars are the shared variables (the repartition keys).
+	JoinVars []int
+}
+
+// Plan is a left-deep multi-round plan for a query.
+type Plan struct {
+	Query *query.Query
+	Steps []Step
+}
+
+// BuildPlan constructs a greedy left-deep plan: start from the first atom,
+// repeatedly join in the atom sharing the most variables with the current
+// schema (avoiding cartesian steps whenever the query is connected).
+func BuildPlan(q *query.Query) Plan {
+	if err := q.Validate(); err != nil {
+		panic(fmt.Sprintf("rounds: invalid query: %v", err))
+	}
+	used := make([]bool, q.NumAtoms())
+	cur := q.Atoms[0]
+	used[0] = true
+	curName := cur.Name
+	curVars := append([]int(nil), cur.Vars...)
+	var steps []Step
+	for step := 1; step < q.NumAtoms(); step++ {
+		best, bestShared := -1, -1
+		for j, a := range q.Atoms {
+			if used[j] {
+				continue
+			}
+			shared := 0
+			for _, v := range a.Vars {
+				if containsInt(curVars, v) {
+					shared++
+				}
+			}
+			if shared > bestShared {
+				best, bestShared = j, shared
+			}
+		}
+		atom := q.Atoms[best]
+		used[best] = true
+		var joinVars []int
+		for _, v := range atom.Vars {
+			if containsInt(curVars, v) {
+				joinVars = append(joinVars, v)
+			}
+		}
+		outVars := append([]int(nil), curVars...)
+		for _, v := range atom.Vars {
+			if !containsInt(outVars, v) {
+				outVars = append(outVars, v)
+			}
+		}
+		outName := fmt.Sprintf("tmp%d", step)
+		if step == q.NumAtoms()-1 {
+			outName = "result"
+		}
+		steps = append(steps, Step{
+			Left: curName, Right: atom.Name, Output: outName,
+			LeftVars:  append([]int(nil), curVars...),
+			RightVars: append([]int(nil), atom.Vars...),
+			OutVars:   outVars,
+			JoinVars:  joinVars,
+		})
+		curName, curVars = outName, outVars
+	}
+	return Plan{Query: q, Steps: steps}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Config controls multi-round execution.
+type Config struct {
+	P    int
+	Seed uint64
+	// SkewAware enables §4.1-style per-step heavy-hitter handling: heavy
+	// join keys get p_h-server cartesian grids instead of a single hash
+	// bucket. Without it every step is a plain hash join.
+	SkewAware bool
+}
+
+// RoundLoad is the load summary of one communication round.
+type RoundLoad struct {
+	Step         Step
+	MaxBits      int64
+	TotalBits    int64
+	Intermediate int // tuples produced
+}
+
+// Result reports a multi-round run.
+type Result struct {
+	Output []data.Tuple
+	Rounds []RoundLoad
+	// MaxBitsPerRound is the max over rounds of the per-round max server
+	// load; SumMaxBits sums the per-round maxima (total bits the busiest
+	// server could have received across the computation).
+	MaxBitsPerRound int64
+	SumMaxBits      int64
+}
+
+// Run executes the plan over db. Base relations come from db; each step's
+// output becomes available to later steps under its Output name.
+func Run(plan Plan, db *data.Database, cfg Config) Result {
+	if cfg.P < 2 {
+		panic("rounds: need P >= 2")
+	}
+	// Single-atom query: no communication needed, just reorder columns
+	// into head order.
+	if len(plan.Steps) == 0 {
+		atom := plan.Query.Atoms[0]
+		var res Result
+		db.MustGet(atom.Name).Each(func(_ int, t data.Tuple) bool {
+			nt := make(data.Tuple, plan.Query.NumVars())
+			for pos, v := range atom.Vars {
+				nt[v] = t[pos]
+			}
+			res.Output = append(res.Output, nt)
+			return true
+		})
+		return res
+	}
+	// Working set: base relations plus intermediates, with their schemas.
+	rels := make(map[string]*data.Relation)
+	schemas := make(map[string][]int)
+	for _, a := range plan.Query.Atoms {
+		rels[a.Name] = db.MustGet(a.Name)
+		schemas[a.Name] = append([]int(nil), a.Vars...)
+	}
+	var res Result
+	for si, st := range plan.Steps {
+		left, right := rels[st.Left], rels[st.Right]
+		out, load := joinRound(st, left, right, cfg, uint64(si))
+		rels[st.Output] = out
+		schemas[st.Output] = st.OutVars
+		res.Rounds = append(res.Rounds, load)
+		if load.MaxBits > res.MaxBitsPerRound {
+			res.MaxBitsPerRound = load.MaxBits
+		}
+		res.SumMaxBits += load.MaxBits
+	}
+	final := rels[plan.Steps[len(plan.Steps)-1].Output]
+	// Reorder columns into head order.
+	lastVars := plan.Steps[len(plan.Steps)-1].OutVars
+	perm := make([]int, plan.Query.NumVars())
+	for col, v := range lastVars {
+		perm[v] = col
+	}
+	final.Each(func(_ int, t data.Tuple) bool {
+		nt := make(data.Tuple, len(perm))
+		for v, col := range perm {
+			nt[v] = t[col]
+		}
+		res.Output = append(res.Output, nt)
+		return true
+	})
+	return res
+}
+
+// joinRound executes one step as a single communication round on a fresh
+// cluster of p servers (plus Θ(p) virtual servers for heavy keys in
+// skew-aware mode).
+func joinRound(st Step, left, right *data.Relation, cfg Config, roundSeed uint64) (*data.Relation, RoundLoad) {
+	leftKey := keyPositions(st.LeftVars, st.JoinVars)
+	rightKey := keyPositions(st.RightVars, st.JoinVars)
+	family := hashing.NewFamily(cfg.Seed*1315423911 + roundSeed + 1)
+
+	p := cfg.P
+	virtual := p
+	type heavyPlan struct {
+		base, p1, p2 int
+	}
+	heavy := make(map[string]*heavyPlan)
+	if cfg.SkewAware && len(st.JoinVars) > 0 {
+		fL := stats.Frequencies(left, leftKey)
+		fR := stats.Frequencies(right, rightKey)
+		thrL := float64(left.Size()) / float64(p)
+		thrR := float64(right.Size()) / float64(p)
+		var keys []string
+		for k, c := range fL.Counts {
+			if float64(c) >= thrL || float64(fR.Counts[k]) >= thrR {
+				keys = append(keys, k)
+			}
+		}
+		for k, c := range fR.Counts {
+			if float64(c) >= thrR && !containsStr(keys, k) {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var sumK float64
+		for _, k := range keys {
+			sumK += math.Max(1, float64(fL.Counts[k])) * math.Max(1, float64(fR.Counts[k]))
+		}
+		for _, k := range keys {
+			kw := math.Max(1, float64(fL.Counts[k])) * math.Max(1, float64(fR.Counts[k]))
+			ph := int(math.Ceil(float64(p) * kw / sumK))
+			r1 := math.Max(1, float64(fL.Counts[k]))
+			r2 := math.Max(1, float64(fR.Counts[k]))
+			p1 := int(math.Round(math.Sqrt(float64(ph) * r1 / r2)))
+			if p1 < 1 {
+				p1 = 1
+			}
+			if p1 > ph {
+				p1 = ph
+			}
+			p2 := ph / p1
+			if p2 < 1 {
+				p2 = 1
+			}
+			heavy[k] = &heavyPlan{base: virtual, p1: p1, p2: p2}
+			virtual += p1 * p2
+		}
+	}
+
+	const dimKey, dimLeft, dimRight = 0, 1, 2
+	router := mpc.RouterFunc(func(rel string, t data.Tuple, dst []int) []int {
+		isLeft := rel == "L"
+		var key data.Tuple
+		if isLeft {
+			key = project(t, leftKey)
+		} else {
+			key = project(t, rightKey)
+		}
+		ks := key.Key()
+		if hp := heavy[ks]; hp != nil {
+			if isLeft {
+				row := family.Hash(dimLeft, rowHash(t), hp.p1)
+				for c := 0; c < hp.p2; c++ {
+					dst = append(dst, hp.base+row*hp.p2+c)
+				}
+			} else {
+				col := family.Hash(dimRight, rowHash(t), hp.p2)
+				for r := 0; r < hp.p1; r++ {
+					dst = append(dst, hp.base+r*hp.p2+col)
+				}
+			}
+			return dst
+		}
+		if len(st.JoinVars) == 0 {
+			// Cartesian step: grid over all p servers.
+			g1 := int(math.Max(1, math.Sqrt(float64(p))))
+			g2 := p / g1
+			if isLeft {
+				row := family.Hash(dimLeft, rowHash(t), g1)
+				for c := 0; c < g2; c++ {
+					dst = append(dst, row*g2+c)
+				}
+			} else {
+				col := family.Hash(dimRight, rowHash(t), g2)
+				for r := 0; r < g1; r++ {
+					dst = append(dst, r*g2+col)
+				}
+			}
+			return dst
+		}
+		h := 0
+		for i, v := range key {
+			h = h*31 + family.Hash(dimKey+i, v, 1<<30)
+		}
+		if h < 0 {
+			h = -h
+		}
+		return append(dst, h%p)
+	})
+
+	// Stage the two inputs under canonical names.
+	roundDB := data.NewDatabase()
+	l := left.Clone()
+	l.Name = "L"
+	r := right.Clone()
+	r.Name = "R"
+	roundDB.Put(l)
+	roundDB.Put(r)
+
+	cluster := mpc.NewCluster(virtual)
+	if err := cluster.Round(roundDB, router); err != nil {
+		panic(fmt.Sprintf("rounds: %v", err))
+	}
+	// Local join at each server.
+	outArity := len(st.OutVars)
+	rightPosOf := make([]int, 0, outArity)
+	for _, v := range st.OutVars {
+		if !containsInt(st.LeftVars, v) {
+			for pos, rv := range st.RightVars {
+				if rv == v {
+					rightPosOf = append(rightPosOf, pos)
+				}
+			}
+		}
+	}
+	domain := left.Domain
+	if right.Domain > domain {
+		domain = right.Domain
+	}
+	outs := cluster.Compute(func(s *mpc.Server) []data.Tuple {
+		lf, rf := s.Fragment("L"), s.Fragment("R")
+		if lf == nil || rf == nil {
+			return nil
+		}
+		index := make(map[string][]int, rf.Size())
+		rf.Each(func(i int, t data.Tuple) bool {
+			k := project(t, rightKey).Key()
+			index[k] = append(index[k], i)
+			return true
+		})
+		var out []data.Tuple
+		lf.Each(func(_ int, lt data.Tuple) bool {
+			k := project(lt, leftKey).Key()
+			for _, ri := range index[k] {
+				rt := rf.Tuple(ri)
+				nt := make(data.Tuple, 0, outArity)
+				nt = append(nt, lt...)
+				for _, pos := range rightPosOf {
+					nt = append(nt, rt[pos])
+				}
+				out = append(out, nt)
+			}
+			return true
+		})
+		return out
+	})
+	result := data.NewRelation(st.Output, outArity, domain)
+	for _, t := range outs {
+		result.Add(t...)
+	}
+	loads := cluster.Loads()
+	return result, RoundLoad{
+		Step: st, MaxBits: loads.MaxBits, TotalBits: loads.TotalBits,
+		Intermediate: result.Size(),
+	}
+}
+
+// keyPositions maps join variables to their column positions in a schema.
+func keyPositions(schema, joinVars []int) []int {
+	var pos []int
+	for _, jv := range joinVars {
+		for i, v := range schema {
+			if v == jv {
+				pos = append(pos, i)
+			}
+		}
+	}
+	return pos
+}
+
+func project(t data.Tuple, pos []int) data.Tuple {
+	out := make(data.Tuple, len(pos))
+	for i, p := range pos {
+		out[i] = t[p]
+	}
+	return out
+}
+
+// rowHash folds a whole tuple into one value for the non-key dimension of
+// a cartesian grid.
+func rowHash(t data.Tuple) int64 {
+	h := int64(1469598103934665603)
+	for _, v := range t {
+		h = h ^ v
+		h *= 1099511628211
+	}
+	return h
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

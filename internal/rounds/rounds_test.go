@@ -1,0 +1,197 @@
+package rounds
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/join"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func dbFor(q *query.Query, m int, domain int64, seed int64) *data.Database {
+	specs := make([]workload.AtomSpec, q.NumAtoms())
+	for j, a := range q.Atoms {
+		d := domain
+		if a.Arity() == 1 && d < int64(4*m) {
+			d = int64(4 * m) // keep unary relations sparse enough to sample
+		}
+		specs[j] = workload.AtomSpec{Name: a.Name, Arity: a.Arity(), M: m, Domain: d}
+	}
+	return workload.ForQuery(specs, seed)
+}
+
+func TestBuildPlanShapes(t *testing.T) {
+	cases := []struct {
+		q         *query.Query
+		steps     int
+		cartesian int // steps with no join vars
+	}{
+		{query.Join2(), 1, 0},
+		{query.Triangle(), 2, 0},
+		{query.Path(3), 2, 0},
+		{query.Star(3), 2, 0},
+		{query.Cartesian(2), 1, 1},
+	}
+	for _, c := range cases {
+		plan := BuildPlan(c.q)
+		if len(plan.Steps) != c.steps {
+			t.Errorf("%s: %d steps, want %d", c.q.Name, len(plan.Steps), c.steps)
+		}
+		cart := 0
+		for _, st := range plan.Steps {
+			if len(st.JoinVars) == 0 {
+				cart++
+			}
+		}
+		if cart != c.cartesian {
+			t.Errorf("%s: %d cartesian steps, want %d", c.q.Name, cart, c.cartesian)
+		}
+		// Final schema covers all variables.
+		last := plan.Steps[len(plan.Steps)-1]
+		if len(last.OutVars) != c.q.NumVars() {
+			t.Errorf("%s: final schema %v misses variables", c.q.Name, last.OutVars)
+		}
+	}
+}
+
+func TestBuildPlanConnectedAvoidsCartesian(t *testing.T) {
+	plan := BuildPlan(query.Cycle(4))
+	for i, st := range plan.Steps {
+		if len(st.JoinVars) == 0 {
+			t.Errorf("step %d of C4 plan is cartesian", i)
+		}
+	}
+}
+
+func TestRunMatchesReference(t *testing.T) {
+	for _, q := range []*query.Query{
+		query.Join2(), query.Triangle(), query.Path(3), query.Star(2), query.Cartesian(2), query.Cycle(4),
+	} {
+		db := dbFor(q, 250, 40, 7)
+		want := join.Join(q, join.FromDatabase(db))
+		for _, skewAware := range []bool{false, true} {
+			res := Run(BuildPlan(q), db, Config{P: 8, Seed: 3, SkewAware: skewAware})
+			if !join.EqualTupleSets(res.Output, want) {
+				t.Errorf("%s skewAware=%v: %d vs %d tuples",
+					q.Name, skewAware, len(res.Output), len(want))
+			}
+		}
+	}
+}
+
+func TestRunHeadOrderCorrect(t *testing.T) {
+	// Query whose plan order differs from head order: verify column
+	// permutation back into head order.
+	q := query.MustParse("q(a,b,c) = R(b,c), S(a,b)")
+	db := data.NewDatabase()
+	r := data.NewRelation("R", 2, 100)
+	r.Add(1, 2)
+	s := data.NewRelation("S", 2, 100)
+	s.Add(9, 1)
+	db.Put(r)
+	db.Put(s)
+	res := Run(BuildPlan(q), db, Config{P: 4, Seed: 1})
+	if len(res.Output) != 1 {
+		t.Fatalf("output = %v", res.Output)
+	}
+	// Head (a,b,c) = (9,1,2).
+	got := res.Output[0]
+	if got[0] != 9 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("head order wrong: %v", got)
+	}
+}
+
+func TestRunRoundsAccounting(t *testing.T) {
+	q := query.Triangle()
+	db := dbFor(q, 300, 50, 5)
+	res := Run(BuildPlan(q), db, Config{P: 8, Seed: 2})
+	if len(res.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(res.Rounds))
+	}
+	var sum int64
+	var maxR int64
+	for _, r := range res.Rounds {
+		if r.MaxBits <= 0 || r.TotalBits < r.MaxBits {
+			t.Errorf("bad round load %+v", r)
+		}
+		sum += r.MaxBits
+		if r.MaxBits > maxR {
+			maxR = r.MaxBits
+		}
+	}
+	if res.SumMaxBits != sum || res.MaxBitsPerRound != maxR {
+		t.Error("aggregate load bookkeeping wrong")
+	}
+}
+
+func TestSkewAwareBeatsPlainOnSkewedStep(t *testing.T) {
+	// Join2 with a single shared heavy z: the plain hash join's round has
+	// Ω(m) max load; the skew-aware round splits it across a grid.
+	q := query.Join2()
+	db := data.NewDatabase()
+	db.Put(workload.SingleValue("S1", 2, 1000, 100000, 1, 7, 1))
+	db.Put(workload.SingleValue("S2", 2, 1000, 100000, 1, 7, 2))
+	plan := BuildPlan(q)
+	plain := Run(plan, db, Config{P: 64, Seed: 3})
+	aware := Run(plan, db, Config{P: 64, Seed: 3, SkewAware: true})
+	if !join.EqualTupleSets(plain.Output, aware.Output) {
+		t.Fatal("modes disagree on output")
+	}
+	if aware.Rounds[0].MaxBits*4 > plain.Rounds[0].MaxBits {
+		t.Errorf("skew-aware round (%d bits) not clearly below plain (%d bits)",
+			aware.Rounds[0].MaxBits, plain.Rounds[0].MaxBits)
+	}
+}
+
+func TestMultiRoundVsOneRoundTradeoffMatchings(t *testing.T) {
+	// On matchings (tiny intermediates) the 2-round plan for C3 has
+	// per-round load ~m/p, below the one-round HC's m/p^{2/3}.
+	q := query.Triangle()
+	db := data.NewDatabase()
+	m := 4096
+	for j, a := range q.Atoms {
+		db.Put(workload.Matching(a.Name, 2, m, 1<<20, int64(j+1)))
+	}
+	res := Run(BuildPlan(q), db, Config{P: 64, Seed: 1})
+	// Each round's max should be near 2m/p (both sides hashed), far below
+	// m/p^{2/3}.
+	bitsPer := db.MustGet("S1").BitsPerTuple()
+	perRoundBudget := 6 * int64(m) / 64 * bitsPer // generous constant
+	for i, r := range res.Rounds {
+		if r.MaxBits > perRoundBudget {
+			t.Errorf("round %d load %d exceeds ~m/p budget %d", i, r.MaxBits, perRoundBudget)
+		}
+	}
+}
+
+func TestRunPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Run(BuildPlan(query.Join2()), data.NewDatabase(), Config{P: 1}) },
+		func() { BuildPlan(&query.Query{Name: "bad"}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRunSingleAtomQuery(t *testing.T) {
+	q := query.MustParse("q(a,b) = R(b,a)")
+	db := data.NewDatabase()
+	r := data.NewRelation("R", 2, 10)
+	r.Add(1, 2) // R(b=1, a=2) → head (a,b) = (2,1)
+	db.Put(r)
+	res := Run(BuildPlan(q), db, Config{P: 4, Seed: 1})
+	if len(res.Output) != 1 || res.Output[0][0] != 2 || res.Output[0][1] != 1 {
+		t.Errorf("single-atom output = %v", res.Output)
+	}
+	if len(res.Rounds) != 0 {
+		t.Errorf("single atom should need 0 rounds, got %d", len(res.Rounds))
+	}
+}

@@ -1,0 +1,331 @@
+package skew
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/hashing"
+	"repro/internal/hypercube"
+	"repro/internal/join"
+	"repro/internal/mpc"
+	"repro/internal/query"
+)
+
+// exclCheck is one overweight-exclusion test for a tuple of an atom within
+// a bin combination: project the tuple onto attrs and compare its frequency
+// against the overweight threshold for the extension variables extra.
+type exclCheck struct {
+	attrs []int // attribute positions within the atom (sorted), ⊋ x_j
+	extra []int // the variables of attrs − x_j (global indices)
+}
+
+// atomPlan is the routing plan of one atom within one bin combination.
+type atomPlan struct {
+	xjAttrs      []int            // positions of x_j in the atom (sorted)
+	blocksByProj map[string][]int // projected-value key → block bases
+	allBases     []int            // used when x_j = ∅
+	exclude      []exclCheck
+}
+
+// comboPlan is the executable layout of one bin combination: an HC subgrid
+// of blockSize virtual servers per assignment h ∈ C'(B).
+type comboPlan struct {
+	combo     *binCombo
+	freeDims  []int // V−x, sorted (grid dimensions)
+	shares    []int // integer share per free dim, product = blockSize
+	strides   []int
+	blockSize int
+	byAtom    []atomPlan
+}
+
+// execute lays out virtual servers, routes the database in one round, and
+// computes the answers.
+func (gs *generalState) execute(cfg GeneralConfig) GeneralResult {
+	keys := make([]string, 0, len(gs.combos))
+	for key, b := range gs.combos {
+		if len(b.cprime) > 0 {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+
+	virtual := 0
+	predicted := 0.0
+	var plans []*comboPlan
+	// comboRange[i] is the virtual-ID range [lo, hi) of plans[i].
+	type vrange struct{ lo, hi int }
+	var comboRanges []vrange
+	for _, key := range keys {
+		b := gs.combos[key]
+		rangeLo := virtual
+		var freeDims []int
+		for i := 0; i < gs.q.NumVars(); i++ {
+			if !b.x.Contains(i) {
+				freeDims = append(freeDims, i)
+			}
+		}
+		ideal := make([]float64, len(freeDims))
+		for di, v := range freeDims {
+			ideal[di] = math.Pow(float64(gs.p), b.expo[v])
+		}
+		budget := int(math.Pow(float64(gs.p), 1-b.alpha))
+		if budget < 1 {
+			budget = 1
+		}
+		shares := hypercube.RoundToBudget(ideal, budget)
+		blockSize := 1
+		strides := make([]int, len(shares))
+		for i := len(shares) - 1; i >= 0; i-- {
+			strides[i] = blockSize
+			blockSize *= shares[i]
+		}
+		plan := &comboPlan{
+			combo: b, freeDims: freeDims, shares: shares,
+			strides: strides, blockSize: blockSize,
+			byAtom: make([]atomPlan, gs.q.NumAtoms()),
+		}
+		// Deterministic block layout per assignment.
+		hKeys := make([]string, 0, len(b.cprime))
+		for hk := range b.cprime {
+			hKeys = append(hKeys, hk)
+		}
+		sort.Strings(hKeys)
+		bases := make(map[string]int, len(hKeys))
+		for _, hk := range hKeys {
+			bases[hk] = virtual
+			virtual += blockSize
+		}
+		// Per-atom projections and exclusion checks.
+		for j := range gs.q.Atoms {
+			ap := atomPlan{blocksByProj: make(map[string][]int)}
+			for _, hk := range hKeys {
+				h := b.cprime[hk]
+				attrs, vals, ok := gs.atomProj(j, b.xSorted, h)
+				if !ok {
+					ap.allBases = append(ap.allBases, bases[hk])
+					continue
+				}
+				ap.xjAttrs = attrs
+				pk := vals.Key()
+				ap.blocksByProj[pk] = append(ap.blocksByProj[pk], bases[hk])
+			}
+			ap.exclude = gs.exclusionChecks(j, b)
+			plan.byAtom[j] = ap
+		}
+		plans = append(plans, plan)
+		comboRanges = append(comboRanges, vrange{rangeLo, virtual})
+		if pl := math.Pow(float64(gs.p), b.lambda); pl > predicted {
+			predicted = pl
+		}
+	}
+	if cfg.MaxVirtual > 0 && virtual > cfg.MaxVirtual {
+		panic(fmt.Sprintf("skew: %d virtual servers exceed cap %d", virtual, cfg.MaxVirtual))
+	}
+	if virtual == 0 {
+		virtual = 1
+	}
+
+	atomIndex := make(map[string]int, gs.q.NumAtoms())
+	for j, a := range gs.q.Atoms {
+		atomIndex[a.Name] = j
+	}
+	family := hashing.NewFamily(cfg.Seed)
+
+	router := mpc.RouterFunc(func(rel string, t data.Tuple, dst []int) []int {
+		j, ok := atomIndex[rel]
+		if !ok {
+			return dst
+		}
+		for _, plan := range plans {
+			ap := &plan.byAtom[j]
+			// Overweight exclusion (the S^(B)_j membership test).
+			excluded := false
+			rs := gs.st[rel]
+			for _, ec := range ap.exclude {
+				proj := make(data.Tuple, len(ec.attrs))
+				for pi, a := range ec.attrs {
+					proj[pi] = t[a]
+				}
+				freq := rs.Freq(ec.attrs, proj)
+				if freq > 0 && float64(freq) > gs.overweightThreshold(plan.combo, j, ec.extra) {
+					excluded = true
+					break
+				}
+			}
+			if excluded {
+				continue
+			}
+			var bases []int
+			if len(ap.xjAttrs) == 0 {
+				bases = ap.allBases
+			} else {
+				proj := make(data.Tuple, len(ap.xjAttrs))
+				for pi, a := range ap.xjAttrs {
+					proj[pi] = t[a]
+				}
+				bases = ap.blocksByProj[proj.Key()]
+			}
+			if len(bases) == 0 {
+				continue
+			}
+			dst = gs.appendSubcube(dst, plan, j, t, bases, family)
+		}
+		return dst
+	})
+
+	cluster := mpc.NewCluster(virtual)
+	if err := cluster.Round(gs.db, router); err != nil {
+		panic(fmt.Sprintf("skew: routing failed: %v", err))
+	}
+	var output []data.Tuple
+	if !cfg.SkipJoin {
+		q := gs.q
+		output = cluster.Compute(func(s *mpc.Server) []data.Tuple {
+			return join.Join(q, s.Received)
+		})
+		output = join.Dedup(output)
+	}
+
+	res := GeneralResult{
+		Output:         output,
+		VirtualServers: virtual,
+		NumBinCombos:   len(plans),
+		PredictedBits:  predicted,
+	}
+	res.ByCombo = make([]ComboLoad, len(plans))
+	for pi, plan := range plans {
+		res.ByCombo[pi] = ComboLoad{
+			Vars:      append([]int(nil), plan.combo.xSorted...),
+			Bins:      append([]int(nil), plan.combo.bins...),
+			CSize:     len(plan.combo.cprime),
+			Lambda:    plan.combo.lambda,
+			Predicted: math.Pow(float64(gs.p), plan.combo.lambda),
+		}
+	}
+	physical := make([]int64, gs.p)
+	for _, sv := range cluster.Servers {
+		if sv.BitsIn > res.MaxVirtualBits {
+			res.MaxVirtualBits = sv.BitsIn
+		}
+		for pi, vr := range comboRanges {
+			if sv.ID >= vr.lo && sv.ID < vr.hi && sv.BitsIn > res.ByCombo[pi].MaxBits {
+				res.ByCombo[pi].MaxBits = sv.BitsIn
+			}
+		}
+		physical[sv.ID%gs.p] += sv.BitsIn
+	}
+	for _, bbits := range physical {
+		if bbits > res.MaxPhysicalBits {
+			res.MaxPhysicalBits = bbits
+		}
+	}
+	return res
+}
+
+// appendSubcube appends, for every base block, the servers of the HC
+// subcube that tuple t of atom j occupies: dimensions of vars(S_j)−x_j are
+// fixed by hashing, the remaining free dimensions replicate.
+func (gs *generalState) appendSubcube(dst []int, plan *comboPlan, j int, t data.Tuple, bases []int, family *hashing.Family) []int {
+	nd := len(plan.freeDims)
+	coords := make([]int, nd)
+	fixed := make([]bool, nd)
+	for di, dim := range plan.freeDims {
+		if pos := gs.varPos[j][dim]; pos >= 0 {
+			coords[di] = family.Hash(dim, t[pos], plan.shares[di])
+			fixed[di] = true
+		}
+	}
+	var rec func(di, offset int)
+	rec = func(di, offset int) {
+		if di == nd {
+			for _, base := range bases {
+				dst = append(dst, base+offset)
+			}
+			return
+		}
+		if fixed[di] {
+			rec(di+1, offset+coords[di]*plan.strides[di])
+			return
+		}
+		for c := 0; c < plan.shares[di]; c++ {
+			rec(di+1, offset+c*plan.strides[di])
+		}
+	}
+	rec(0, 0)
+	return dst
+}
+
+// exclusionChecks enumerates the overweight tests for atom j within B: all
+// attribute subsets x” ⊆ vars(S_j) that properly extend x_j (any
+// non-empty subset when x_j = ∅).
+func (gs *generalState) exclusionChecks(j int, b *binCombo) []exclCheck {
+	atom := gs.q.Atoms[j]
+	var xjPos []int
+	inXj := make(map[int]bool)
+	for _, v := range atom.Vars {
+		if b.x.Contains(v) {
+			xjPos = append(xjPos, gs.varPos[j][v])
+			inXj[gs.varPos[j][v]] = true
+		}
+	}
+	sort.Ints(xjPos)
+	var outside []int // positions of vars(S_j) − x_j
+	for pos := range atom.Vars {
+		if !inXj[pos] {
+			outside = append(outside, pos)
+		}
+	}
+	var checks []exclCheck
+	for mask := 1; mask < 1<<len(outside); mask++ {
+		attrs := append([]int(nil), xjPos...)
+		var extra []int
+		for bit, pos := range outside {
+			if mask&(1<<bit) != 0 {
+				attrs = append(attrs, pos)
+				extra = append(extra, atom.Vars[pos])
+			}
+		}
+		sort.Ints(attrs)
+		checks = append(checks, exclCheck{attrs: attrs, extra: extra})
+	}
+	return checks
+}
+
+// BinCombos exposes, for inspection and tests, the bin combinations built
+// for q over db at p servers, as (variable set, bins, |C'|, λ) tuples.
+type BinComboInfo struct {
+	Vars   []int
+	Bins   []int
+	CSize  int
+	Lambda float64
+	Alpha  float64
+}
+
+// InspectBinCombos runs only the construction phase and reports the combos
+// (with the practical overweight factor of GeneralConfig's default).
+func InspectBinCombos(q *query.Query, db *data.Database, p int) []BinComboInfo {
+	gs := newGeneralState(q, db, p)
+	gs.applyOverweightFactor(GeneralConfig{})
+	gs.buildCombos()
+	keys := make([]string, 0, len(gs.combos))
+	for key, b := range gs.combos {
+		if len(b.cprime) > 0 {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	var out []BinComboInfo
+	for _, key := range keys {
+		b := gs.combos[key]
+		out = append(out, BinComboInfo{
+			Vars:   append([]int(nil), b.xSorted...),
+			Bins:   append([]int(nil), b.bins...),
+			CSize:  len(b.cprime),
+			Lambda: b.lambda,
+			Alpha:  b.alpha,
+		})
+	}
+	return out
+}

@@ -1,0 +1,329 @@
+// Package skew implements the skew-aware one-round algorithms of §4 of
+// Beame–Koutris–Suciu: the two-table skew join of §4.1 (light hitters by
+// hash join, jointly-heavy hitters by per-hitter cartesian grids,
+// one-sided-heavy hitters by partition+broadcast) and the general
+// bin-combination algorithm of §4.2 for arbitrary conjunctive queries.
+//
+// Both algorithms allocate Θ(p) virtual processors (as the paper does) and
+// run in a single communication round: every routing decision is a pure
+// function of the tuple plus the pre-computed heavy-hitter statistics.
+package skew
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/hashing"
+	"repro/internal/join"
+	"repro/internal/mpc"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// hitterClass says how a z-value is treated by the skew join.
+type hitterClass int
+
+const (
+	classLight hitterClass = iota
+	classH1                // heavy in S1 only: partition S1 on x, broadcast S2
+	classH2                // heavy in S2 only: partition S2 on y, broadcast S1
+	classH12               // heavy in both: p1×p2 cartesian grid
+)
+
+// hitterPlan is the per-heavy-hitter server allocation.
+type hitterPlan struct {
+	class  hitterClass
+	base   int // first virtual server of this hitter's block
+	ph     int // number of virtual servers in the block
+	p1, p2 int // grid split for classH12 (p1·p2 ≤ ph+slack)
+}
+
+// JoinConfig configures the §4.1 skew join of q(x,y,z) = S1(x,z), S2(y,z).
+type JoinConfig struct {
+	P    int
+	Seed uint64
+	// ThresholdNum/ThresholdDen scale the heavy-hitter threshold to
+	// (Num/Den)·m/p; both default to 1 (the paper's m/p). Ablation A3.
+	ThresholdNum, ThresholdDen int64
+	// SkipJoin measures routing loads only (no local join, empty Output).
+	SkipJoin bool
+	// SampleSize, when positive, detects heavy hitters from a uniform
+	// sample of that many tuples per relation instead of an exact pass —
+	// the sampling practice the paper cites for skew joins. Misclassified
+	// hitters only shift load, never correctness: every z-value is still
+	// routed consistently by whichever class the (shared) estimate gave
+	// it. SampleSeed fixes the sample.
+	SampleSize int
+	SampleSeed int64
+}
+
+// ClassLoads breaks the max virtual load down by the four §4.1 cases, in
+// bits. The paper bounds each separately (light by m_j/p, H12 by L12, H1
+// and H2 by partition+broadcast); the breakdown shows which case realizes
+// the max.
+type ClassLoads struct {
+	Light, H1, H2, H12 int64
+}
+
+// JoinResult reports a skew-join run.
+type JoinResult struct {
+	Output []data.Tuple
+	// MaxVirtualBits is the maximum load over virtual processors (what
+	// Eq. 10 bounds); MaxPhysicalBits maps virtual servers onto the p
+	// physical ones round-robin.
+	MaxVirtualBits  int64
+	MaxPhysicalBits int64
+	VirtualServers  int
+	// PredictedTuples is Eq. (10): max(m1/p, m2/p, L1, L2, L12) in tuples;
+	// PredictedBits converts at 2·⌈log₂ n⌉ bits per tuple.
+	PredictedTuples      float64
+	PredictedBits        float64
+	NumH1, NumH2, NumH12 int
+	ByClass              ClassLoads
+}
+
+// RunJoin executes the skew join for q(x,y,z) = S1(x,z), S2(y,z) over db
+// (relations "S1", "S2", both binary with z in column 1). It detects heavy
+// hitters at threshold m_j/p, allocates virtual processors per §4.1, routes
+// every tuple in one round, and computes the join locally at each virtual
+// server.
+func RunJoin(db *data.Database, cfg JoinConfig) JoinResult {
+	if cfg.P < 1 {
+		panic("skew: P must be >= 1")
+	}
+	num, den := cfg.ThresholdNum, cfg.ThresholdDen
+	if num <= 0 {
+		num = 1
+	}
+	if den <= 0 {
+		den = 1
+	}
+	s1, s2 := db.MustGet("S1"), db.MustGet("S2")
+	m1, m2 := int64(s1.Size()), int64(s2.Size())
+	var f1, f2 *stats.FreqMap
+	if cfg.SampleSize > 0 {
+		f1 = stats.SampleFrequencies(s1, []int{1}, cfg.SampleSize, cfg.SampleSeed)
+		f2 = stats.SampleFrequencies(s2, []int{1}, cfg.SampleSize, cfg.SampleSeed+1)
+	} else {
+		f1 = stats.Frequencies(s1, []int{1})
+		f2 = stats.Frequencies(s2, []int{1})
+	}
+	thr1 := float64(m1) * float64(num) / (float64(cfg.P) * float64(den))
+	thr2 := float64(m2) * float64(num) / (float64(cfg.P) * float64(den))
+
+	// Classify heavy hitters. The paper's H_j sets use m_j(h) ≥ m_j/p.
+	plans := make(map[int64]*hitterPlan)
+	var h12Keys, h1Keys, h2Keys []int64
+	for k, c1 := range f1.Counts {
+		if float64(c1) < thr1 {
+			continue
+		}
+		v := stats.ParseKey(k)[0]
+		if float64(f2.Counts[k]) >= thr2 {
+			plans[v] = &hitterPlan{class: classH12}
+			h12Keys = append(h12Keys, v)
+		} else {
+			plans[v] = &hitterPlan{class: classH1}
+			h1Keys = append(h1Keys, v)
+		}
+	}
+	for k, c2 := range f2.Counts {
+		if float64(c2) < thr2 {
+			continue
+		}
+		v := stats.ParseKey(k)[0]
+		if _, done := plans[v]; !done {
+			plans[v] = &hitterPlan{class: classH2}
+			h2Keys = append(h2Keys, v)
+		}
+	}
+	sort.Slice(h12Keys, func(i, j int) bool { return h12Keys[i] < h12Keys[j] })
+	sort.Slice(h1Keys, func(i, j int) bool { return h1Keys[i] < h1Keys[j] })
+	sort.Slice(h2Keys, func(i, j int) bool { return h2Keys[i] < h2Keys[j] })
+
+	count := func(f *stats.FreqMap, v int64) int64 { return f.Counts[data.Tuple{v}.Key()] }
+
+	// Server allocation (§4.1). Light hitters use virtual servers [0, p).
+	next := cfg.P
+	var sumK12, sumK1, sumK2 float64
+	for _, v := range h12Keys {
+		sumK12 += float64(count(f1, v)) * float64(count(f2, v))
+	}
+	for _, v := range h1Keys {
+		sumK1 += float64(count(f1, v))
+	}
+	for _, v := range h2Keys {
+		sumK2 += float64(count(f2, v))
+	}
+	for _, v := range h12Keys {
+		pl := plans[v]
+		k12 := float64(count(f1, v)) * float64(count(f2, v))
+		pl.ph = int(math.Ceil(float64(cfg.P) * k12 / sumK12))
+		// Grid split p1 ∝ sqrt(ph·m1(h)/m2(h)) as in §1, clamped so the
+		// block never exceeds ph servers.
+		r1 := float64(count(f1, v))
+		r2 := float64(count(f2, v))
+		pl.p1 = int(math.Round(math.Sqrt(float64(pl.ph) * r1 / r2)))
+		if pl.p1 < 1 {
+			pl.p1 = 1
+		}
+		if pl.p1 > pl.ph {
+			pl.p1 = pl.ph
+		}
+		pl.p2 = pl.ph / pl.p1
+		if pl.p2 < 1 {
+			pl.p2 = 1
+		}
+		pl.base = next
+		next += pl.p1 * pl.p2
+	}
+	for _, v := range h1Keys {
+		pl := plans[v]
+		pl.ph = int(math.Ceil(float64(cfg.P) * float64(count(f1, v)) / sumK1))
+		pl.base = next
+		next += pl.ph
+	}
+	for _, v := range h2Keys {
+		pl := plans[v]
+		pl.ph = int(math.Ceil(float64(cfg.P) * float64(count(f2, v)) / sumK2))
+		pl.base = next
+		next += pl.ph
+	}
+	virtual := next
+
+	family := hashing.NewFamily(cfg.Seed)
+	const dimX, dimY, dimZ = 0, 1, 2
+	router := mpc.RouterFunc(func(rel string, t data.Tuple, dst []int) []int {
+		z := t[1]
+		pl := plans[z]
+		if pl == nil { // light: hash join on z over servers [0,p)
+			return append(dst, family.Hash(dimZ, z, cfg.P))
+		}
+		switch pl.class {
+		case classH12:
+			if rel == "S1" { // row fixed by hash(x), replicate across columns
+				row := family.Hash(dimX, t[0], pl.p1)
+				for c := 0; c < pl.p2; c++ {
+					dst = append(dst, pl.base+row*pl.p2+c)
+				}
+			} else { // column fixed by hash(y), replicate across rows
+				col := family.Hash(dimY, t[0], pl.p2)
+				for r := 0; r < pl.p1; r++ {
+					dst = append(dst, pl.base+r*pl.p2+col)
+				}
+			}
+		case classH1:
+			if rel == "S1" { // partition on x
+				dst = append(dst, pl.base+family.Hash(dimX, t[0], pl.ph))
+			} else { // broadcast the light S2 side
+				for i := 0; i < pl.ph; i++ {
+					dst = append(dst, pl.base+i)
+				}
+			}
+		case classH2:
+			if rel == "S2" { // partition on y
+				dst = append(dst, pl.base+family.Hash(dimY, t[0], pl.ph))
+			} else { // broadcast the light S1 side
+				for i := 0; i < pl.ph; i++ {
+					dst = append(dst, pl.base+i)
+				}
+			}
+		}
+		return dst
+	})
+
+	cluster := mpc.NewCluster(virtual)
+	if err := cluster.Round(db, router); err != nil {
+		panic(fmt.Sprintf("skew: routing failed: %v", err))
+	}
+	var output []data.Tuple
+	if !cfg.SkipJoin {
+		q := query.Join2()
+		output = cluster.Compute(func(s *mpc.Server) []data.Tuple {
+			return join.Join(q, s.Received)
+		})
+	}
+
+	res := JoinResult{
+		Output:         output,
+		VirtualServers: virtual,
+		NumH1:          len(h1Keys),
+		NumH2:          len(h2Keys),
+		NumH12:         len(h12Keys),
+	}
+	// Class boundaries in the virtual-ID space: [0,p) is light; hitter
+	// blocks follow in allocation order (H12, H1, H2).
+	classOf := func(id int) *int64 {
+		if id < cfg.P {
+			return &res.ByClass.Light
+		}
+		for _, v := range h12Keys {
+			pl := plans[v]
+			if id >= pl.base && id < pl.base+pl.p1*pl.p2 {
+				return &res.ByClass.H12
+			}
+		}
+		for _, v := range h1Keys {
+			pl := plans[v]
+			if id >= pl.base && id < pl.base+pl.ph {
+				return &res.ByClass.H1
+			}
+		}
+		return &res.ByClass.H2
+	}
+	physical := make([]int64, cfg.P)
+	for _, sv := range cluster.Servers {
+		if sv.BitsIn > res.MaxVirtualBits {
+			res.MaxVirtualBits = sv.BitsIn
+		}
+		if slot := classOf(sv.ID); sv.BitsIn > *slot {
+			*slot = sv.BitsIn
+		}
+		physical[sv.ID%cfg.P] += sv.BitsIn
+	}
+	for _, b := range physical {
+		if b > res.MaxPhysicalBits {
+			res.MaxPhysicalBits = b
+		}
+	}
+	// Eq. (10): L = max(m1/p, m2/p, L1, L2, L12).
+	p := float64(cfg.P)
+	res.PredictedTuples = math.Max(float64(m1)/p, float64(m2)/p)
+	res.PredictedTuples = math.Max(res.PredictedTuples, math.Sqrt(sumK12/p))
+	res.PredictedTuples = math.Max(res.PredictedTuples, math.Sqrt(sumK1/p))
+	res.PredictedTuples = math.Max(res.PredictedTuples, math.Sqrt(sumK2/p))
+	res.PredictedBits = res.PredictedTuples * float64(s1.BitsPerTuple())
+	return res
+}
+
+// VanillaHashJoin runs the baseline standard hash join on z (shares
+// (1,1,p)) for the same query, returning output and the max load in bits —
+// the algorithm that degrades to Ω(m) under skew (Example 3.3).
+func VanillaHashJoin(db *data.Database, p int, seed uint64) ([]data.Tuple, int64) {
+	cluster := vanillaRound(db, p, seed)
+	q := query.Join2()
+	out := cluster.Compute(func(s *mpc.Server) []data.Tuple {
+		return join.Join(q, s.Received)
+	})
+	return out, cluster.Loads().MaxBits
+}
+
+// VanillaHashJoinLoads is VanillaHashJoin without the local join: it
+// reports only the max load in bits (communication is identical).
+func VanillaHashJoinLoads(db *data.Database, p int, seed uint64) int64 {
+	return vanillaRound(db, p, seed).Loads().MaxBits
+}
+
+func vanillaRound(db *data.Database, p int, seed uint64) *mpc.Cluster {
+	family := hashing.NewFamily(seed)
+	cluster := mpc.NewCluster(p)
+	router := mpc.RouterFunc(func(rel string, t data.Tuple, dst []int) []int {
+		return append(dst, family.Hash(2, t[1], p))
+	})
+	if err := cluster.Round(db, router); err != nil {
+		panic(err)
+	}
+	return cluster
+}

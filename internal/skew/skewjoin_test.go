@@ -1,0 +1,254 @@
+package skew
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/join"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// joinDB builds a Join2 database: S1(x,z), S2(y,z), z at column 1.
+func joinDB(s1, s2 *data.Relation) *data.Database {
+	db := data.NewDatabase()
+	s1c := s1.Clone()
+	s1c.Name = "S1"
+	s2c := s2.Clone()
+	s2c.Name = "S2"
+	db.Put(s1c)
+	db.Put(s2c)
+	return db
+}
+
+func reference(db *data.Database) []data.Tuple {
+	return join.Join(query.Join2(), join.FromDatabase(db))
+}
+
+func TestRunJoinCorrectUniform(t *testing.T) {
+	db := joinDB(
+		workload.Uniform("S1", 2, 500, 60, 1),
+		workload.Uniform("S2", 2, 500, 60, 2),
+	)
+	res := RunJoin(db, JoinConfig{P: 16, Seed: 3})
+	if !join.EqualTupleSets(res.Output, reference(db)) {
+		t.Errorf("skew join wrong on uniform data: got %d, want %d tuples",
+			len(res.Output), len(reference(db)))
+	}
+}
+
+func TestRunJoinCorrectSingleHeavyBoth(t *testing.T) {
+	// All z equal: one hitter heavy in both relations (pure cartesian).
+	db := joinDB(
+		workload.SingleValue("S1", 2, 300, 1000, 1, 7, 1),
+		workload.SingleValue("S2", 2, 200, 1000, 1, 7, 2),
+	)
+	res := RunJoin(db, JoinConfig{P: 16, Seed: 5})
+	want := reference(db)
+	if len(want) != 300*200 {
+		t.Fatalf("reference size %d, want 60000", len(want))
+	}
+	if !join.EqualTupleSets(res.Output, want) {
+		t.Errorf("skew join wrong on H12 case: got %d tuples", len(res.Output))
+	}
+	if res.NumH12 != 1 || res.NumH1 != 0 || res.NumH2 != 0 {
+		t.Errorf("classification wrong: H12=%d H1=%d H2=%d", res.NumH12, res.NumH1, res.NumH2)
+	}
+}
+
+func TestRunJoinCorrectOneSidedHeavy(t *testing.T) {
+	// Value 9 heavy in S1 only; S2 has it exactly once.
+	s1 := workload.PlantedHeavy("S1", 400, 10000, 1, []workload.HeavySpec{{Value: 9, Count: 200}}, 3)
+	s2 := workload.PlantedHeavy("S2", 400, 10000, 1, []workload.HeavySpec{{Value: 9, Count: 1}}, 4)
+	db := joinDB(s1, s2)
+	res := RunJoin(db, JoinConfig{P: 8, Seed: 6})
+	if !join.EqualTupleSets(res.Output, reference(db)) {
+		t.Errorf("skew join wrong on H1 case: got %d, want %d",
+			len(res.Output), len(reference(db)))
+	}
+	if res.NumH1 != 1 {
+		t.Errorf("H1 = %d, want 1 (H2=%d H12=%d)", res.NumH1, res.NumH2, res.NumH12)
+	}
+}
+
+func TestRunJoinCorrectMixedClasses(t *testing.T) {
+	// Hitters of all three classes plus light tuples.
+	s1 := workload.PlantedHeavy("S1", 600, 100000, 1, []workload.HeavySpec{
+		{Value: 1, Count: 150}, // H12 (also heavy in S2)
+		{Value: 2, Count: 120}, // H1 only
+	}, 7)
+	s2 := workload.PlantedHeavy("S2", 600, 100000, 1, []workload.HeavySpec{
+		{Value: 1, Count: 100}, // H12
+		{Value: 3, Count: 140}, // H2 only
+	}, 8)
+	db := joinDB(s1, s2)
+	res := RunJoin(db, JoinConfig{P: 8, Seed: 9})
+	if !join.EqualTupleSets(res.Output, reference(db)) {
+		t.Errorf("skew join wrong on mixed case: got %d, want %d",
+			len(res.Output), len(reference(db)))
+	}
+	if res.NumH12 != 1 || res.NumH1 != 1 || res.NumH2 != 1 {
+		t.Errorf("classes: H12=%d H1=%d H2=%d, want 1 each", res.NumH12, res.NumH1, res.NumH2)
+	}
+}
+
+func TestRunJoinCorrectZipf(t *testing.T) {
+	db := joinDB(
+		workload.Zipf("S1", 2000, 100000, 1, 1.8, 500, 11),
+		workload.Zipf("S2", 2000, 100000, 1, 1.8, 500, 12),
+	)
+	res := RunJoin(db, JoinConfig{P: 32, Seed: 13})
+	if !join.EqualTupleSets(res.Output, reference(db)) {
+		t.Errorf("skew join wrong on zipf: got %d, want %d",
+			len(res.Output), len(reference(db)))
+	}
+	if res.NumH12 == 0 {
+		t.Error("zipf(1.8) should produce jointly-heavy hitters")
+	}
+}
+
+func TestRunJoinBeatsVanillaOnSkew(t *testing.T) {
+	// Example 3.3 / §4.1 headline: under heavy skew, the skew-aware join's
+	// max load is far below the vanilla hash join's Ω(m) load.
+	m := 3000
+	db := joinDB(
+		workload.SingleValue("S1", 2, m, 100000, 1, 7, 1),
+		workload.SingleValue("S2", 2, m, 100000, 1, 7, 2),
+	)
+	p := 64
+	res := RunJoin(db, JoinConfig{P: p, Seed: 3, SkipJoin: true})
+	vanillaMax := VanillaHashJoinLoads(db, p, 3)
+	// Vanilla sends everything to one server: load = 2m tuples worth.
+	bitsPer := db.MustGet("S1").BitsPerTuple()
+	if vanillaMax < int64(m)*bitsPer {
+		t.Errorf("vanilla load %d should be >= m (it hashes all to one server)", vanillaMax)
+	}
+	if res.MaxVirtualBits*4 > vanillaMax {
+		t.Errorf("skew join (%d) not clearly better than vanilla (%d)", res.MaxVirtualBits, vanillaMax)
+	}
+}
+
+func TestRunJoinLoadNearPrediction(t *testing.T) {
+	// Eq. (10): measured virtual load should be within O(log p) of the
+	// predicted L.
+	db := joinDB(
+		workload.Zipf("S1", 5000, 1000000, 1, 1.5, 1000, 21),
+		workload.Zipf("S2", 5000, 1000000, 1, 1.5, 1000, 22),
+	)
+	p := 32
+	res := RunJoin(db, JoinConfig{P: p, Seed: 23, SkipJoin: true})
+	if res.PredictedBits <= 0 {
+		t.Fatal("no prediction")
+	}
+	ratio := float64(res.MaxVirtualBits) / res.PredictedBits
+	if ratio > 12 { // generous O(log p) slack (log 32 ≈ 3.5)
+		t.Errorf("measured/predicted = %v, too far above Eq. (10)", ratio)
+	}
+}
+
+func TestRunJoinVirtualServersTheta(t *testing.T) {
+	db := joinDB(
+		workload.Zipf("S1", 2000, 100000, 1, 2.0, 300, 31),
+		workload.Zipf("S2", 2000, 100000, 1, 2.0, 300, 32),
+	)
+	p := 16
+	res := RunJoin(db, JoinConfig{P: p, Seed: 33, SkipJoin: true})
+	// Θ(p): between p and a small multiple of p (each of ≤3p hitter groups
+	// gets ceil rounding slack).
+	if res.VirtualServers < p || res.VirtualServers > 10*p+100 {
+		t.Errorf("virtual servers = %d, want Θ(p) around %d", res.VirtualServers, p)
+	}
+}
+
+func TestRunJoinThresholdAblation(t *testing.T) {
+	db := joinDB(
+		workload.Zipf("S1", 2000, 100000, 1, 1.6, 400, 41),
+		workload.Zipf("S2", 2000, 100000, 1, 1.6, 400, 42),
+	)
+	want := reference(db)
+	// Halving or doubling the threshold must not affect correctness.
+	for _, cfg := range []JoinConfig{
+		{P: 16, Seed: 1, ThresholdNum: 1, ThresholdDen: 2},
+		{P: 16, Seed: 1, ThresholdNum: 2, ThresholdDen: 1},
+	} {
+		res := RunJoin(db, cfg)
+		if !join.EqualTupleSets(res.Output, want) {
+			t.Errorf("threshold %d/%d broke correctness", cfg.ThresholdNum, cfg.ThresholdDen)
+		}
+	}
+}
+
+func TestRunJoinEmptyRelations(t *testing.T) {
+	db := data.NewDatabase()
+	db.Put(data.NewRelation("S1", 2, 10))
+	db.Put(data.NewRelation("S2", 2, 10))
+	res := RunJoin(db, JoinConfig{P: 4, Seed: 1})
+	if len(res.Output) != 0 {
+		t.Error("join of empty relations should be empty")
+	}
+}
+
+func TestVanillaHashJoinCorrect(t *testing.T) {
+	db := joinDB(
+		workload.Uniform("S1", 2, 300, 50, 51),
+		workload.Uniform("S2", 2, 300, 50, 52),
+	)
+	out, _ := VanillaHashJoin(db, 8, 1)
+	if !join.EqualTupleSets(out, reference(db)) {
+		t.Error("vanilla hash join incorrect")
+	}
+}
+
+func TestRunJoinPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RunJoin(data.NewDatabase(), JoinConfig{P: 0})
+}
+
+func TestByClassBreakdown(t *testing.T) {
+	// Mixed classes: each class's max must be positive where hitters
+	// exist and the overall max must equal the max over classes.
+	s1 := workload.PlantedHeavy("S1", 600, 100000, 1, []workload.HeavySpec{
+		{Value: 1, Count: 150}, {Value: 2, Count: 120},
+	}, 7)
+	s2 := workload.PlantedHeavy("S2", 600, 100000, 1, []workload.HeavySpec{
+		{Value: 1, Count: 100}, {Value: 3, Count: 140},
+	}, 8)
+	db := joinDB(s1, s2)
+	res := RunJoin(db, JoinConfig{P: 8, Seed: 9, SkipJoin: true})
+	bc := res.ByClass
+	if bc.Light <= 0 || bc.H12 <= 0 || bc.H1 <= 0 || bc.H2 <= 0 {
+		t.Errorf("class loads should all be positive: %+v", bc)
+	}
+	max := bc.Light
+	for _, v := range []int64{bc.H1, bc.H2, bc.H12} {
+		if v > max {
+			max = v
+		}
+	}
+	if max != res.MaxVirtualBits {
+		t.Errorf("class max %d != overall max %d", max, res.MaxVirtualBits)
+	}
+}
+
+func TestByClassLightBoundedByMOverP(t *testing.T) {
+	// The light class is a plain hash join: its max load is O(log p · m/p)
+	// bits on light-only data.
+	db := joinDB(
+		workload.Matching("S1", 2, 4000, 1000000, 1),
+		workload.Matching("S2", 2, 4000, 1000000, 2),
+	)
+	p := 16
+	res := RunJoin(db, JoinConfig{P: p, Seed: 3, SkipJoin: true})
+	bitsPer := db.MustGet("S1").BitsPerTuple()
+	budget := 8 * int64(4000/p) * bitsPer
+	if res.ByClass.Light > budget {
+		t.Errorf("light-class load %d exceeds budget %d", res.ByClass.Light, budget)
+	}
+	if res.ByClass.H12 != 0 || res.ByClass.H1 != 0 || res.ByClass.H2 != 0 {
+		t.Errorf("no heavy classes expected: %+v", res.ByClass)
+	}
+}

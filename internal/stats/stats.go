@@ -1,0 +1,297 @@
+// Package stats computes the database statistics that the paper's
+// algorithms assume known to all input servers: relation cardinalities
+// (simple statistics, §3) and, for the skew-aware algorithms of §4, the
+// identities and (approximate) frequencies of heavy hitters over every
+// attribute subset of every relation, organized into the O(log p)
+// factor-of-two frequency bins of §4.2.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/data"
+)
+
+// AttrKey canonically encodes an attribute-position subset, e.g. [0,2] →
+// "0,2". Positions must be sorted ascending by the caller for canonical
+// keys; Frequencies sorts defensively.
+func AttrKey(attrs []int) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = fmt.Sprintf("%d", a)
+	}
+	return strings.Join(parts, ",")
+}
+
+// FreqMap records, for one relation and one attribute subset, the frequency
+// of every value combination that occurs.
+type FreqMap struct {
+	Attrs  []int            // sorted attribute positions within the relation
+	Counts map[string]int64 // projected-tuple key → frequency
+	Total  int64            // Σ counts = m_j
+}
+
+// Project extracts the FreqMap's attributes from a full tuple.
+func (f *FreqMap) Project(t data.Tuple) data.Tuple {
+	out := make(data.Tuple, len(f.Attrs))
+	for i, a := range f.Attrs {
+		out[i] = t[a]
+	}
+	return out
+}
+
+// Count returns the frequency of the projected values of t (0 if absent).
+func (f *FreqMap) Count(projected data.Tuple) int64 {
+	return f.Counts[projected.Key()]
+}
+
+// Frequencies computes the exact frequency map of r over the given
+// attribute positions.
+func Frequencies(r *data.Relation, attrs []int) *FreqMap {
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	f := &FreqMap{Attrs: sorted, Counts: make(map[string]int64)}
+	r.Each(func(_ int, t data.Tuple) bool {
+		f.Counts[f.Project(t).Key()]++
+		f.Total++
+		return true
+	})
+	return f
+}
+
+// SampleFrequencies estimates frequencies from a uniform sample of
+// sampleSize tuples (with replacement), scaling counts by m/sampleSize.
+// It implements the "detect heavy hitters by sampling" practice the paper
+// cites; estimates are only reliable above roughly m/sampleSize.
+func SampleFrequencies(r *data.Relation, attrs []int, sampleSize int, seed int64) *FreqMap {
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	f := &FreqMap{Attrs: sorted, Counts: make(map[string]int64)}
+	m := r.Size()
+	if m == 0 || sampleSize <= 0 {
+		return f
+	}
+	rng := rand.New(rand.NewSource(seed))
+	raw := make(map[string]int64)
+	for i := 0; i < sampleSize; i++ {
+		t := r.Tuple(rng.Intn(m))
+		raw[f.Project(t).Key()]++
+	}
+	scale := float64(m) / float64(sampleSize)
+	for k, c := range raw {
+		f.Counts[k] = int64(math.Round(float64(c) * scale))
+	}
+	f.Total = int64(m)
+	return f
+}
+
+// Merge combines frequency maps computed over disjoint partitions of the
+// same relation (the distributed statistics pass: each input server counts
+// its own partition, then the counts are summed). Attribute sets must
+// match.
+func Merge(parts ...*FreqMap) *FreqMap {
+	if len(parts) == 0 {
+		return &FreqMap{Counts: make(map[string]int64)}
+	}
+	out := &FreqMap{
+		Attrs:  append([]int(nil), parts[0].Attrs...),
+		Counts: make(map[string]int64),
+	}
+	for _, p := range parts {
+		if AttrKey(p.Attrs) != AttrKey(out.Attrs) {
+			panic("stats: Merge over mismatched attribute sets")
+		}
+		for k, c := range p.Counts {
+			out.Counts[k] += c
+		}
+		out.Total += p.Total
+	}
+	return out
+}
+
+// HeavyHitter is one skewed value combination with its frequency.
+type HeavyHitter struct {
+	Key   string
+	Count int64
+}
+
+// HeavyHitters returns the value combinations with frequency strictly
+// greater than threshold, sorted by descending count then key. With
+// threshold = m/p there are fewer than p of them.
+func (f *FreqMap) HeavyHitters(threshold int64) []HeavyHitter {
+	var out []HeavyHitter
+	for k, c := range f.Counts {
+		if c > threshold {
+			out = append(out, HeavyHitter{Key: k, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// ParseKey converts a FreqMap key back to tuple values.
+func ParseKey(key string) data.Tuple {
+	if key == "" {
+		return data.Tuple{}
+	}
+	parts := strings.Split(key, ",")
+	t := make(data.Tuple, len(parts))
+	for i, p := range parts {
+		var v int64
+		fmt.Sscanf(p, "%d", &v)
+		t[i] = v
+	}
+	return t
+}
+
+// NumBins returns the number of heavy-hitter bins for p servers:
+// ⌈log₂ p⌉ heavy bins plus one light bin (§4.2).
+func NumBins(p int) int {
+	if p < 2 {
+		return 2
+	}
+	return int(math.Ceil(math.Log2(float64(p)))) + 1
+}
+
+// BinOf assigns a frequency to its bin index b ∈ [1, NumBins(p)]: bin b
+// holds frequencies with m/2^{b-1} ≥ freq > m/2^b, and the last bin holds
+// the light hitters (freq ≤ m/p).
+func BinOf(freq, m int64, p int) int {
+	if freq <= 0 {
+		panic("stats: BinOf on nonpositive frequency")
+	}
+	last := NumBins(p)
+	if freq*int64(p) <= m { // light: freq <= m/p
+		return last
+	}
+	for b := 1; b < last; b++ {
+		// freq > m / 2^b ?
+		if float64(freq) > float64(m)/math.Exp2(float64(b)) {
+			return b
+		}
+	}
+	return last - 1
+}
+
+// BinExponent returns β_b = log_p(2^{b-1}) for a heavy bin, and 1 for the
+// light bin (§4.2: β_1 = 0 < β_2 < … < β_{log p + 1} = 1).
+func BinExponent(b, p int) float64 {
+	if p < 2 {
+		return 0
+	}
+	if b >= NumBins(p) {
+		return 1
+	}
+	return float64(b-1) * math.Log(2) / math.Log(float64(p))
+}
+
+// RelationStats bundles the statistics of one relation: its cardinality and
+// the heavy-hitter frequency maps over every non-empty attribute subset.
+type RelationStats struct {
+	Name      string
+	Arity     int
+	M         int64 // tuple count
+	Bits      int64 // M_j in bits
+	Domain    int64
+	Threshold int64               // m/p
+	ByAttrs   map[string]*FreqMap // AttrKey → frequencies (heavy entries only)
+}
+
+// Heavy returns the heavy hitters over the given attribute subset.
+func (rs *RelationStats) Heavy(attrs []int) []HeavyHitter {
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	f, ok := rs.ByAttrs[AttrKey(sorted)]
+	if !ok {
+		return nil
+	}
+	return f.HeavyHitters(rs.Threshold)
+}
+
+// Freq returns the recorded frequency of the projected values over attrs,
+// or 0 if the combination is light (not recorded).
+func (rs *RelationStats) Freq(attrs []int, projected data.Tuple) int64 {
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	f, ok := rs.ByAttrs[AttrKey(sorted)]
+	if !ok {
+		return 0
+	}
+	return f.Count(projected)
+}
+
+// Collect computes RelationStats for r with heavy-hitter threshold m/p. It
+// keeps only heavy entries in ByAttrs (there are O(p) of them per subset),
+// matching the paper's statistics-size accounting.
+func Collect(r *data.Relation, p int) *RelationStats {
+	m := int64(r.Size())
+	rs := &RelationStats{
+		Name:      r.Name,
+		Arity:     r.Arity,
+		M:         m,
+		Bits:      r.Bits(),
+		Domain:    r.Domain,
+		Threshold: m / int64(p),
+		ByAttrs:   make(map[string]*FreqMap),
+	}
+	for _, attrs := range nonEmptySubsets(r.Arity) {
+		full := Frequencies(r, attrs)
+		pruned := &FreqMap{Attrs: full.Attrs, Counts: make(map[string]int64), Total: full.Total}
+		for k, c := range full.Counts {
+			if c > rs.Threshold {
+				pruned.Counts[k] = c
+			}
+		}
+		rs.ByAttrs[AttrKey(attrs)] = pruned
+	}
+	return rs
+}
+
+// nonEmptySubsets enumerates all non-empty subsets of {0..arity-1}.
+func nonEmptySubsets(arity int) [][]int {
+	var out [][]int
+	for mask := 1; mask < 1<<arity; mask++ {
+		var s []int
+		for i := 0; i < arity; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, i)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// DBStats is the full complex-statistics bundle of §4: per-relation
+// cardinalities plus heavy hitters, at a common server count p.
+type DBStats struct {
+	P         int
+	Relations map[string]*RelationStats
+}
+
+// CollectDB computes statistics for every relation in db.
+func CollectDB(db *data.Database, p int) *DBStats {
+	s := &DBStats{P: p, Relations: make(map[string]*RelationStats)}
+	for name, r := range db.Relations {
+		s.Relations[name] = Collect(r, p)
+	}
+	return s
+}
+
+// Cardinalities returns the tuple counts keyed by relation name.
+func (s *DBStats) Cardinalities() map[string]int64 {
+	out := make(map[string]int64, len(s.Relations))
+	for n, rs := range s.Relations {
+		out[n] = rs.M
+	}
+	return out
+}

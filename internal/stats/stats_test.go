@@ -1,0 +1,306 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func makeSkewed(t *testing.T) *data.Relation {
+	t.Helper()
+	// 100 tuples: value 7 appears 40 times in column 1, rest distinct.
+	r := data.NewRelation("S", 2, 1000)
+	for i := int64(0); i < 40; i++ {
+		r.Add(i, 7)
+	}
+	for i := int64(0); i < 60; i++ {
+		r.Add(100+i, 100+i)
+	}
+	return r
+}
+
+func TestFrequenciesExact(t *testing.T) {
+	r := makeSkewed(t)
+	f := Frequencies(r, []int{1})
+	if f.Total != 100 {
+		t.Errorf("Total = %d", f.Total)
+	}
+	if f.Count(data.Tuple{7}) != 40 {
+		t.Errorf("count(7) = %d, want 40", f.Count(data.Tuple{7}))
+	}
+	if f.Count(data.Tuple{100}) != 1 {
+		t.Errorf("count(100) = %d, want 1", f.Count(data.Tuple{100}))
+	}
+	if f.Count(data.Tuple{9999}) != 0 {
+		t.Error("absent value should count 0")
+	}
+}
+
+func TestFrequenciesMultiAttr(t *testing.T) {
+	r := data.NewRelation("S", 3, 100)
+	r.Add(1, 2, 3)
+	r.Add(1, 2, 4)
+	r.Add(1, 5, 3)
+	f := Frequencies(r, []int{0, 1})
+	if f.Count(data.Tuple{1, 2}) != 2 || f.Count(data.Tuple{1, 5}) != 1 {
+		t.Errorf("multi-attr counts wrong: %v", f.Counts)
+	}
+}
+
+func TestFrequenciesSortsAttrs(t *testing.T) {
+	r := data.NewRelation("S", 2, 100)
+	r.Add(1, 2)
+	f := Frequencies(r, []int{1, 0})
+	if f.Attrs[0] != 0 || f.Attrs[1] != 1 {
+		t.Errorf("Attrs = %v, want sorted", f.Attrs)
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	r := makeSkewed(t)
+	f := Frequencies(r, []int{1})
+	// threshold m/p with p=10: 100/10 = 10; only value 7 (40) is heavy.
+	hh := f.HeavyHitters(10)
+	if len(hh) != 1 || hh[0].Key != "7" || hh[0].Count != 40 {
+		t.Errorf("HeavyHitters = %v", hh)
+	}
+	// threshold 0: every distinct value is heavy; sorted by count desc.
+	all := f.HeavyHitters(0)
+	if len(all) != 61 {
+		t.Errorf("len = %d, want 61", len(all))
+	}
+	if all[0].Count != 40 {
+		t.Error("not sorted by count")
+	}
+}
+
+func TestSampleFrequenciesFindsBigHitter(t *testing.T) {
+	r := makeSkewed(t)
+	f := SampleFrequencies(r, []int{1}, 400, 7)
+	got := f.Count(data.Tuple{7})
+	if got < 20 || got > 60 {
+		t.Errorf("sampled count(7) = %d, want ≈40", got)
+	}
+}
+
+func TestSampleFrequenciesEmpty(t *testing.T) {
+	r := data.NewRelation("S", 1, 10)
+	f := SampleFrequencies(r, []int{0}, 100, 1)
+	if len(f.Counts) != 0 {
+		t.Error("empty relation should sample nothing")
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	tu := data.Tuple{5, 0, 123}
+	if got := ParseKey(tu.Key()); got.Key() != tu.Key() {
+		t.Errorf("round trip = %v", got)
+	}
+	if len(ParseKey("")) != 0 {
+		t.Error("empty key should parse to empty tuple")
+	}
+}
+
+func TestNumBins(t *testing.T) {
+	cases := []struct{ p, want int }{
+		{1, 2}, {2, 2}, {4, 3}, {8, 4}, {1024, 11}, {1000, 11},
+	}
+	for _, c := range cases {
+		if got := NumBins(c.p); got != c.want {
+			t.Errorf("NumBins(%d) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	const m, p = 1024, 16 // bins 1..4 heavy, 5 light
+	cases := []struct {
+		freq int64
+		want int
+	}{
+		{1024, 1}, // m itself: m/2^0 >= f > m/2^1
+		{513, 1},  // just above m/2
+		{512, 2},  // m/2: in bin 2 (m/2 >= f > m/4)
+		{257, 2},
+		{256, 3},
+		{128, 4},
+		{65, 4}, // just above m/p = 64
+		{64, 5}, // exactly m/p: light
+		{1, 5},
+	}
+	for _, c := range cases {
+		if got := BinOf(c.freq, m, p); got != c.want {
+			t.Errorf("BinOf(%d) = %d, want %d", c.freq, got, c.want)
+		}
+	}
+}
+
+func TestBinOfPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BinOf(0, 10, 2)
+}
+
+func TestBinExponent(t *testing.T) {
+	const p = 16
+	if got := BinExponent(1, p); got != 0 {
+		t.Errorf("β_1 = %v, want 0", got)
+	}
+	// β_b = log_p 2^{b-1}: for p=16, β_2 = 1/4.
+	if got := BinExponent(2, p); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("β_2 = %v, want 0.25", got)
+	}
+	if got := BinExponent(NumBins(p), p); got != 1 {
+		t.Errorf("light bin β = %v, want 1", got)
+	}
+	// Monotone increasing.
+	prev := -1.0
+	for b := 1; b <= NumBins(p); b++ {
+		e := BinExponent(b, p)
+		if e < prev {
+			t.Errorf("bin exponents not monotone at b=%d", b)
+		}
+		prev = e
+	}
+}
+
+func TestBinInvariantFrequencyWithinFactor2(t *testing.T) {
+	// All heavy hitters in the same bin have frequencies within 2× of each
+	// other (the property the algorithm relies on).
+	const m, p = 1 << 20, 64
+	for f := int64(m/p + 1); f <= m; f = f*3/2 + 1 {
+		b := BinOf(f, m, p)
+		if b == NumBins(p) {
+			continue
+		}
+		lo := float64(m) / math.Exp2(float64(b))
+		hi := float64(m) / math.Exp2(float64(b-1))
+		if !(float64(f) > lo && float64(f) <= hi+1e-9) {
+			t.Errorf("freq %d in bin %d outside (m/2^b, m/2^{b-1}] = (%v,%v]", f, b, lo, hi)
+		}
+	}
+}
+
+func TestCollect(t *testing.T) {
+	r := makeSkewed(t)
+	rs := Collect(r, 10)
+	if rs.M != 100 || rs.Threshold != 10 {
+		t.Errorf("stats: %+v", rs)
+	}
+	// Attribute subsets of arity 2: {0}, {1}, {0,1}.
+	if len(rs.ByAttrs) != 3 {
+		t.Errorf("ByAttrs has %d subsets, want 3", len(rs.ByAttrs))
+	}
+	hh := rs.Heavy([]int{1})
+	if len(hh) != 1 || hh[0].Count != 40 {
+		t.Errorf("Heavy = %v", hh)
+	}
+	if rs.Freq([]int{1}, data.Tuple{7}) != 40 {
+		t.Error("Freq wrong for heavy value")
+	}
+	if rs.Freq([]int{1}, data.Tuple{100}) != 0 {
+		t.Error("light values should be pruned from stats")
+	}
+	if rs.Freq([]int{9}, data.Tuple{0}) != 0 {
+		t.Error("unknown attr subset should report 0")
+	}
+}
+
+func TestCollectPrunesLight(t *testing.T) {
+	r := makeSkewed(t)
+	rs := Collect(r, 10)
+	f := rs.ByAttrs[AttrKey([]int{1})]
+	if len(f.Counts) != 1 {
+		t.Errorf("pruned map holds %d entries, want 1 (only heavy)", len(f.Counts))
+	}
+}
+
+func TestHeavyCountBound(t *testing.T) {
+	// With threshold m/p there are < p heavy hitters (the paper's O(p)).
+	r := data.NewRelation("S", 1, 1<<20)
+	for i := int64(0); i < 10000; i++ {
+		r.Add(i % 100) // 100 values, each freq 100
+	}
+	for _, p := range []int{2, 4, 16, 64} {
+		rs := Collect(r, p)
+		hh := rs.Heavy([]int{0})
+		if int64(len(hh)) >= int64(p)+1 {
+			t.Errorf("p=%d: %d heavy hitters, want < p+1", p, len(hh))
+		}
+	}
+}
+
+func TestCollectDB(t *testing.T) {
+	db := data.NewDatabase()
+	r := makeSkewed(t)
+	db.Put(r)
+	r2 := data.NewRelation("T", 1, 10)
+	r2.Add(1)
+	db.Put(r2)
+	s := CollectDB(db, 10)
+	if len(s.Relations) != 2 || s.P != 10 {
+		t.Errorf("CollectDB: %+v", s)
+	}
+	cards := s.Cardinalities()
+	if cards["S"] != 100 || cards["T"] != 1 {
+		t.Errorf("Cardinalities = %v", cards)
+	}
+}
+
+func TestAttrKey(t *testing.T) {
+	if AttrKey([]int{0, 2}) != "0,2" || AttrKey(nil) != "" {
+		t.Error("AttrKey wrong")
+	}
+}
+
+func TestMergePartitionedCountsEqualGlobal(t *testing.T) {
+	// Counting per partition then merging must equal one global pass —
+	// the distributed statistics collection real systems perform.
+	r := makeSkewed(t)
+	// Split into 3 partitions round-robin.
+	parts := make([]*data.Relation, 3)
+	for i := range parts {
+		parts[i] = data.NewRelation("S", 2, r.Domain)
+	}
+	r.Each(func(i int, tu data.Tuple) bool {
+		parts[i%3].Add(tu...)
+		return true
+	})
+	var fms []*FreqMap
+	for _, p := range parts {
+		fms = append(fms, Frequencies(p, []int{1}))
+	}
+	merged := Merge(fms...)
+	global := Frequencies(r, []int{1})
+	if merged.Total != global.Total || len(merged.Counts) != len(global.Counts) {
+		t.Fatalf("merged %d/%d vs global %d/%d",
+			merged.Total, len(merged.Counts), global.Total, len(global.Counts))
+	}
+	for k, c := range global.Counts {
+		if merged.Counts[k] != c {
+			t.Errorf("count(%s): merged %d, global %d", k, merged.Counts[k], c)
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m := Merge()
+	if m.Total != 0 || len(m.Counts) != 0 {
+		t.Error("empty merge should be empty")
+	}
+}
+
+func TestMergeMismatchedAttrsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	a := &FreqMap{Attrs: []int{0}, Counts: map[string]int64{}}
+	b := &FreqMap{Attrs: []int{1}, Counts: map[string]int64{}}
+	Merge(a, b)
+}

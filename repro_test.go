@@ -1,0 +1,95 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade test doubles as the quickstart smoke test: everything a
+// downstream user touches first must work through the public API alone.
+func TestFacadeEndToEnd(t *testing.T) {
+	q := MustParseQuery("C3(x,y,z) = S1(x,y), S2(y,z), S3(z,x)")
+	db := NewDatabase()
+	db.Put(UniformRelation("S1", 2, 500, 60, 1))
+	db.Put(UniformRelation("S2", 2, 500, 60, 2))
+	db.Put(UniformRelation("S3", 2, 500, 60, 3))
+
+	res := NewEngine(16, 7).Execute(q, db)
+	if res.MaxLoadBits <= 0 {
+		t.Error("no load recorded")
+	}
+	if res.Plan.LowerBoundBits <= 0 {
+		t.Error("no lower bound")
+	}
+
+	lower, desc := LowerBound(q, db, 16)
+	if lower <= 0 || desc == "" {
+		t.Error("LowerBound broken")
+	}
+}
+
+func TestFacadePackingHelpers(t *testing.T) {
+	q := TriangleQuery()
+	vs := PackingVertices(q)
+	if len(vs) != 4 {
+		t.Errorf("pk(C3) = %d vertices, want 4", len(vs))
+	}
+	if math.Abs(Tau(q)-1.5) > 1e-12 {
+		t.Errorf("τ*(C3) = %v", Tau(q))
+	}
+	agm := AGMBound(q, []float64{100, 100, 100})
+	if math.Abs(agm-1000) > 1e-6 {
+		t.Errorf("AGM = %v, want 1000", agm)
+	}
+}
+
+func TestFacadeSkewPath(t *testing.T) {
+	db := NewDatabase()
+	db.Put(SingleValueRelation("S1", 2, 300, 100000, 1, 7, 1))
+	db.Put(SingleValueRelation("S2", 2, 300, 100000, 1, 7, 2))
+	res := RunSkewJoin(db, SkewJoinConfig{P: 8, Seed: 1})
+	if len(res.Output) != 300*300 {
+		t.Errorf("skew join output = %d, want 90000", len(res.Output))
+	}
+	q := Join2Query()
+	g := RunGeneralSkew(q, db, GeneralSkewConfig{P: 8, Seed: 1})
+	if len(g.Output) != 300*300 {
+		t.Errorf("general output = %d", len(g.Output))
+	}
+}
+
+func TestFacadeBounds(t *testing.T) {
+	q := Join2Query()
+	bitsM := []float64{1 << 20, 1 << 20}
+	simple, table := SimpleLowerBound(q, bitsM, 64)
+	if simple <= 0 || len(table) == 0 {
+		t.Error("SimpleLowerBound broken")
+	}
+	eps := SpaceExponent(q, bitsM, 64)
+	if eps != 0 { // τ*(join2)=1 ⇒ ε = 0
+		t.Errorf("ε = %v, want 0", eps)
+	}
+	r := ReplicationLowerBound(TriangleQuery(), []float64{1 << 20, 1 << 20, 1 << 20}, 1<<14)
+	if r <= 0 {
+		t.Error("ReplicationLowerBound broken")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if MatchingRelation("m", 2, 10, 100, 1).Size() != 10 {
+		t.Error("MatchingRelation")
+	}
+	if ZipfRelation("z", 100, 1000, 1, 1.5, 50, 1).Size() != 100 {
+		t.Error("ZipfRelation")
+	}
+	if PlantedHeavyRelation("p", 100, 1000, 1, []HeavySpec{{Value: 3, Count: 40}}, 1).Size() != 100 {
+		t.Error("PlantedHeavyRelation")
+	}
+	if DegreeSequenceRelation("d", 1000, 0, map[int64]int{1: 5}, 1).Size() != 5 {
+		t.Error("DegreeSequenceRelation")
+	}
+	db := DatabaseForQuery([]AtomSpec{{Name: "R", Arity: 1, M: 10, Domain: 100}}, 1)
+	if db.MustGet("R").Size() != 10 {
+		t.Error("DatabaseForQuery")
+	}
+}
