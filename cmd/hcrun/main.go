@@ -28,6 +28,7 @@ func main() {
 	zipfFlag := flag.Float64("zipf", 0, "zipf exponent for the last column (0 = skew-free)")
 	seedFlag := flag.Uint64("seed", 1, "hash/workload seed")
 	explainFlag := flag.Bool("explain", false, "print the full plan analysis (packings, shares, bins)")
+	repeatFlag := flag.Int("repeat", 1, "execute the query this many times (repeats hit the plan cache)")
 	flag.Parse()
 
 	q, err := query.Parse(*qFlag)
@@ -66,6 +67,9 @@ func main() {
 	fmt.Printf("lower bound:  %.0f bits per server (Thm 1.2)\n\n", plan.LowerBoundBits)
 
 	res := engine.Execute(q, db)
+	for i := 1; i < *repeatFlag; i++ {
+		res = engine.Execute(q, db)
+	}
 	fmt.Printf("answers:      %d tuples\n", len(res.Output))
 	fmt.Printf("max load:     %d bits per (virtual) server\n", res.MaxLoadBits)
 	if res.PredictedBits > 0 {
@@ -76,5 +80,9 @@ func main() {
 	}
 	if len(res.Plan.Shares) > 0 {
 		fmt.Printf("shares:       %v\n", res.Plan.Shares)
+	}
+	if *repeatFlag > 1 {
+		hits, misses := engine.CacheStats()
+		fmt.Printf("plan cache:   %d hits / %d misses over %d executions\n", hits, misses, *repeatFlag)
 	}
 }

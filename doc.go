@@ -9,7 +9,9 @@
 //   - Engine (internal/core): plans and executes a query on p simulated
 //     servers, choosing between plain HyperCube (§3), the specialized skew
 //     join (§4.1), and the general bin-combination algorithm (§4.2) based
-//     on heavy-hitter statistics.
+//     on heavy-hitter statistics. Every strategy lowers to a PhysicalPlan
+//     run by the unified executor (internal/exec), and plans are cached
+//     across Execute calls on unchanged inputs.
 //   - Lower bounds (internal/bounds): the matching communication lower
 //     bounds of Theorems 3.5 and 4.7, in bits.
 //   - Packings (internal/packing): exact fractional edge packing polytope
@@ -28,6 +30,7 @@
 //	res := repro.NewEngine(64, 0).Execute(q, db)
 //	fmt.Println(len(res.Output), res.MaxLoadBits, res.Plan.Reason)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every experiment.
+// See DESIGN.md for the planner/executor layering and system inventory;
+// `go test -bench .` regenerates the paper-versus-measured experiment
+// tables.
 package repro

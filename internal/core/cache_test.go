@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// TestPlanCacheHitSkipsReplanning is the cache-hit contract: repeated
+// Execute on unchanged (query, db, p) reuses the cached physical plan —
+// the second call must register a hit, not a second miss — and returns
+// identical answers.
+func TestPlanCacheHitSkipsReplanning(t *testing.T) {
+	q := query.Join2()
+	db := db2(
+		workload.Zipf("S1", 600, 100000, 1, 1.8, 100, 4),
+		workload.Zipf("S2", 600, 100000, 1, 1.8, 100, 5),
+	)
+	e := NewEngine(16, 9)
+	first := e.Execute(q, db)
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 1 {
+		t.Fatalf("after first Execute: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	second := e.Execute(q, db)
+	if hits, misses := e.CacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("after second Execute: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if !join.EqualTupleSets(first.Output, second.Output) {
+		t.Error("cached plan produced different answers")
+	}
+	if first.Plan.Strategy != second.Plan.Strategy {
+		t.Error("cached plan changed strategy")
+	}
+}
+
+// TestPlanCacheMissOnChange: mutating the database content, changing the
+// query, or forcing a different strategy must all bypass the cached entry.
+func TestPlanCacheMissOnChange(t *testing.T) {
+	q := query.Join2()
+	db := db2(
+		workload.Matching("S1", 2, 300, 100000, 1),
+		workload.Matching("S2", 2, 300, 100000, 2),
+	)
+	e := NewEngine(8, 1)
+	e.Execute(q, db)
+
+	// Same shape, different content: the fingerprint must differ.
+	db.MustGet("S1").Add(42, 99)
+	e.Execute(q, db)
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 2 {
+		t.Errorf("after db mutation: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+
+	// Different query text (renamed head variables keep the same semantics
+	// but a different canonical form — conservative misses are fine).
+	e.Execute(query.MustParse("q(a,b,c) = S1(a,c), S2(b,c)"), db)
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 3 {
+		t.Errorf("after query change: hits=%d misses=%d, want 0/3", hits, misses)
+	}
+
+	// A forced strategy is part of the key.
+	force := BinCombination
+	e.ForceStrategy = &force
+	e.Execute(q, db)
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 4 {
+		t.Errorf("after forcing strategy: hits=%d misses=%d, want 0/4", hits, misses)
+	}
+	e.ForceStrategy = nil
+
+	// So is the hash seed: a reseeded engine must not reuse old routing.
+	e.Seed = 99
+	e.Execute(q, db)
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 5 {
+		t.Errorf("after reseeding: hits=%d misses=%d, want 0/5", hits, misses)
+	}
+	e.Seed = 1
+
+	// And the original (query, db) entries are still live.
+	e.Execute(q, db)
+	if hits, _ := e.CacheStats(); hits != 1 {
+		t.Errorf("original entry evicted: hits=%d, want 1", hits)
+	}
+}
+
+func TestPlanCacheDisable(t *testing.T) {
+	q := query.Join2()
+	db := db2(
+		workload.Matching("S1", 2, 200, 100000, 1),
+		workload.Matching("S2", 2, 200, 100000, 2),
+	)
+	e := NewEngine(8, 1)
+	e.DisablePlanCache = true
+	e.Execute(q, db)
+	e.Execute(q, db)
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 0 {
+		t.Errorf("disabled cache still counting: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestClearPlanCache(t *testing.T) {
+	q := query.Join2()
+	db := db2(
+		workload.Matching("S1", 2, 200, 100000, 1),
+		workload.Matching("S2", 2, 200, 100000, 2),
+	)
+	e := NewEngine(8, 1)
+	e.Execute(q, db)
+	e.ClearPlanCache()
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 0 {
+		t.Errorf("counters survive clear: hits=%d misses=%d", hits, misses)
+	}
+	e.Execute(q, db)
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 1 {
+		t.Errorf("cache not rebuilt after clear: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestExecuteConcurrentSharedEngine exercises the cache under concurrent
+// Execute calls on one engine (the production serving pattern): same
+// answers from every goroutine and no data races (run under -race).
+func TestExecuteConcurrentSharedEngine(t *testing.T) {
+	q := query.Join2()
+	db := db2(
+		workload.Zipf("S1", 400, 100000, 1, 1.8, 80, 4),
+		workload.Zipf("S2", 400, 100000, 1, 1.8, 80, 5),
+	)
+	e := NewEngine(16, 9)
+	want := join.Join(q, join.FromDatabase(db))
+	const workers = 4
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			res := e.Execute(q, db)
+			if !join.EqualTupleSets(res.Output, want) {
+				errs <- fmt.Errorf("concurrent Execute: %d tuples, want %d", len(res.Output), len(want))
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+	if hits, misses := e.CacheStats(); hits+misses != workers {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, workers)
+	}
+}

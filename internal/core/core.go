@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bounds"
 	"repro/internal/data"
@@ -48,11 +49,45 @@ func (s Strategy) String() string {
 
 // Engine evaluates conjunctive queries in one communication round on p
 // simulated servers.
+//
+// Execute caches physical plans keyed by (query canonical form, database
+// fingerprint, p, forced strategy): repeated calls on unchanged inputs —
+// the heavy repeated-traffic case — skip statistics collection, LP
+// solving, and heavy-hitter planning, paying only a linear fingerprint
+// scan before routing. Engines are safe for concurrent use.
 type Engine struct {
 	P    int
 	Seed uint64
 	// ForceStrategy overrides plan selection when non-nil.
 	ForceStrategy *Strategy
+	// DisablePlanCache replans on every Execute call.
+	DisablePlanCache bool
+
+	mu     sync.Mutex
+	cache  map[planKey]*cachedPlan
+	hits   uint64
+	misses uint64
+}
+
+// planKey identifies a cached plan: q.String() is a canonical rendering of
+// the query (names, variable order, atom order), fp fingerprints the
+// database content, seed pins the hash family, and forced pins the
+// strategy override in effect.
+type planKey struct {
+	query  string
+	fp     uint64
+	p      int
+	seed   uint64
+	forced Strategy // -1 when no override
+}
+
+// cachedPlan holds the logical plan plus the strategy-specific physical
+// plan, whichever strategy was chosen.
+type cachedPlan struct {
+	plan Plan
+	hc   *hypercube.Plan
+	sj   *skew.JoinPlan
+	gen  *skew.GeneralPlan
 }
 
 // Plan describes the chosen algorithm and the bound analysis for one
@@ -119,30 +154,95 @@ func (e *Engine) PlanQuery(q *query.Query, db *data.Database) Plan {
 	return plan
 }
 
-// Execute plans and runs the query, returning answers and realized loads.
+// Execute plans and runs the query through the unified executor, returning
+// answers and realized loads. Plans are cached: a repeat call with the
+// same query, database content, and p reuses the cached physical plan.
 func (e *Engine) Execute(q *query.Query, db *data.Database) Result {
-	plan := e.PlanQuery(q, db)
-	res := Result{Plan: plan}
-	switch plan.Strategy {
-	case HyperCube:
-		hc := hypercube.Run(q, db, hypercube.Config{P: e.P, Seed: e.Seed})
-		res.Plan.Shares = hc.Shares
+	cp := e.planFor(q, db)
+	res := Result{Plan: cp.plan}
+	// Callers own the Result; don't let them mutate the cached plan
+	// through the shared backing array.
+	res.Plan.Shares = append([]int(nil), cp.plan.Shares...)
+	switch {
+	case cp.hc != nil:
+		hc := cp.hc.Execute(db)
 		res.Output = hc.Output
 		res.MaxLoadBits = hc.Loads.MaxBits
 		res.TotalBits = hc.Loads.TotalBits
 		res.PredictedBits = hc.PredictedBits
-	case SkewJoin:
-		sj := skew.RunJoin(remapJoin2(q, db), skew.JoinConfig{P: e.P, Seed: e.Seed})
-		res.Output = remapOutput(q, sj.Output)
+	case cp.sj != nil:
+		sj := cp.sj.Execute(db)
+		res.Output = sj.Output
 		res.MaxLoadBits = sj.MaxVirtualBits
 		res.PredictedBits = sj.PredictedBits
-	case BinCombination:
-		g := skew.RunGeneral(q, db, skew.GeneralConfig{P: e.P, Seed: e.Seed})
+	case cp.gen != nil:
+		g := cp.gen.Execute(db)
 		res.Output = g.Output
 		res.MaxLoadBits = g.MaxVirtualBits
 		res.PredictedBits = g.PredictedBits
 	}
 	return res
+}
+
+// planFor returns the cached plan bundle for (q, db), building and caching
+// it on a miss.
+func (e *Engine) planFor(q *query.Query, db *data.Database) *cachedPlan {
+	if e.DisablePlanCache {
+		return e.buildPlan(q, db)
+	}
+	key := planKey{query: q.String(), fp: stats.Fingerprint(db), p: e.P, seed: e.Seed, forced: -1}
+	if e.ForceStrategy != nil {
+		key.forced = *e.ForceStrategy
+	}
+	e.mu.Lock()
+	if cp, ok := e.cache[key]; ok {
+		e.hits++
+		e.mu.Unlock()
+		return cp
+	}
+	e.mu.Unlock()
+	// Plan outside the lock: planning is the expensive part, and a
+	// duplicate build for a racing miss is just redundant work.
+	cp := e.buildPlan(q, db)
+	e.mu.Lock()
+	if e.cache == nil {
+		e.cache = make(map[planKey]*cachedPlan)
+	}
+	e.cache[key] = cp
+	e.misses++
+	e.mu.Unlock()
+	return cp
+}
+
+// buildPlan runs the logical planner and lowers the chosen strategy to its
+// physical plan.
+func (e *Engine) buildPlan(q *query.Query, db *data.Database) *cachedPlan {
+	cp := &cachedPlan{plan: e.PlanQuery(q, db)}
+	switch cp.plan.Strategy {
+	case HyperCube:
+		cp.hc = hypercube.BuildPlan(q, db, hypercube.Config{P: e.P, Seed: e.Seed})
+		cp.plan.Shares = cp.hc.Shares
+	case SkewJoin:
+		cp.sj = skew.PlanJoin(q, db, skew.JoinConfig{P: e.P, Seed: e.Seed})
+	case BinCombination:
+		cp.gen = skew.PlanGeneral(q, db, skew.GeneralConfig{P: e.P, Seed: e.Seed})
+	}
+	return cp
+}
+
+// CacheStats returns the plan cache hit and miss counters.
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.misses
+}
+
+// ClearPlanCache drops all cached plans and resets the counters.
+func (e *Engine) ClearPlanCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = nil
+	e.hits, e.misses = 0, 0
 }
 
 // isJoin2Shaped recognizes q(x,y,z) = S1(x,z), S2(y,z) up to renaming:
@@ -157,33 +257,4 @@ func isJoin2Shaped(q *query.Query) bool {
 		return false
 	}
 	return a.Vars[1] == b.Vars[1] && a.Vars[0] != b.Vars[0]
-}
-
-// remapJoin2 renames the two relations to the S1/S2 names the §4.1 skew
-// join expects, preserving column order.
-func remapJoin2(q *query.Query, db *data.Database) *data.Database {
-	out := data.NewDatabase()
-	r1 := db.MustGet(q.Atoms[0].Name).Clone()
-	r1.Name = "S1"
-	r2 := db.MustGet(q.Atoms[1].Name).Clone()
-	r2.Name = "S2"
-	out.Put(r1)
-	out.Put(r2)
-	return out
-}
-
-// remapOutput reorders skew-join outputs (always in Join2's x,y,z variable
-// order) into q's own head order.
-func remapOutput(q *query.Query, out []data.Tuple) []data.Tuple {
-	// Join2 canonical variable order: x = atom0 var0, y = atom1 var0,
-	// z = shared. Build the permutation into q's head order.
-	x, z := q.Atoms[0].Vars[0], q.Atoms[0].Vars[1]
-	y := q.Atoms[1].Vars[0]
-	remapped := make([]data.Tuple, len(out))
-	for i, t := range out {
-		nt := make(data.Tuple, 3)
-		nt[x], nt[y], nt[z] = t[0], t[1], t[2]
-		remapped[i] = nt
-	}
-	return remapped
 }

@@ -123,6 +123,31 @@ func TestExecuteSkewJoinRemapsRenamedRelations(t *testing.T) {
 	}
 }
 
+func TestExecuteSkewJoinIgnoresUnrelatedRelations(t *testing.T) {
+	// The engine no longer copies the two joined relations into an
+	// isolated database, so the skew-join router must skip relations the
+	// query doesn't mention (including ones with other arities).
+	q := query.Join2()
+	db := db2(
+		workload.Zipf("S1", 400, 100000, 1, 1.8, 80, 4),
+		workload.Zipf("S2", 400, 100000, 1, 1.8, 80, 5),
+	)
+	extra := data.NewRelation("U", 1, 100000)
+	extra.Add(7)
+	extra.Add(8)
+	db.Put(extra)
+	e := NewEngine(16, 9)
+	plan := e.PlanQuery(q, db)
+	if plan.Strategy != SkewJoin {
+		t.Fatalf("strategy = %v, want skew-join", plan.Strategy)
+	}
+	res := e.Execute(q, db)
+	want := join.Join(q, join.FromDatabase(db))
+	if !join.EqualTupleSets(res.Output, want) {
+		t.Errorf("output %d tuples, want %d", len(res.Output), len(want))
+	}
+}
+
 func TestForceStrategy(t *testing.T) {
 	q := query.Join2()
 	db := db2(

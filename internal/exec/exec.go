@@ -1,0 +1,114 @@
+// Package exec is the unified physical execution layer shared by every
+// one-round strategy in the repository. The paper's three algorithms —
+// HyperCube (§3), the specialized skew join (§4.1), and the general
+// bin-combination algorithm (§4.2) — differ only in how they lay out
+// virtual servers and route tuples; everything downstream (cluster
+// construction, the communication round, local computation, load
+// accounting) is identical. Each strategy is therefore a *planner* that
+// lowers to a PhysicalPlan, and Run is the single executor they all share,
+// so cross-cutting work (plan caching, batched routing, allocation-free
+// hot paths) lands here once and benefits every algorithm.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/join"
+	"repro/internal/mpc"
+)
+
+// PhysicalPlan is the executable form a strategy planner produces: a
+// virtual-server layout, a router over virtual IDs, and the per-server
+// local computation. Plans are immutable once built and safe to execute
+// repeatedly (and concurrently) — routers that keep mutable scratch must
+// implement mpc.PerSenderRouter so every sender goroutine works on its own
+// instance. This is what Engine's plan cache stores.
+type PhysicalPlan struct {
+	// Strategy labels the plan in diagnostics and panics.
+	Strategy string
+	// Virtual is the number of virtual servers the plan lays out (≥ 1).
+	// The paper's skew algorithms allocate Θ(p) of them.
+	Virtual int
+	// Physical is p, the physical machine count; virtual server v maps to
+	// physical machine v mod Physical (round-robin, as the paper assumes).
+	Physical int
+	// Router decides tuple destinations over virtual IDs in [0, Virtual).
+	Router mpc.Router
+	// Local is the per-server local computation; nil means the plan only
+	// routes (load-measurement plans).
+	Local func(s *mpc.Server) []data.Tuple
+	// Dedup removes duplicate answers from the concatenated outputs —
+	// needed when sub-plans overlap (the §4.2 bin combinations may produce
+	// the same answer in several combinations).
+	Dedup bool
+	// PredictedBits is the planner's load prediction for this plan (p^λ
+	// for HyperCube shares, Eq. 10 for the skew join, max_B p^{λ(B)} for
+	// bin combinations).
+	PredictedBits float64
+}
+
+// Config controls one execution of a plan.
+type Config struct {
+	// SkipCompute routes and accounts loads only: Output stays empty.
+	// Load-focused experiments use this to avoid materializing quadratic
+	// join outputs.
+	SkipCompute bool
+}
+
+// Result reports one execution of a plan: the answers plus the realized
+// loads, both over virtual servers and rolled up onto physical machines.
+type Result struct {
+	Output []data.Tuple
+	// Loads summarizes the virtual-server loads (with replication rate
+	// relative to the input database).
+	Loads mpc.LoadSummary
+	// MaxVirtualBits is the maximum load over virtual servers — the
+	// quantity the paper's theorems bound.
+	MaxVirtualBits int64
+	// MaxPhysicalBits maps virtual servers onto the Physical machines
+	// round-robin and reports the max per-machine load.
+	MaxPhysicalBits int64
+	// PerServerBits is the received load of each virtual server, indexed
+	// by virtual ID; planners use it for strategy-specific breakdowns
+	// (per-class, per-bin-combination).
+	PerServerBits []int64
+}
+
+// Run executes plan over db: it builds the cluster, runs the one
+// communication round, performs the local computation, and accounts loads.
+// Routing errors are internal bugs (planners validate their layouts), so
+// Run panics on them.
+func Run(plan *PhysicalPlan, db *data.Database, cfg Config) Result {
+	if plan.Virtual < 1 {
+		panic(fmt.Sprintf("exec: %s plan has %d virtual servers", plan.Strategy, plan.Virtual))
+	}
+	if plan.Physical < 1 {
+		panic(fmt.Sprintf("exec: %s plan has %d physical servers", plan.Strategy, plan.Physical))
+	}
+	cluster := mpc.NewCluster(plan.Virtual)
+	if err := cluster.Round(db, plan.Router); err != nil {
+		panic(fmt.Sprintf("exec: %s routing failed: %v", plan.Strategy, err))
+	}
+	var res Result
+	if plan.Local != nil && !cfg.SkipCompute {
+		res.Output = cluster.Compute(plan.Local)
+		if plan.Dedup {
+			res.Output = join.Dedup(res.Output)
+		}
+	}
+	res.Loads = cluster.Loads().WithReplication(db.TotalBits())
+	res.MaxVirtualBits = res.Loads.MaxBits
+	res.PerServerBits = make([]int64, plan.Virtual)
+	physical := make([]int64, plan.Physical)
+	for _, sv := range cluster.Servers {
+		res.PerServerBits[sv.ID] = sv.BitsIn
+		physical[sv.ID%plan.Physical] += sv.BitsIn
+	}
+	for _, b := range physical {
+		if b > res.MaxPhysicalBits {
+			res.MaxPhysicalBits = b
+		}
+	}
+	return res
+}

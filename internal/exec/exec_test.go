@@ -1,0 +1,140 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/mpc"
+)
+
+func testDB() *data.Database {
+	db := data.NewDatabase()
+	r := data.NewRelation("S", 2, 16)
+	for i := int64(0); i < 8; i++ {
+		r.Add(i, (i+1)%16)
+	}
+	db.Put(r)
+	return db
+}
+
+// modRouter sends tuple (a,b) to server a mod p.
+func modRouter(p int) mpc.Router {
+	return mpc.RouterFunc(func(rel string, t data.Tuple, dst []int) []int {
+		return append(dst, int(t[0])%p)
+	})
+}
+
+func TestRunRoutesComputesAndAccounts(t *testing.T) {
+	db := testDB()
+	plan := &PhysicalPlan{
+		Strategy: "test",
+		Virtual:  4,
+		Physical: 2,
+		Router:   modRouter(4),
+		Local: func(s *mpc.Server) []data.Tuple {
+			var out []data.Tuple
+			s.Fragment("S").Each(func(_ int, tu data.Tuple) bool {
+				out = append(out, append(data.Tuple(nil), tu...))
+				return true
+			})
+			return out
+		},
+	}
+	res := Run(plan, db, Config{})
+	if len(res.Output) != 8 {
+		t.Errorf("output = %d tuples, want 8", len(res.Output))
+	}
+	if len(res.PerServerBits) != 4 {
+		t.Fatalf("PerServerBits = %d entries, want 4", len(res.PerServerBits))
+	}
+	// 8 tuples round-robin over 4 virtual servers: 2 tuples each.
+	bpt := db.MustGet("S").BitsPerTuple()
+	for id, bits := range res.PerServerBits {
+		if bits != 2*bpt {
+			t.Errorf("server %d: %d bits, want %d", id, bits, 2*bpt)
+		}
+	}
+	if res.MaxVirtualBits != 2*bpt {
+		t.Errorf("MaxVirtualBits = %d, want %d", res.MaxVirtualBits, 2*bpt)
+	}
+	// Virtual 0,2 → physical 0; 1,3 → physical 1: 4 tuples per machine.
+	if res.MaxPhysicalBits != 4*bpt {
+		t.Errorf("MaxPhysicalBits = %d, want %d", res.MaxPhysicalBits, 4*bpt)
+	}
+	if res.Loads.TotalBits != 8*bpt {
+		t.Errorf("TotalBits = %d, want %d", res.Loads.TotalBits, 8*bpt)
+	}
+	if res.Loads.Replication < 0.99 || res.Loads.Replication > 1.01 {
+		t.Errorf("Replication = %f, want 1", res.Loads.Replication)
+	}
+}
+
+func TestRunSkipCompute(t *testing.T) {
+	db := testDB()
+	called := false
+	plan := &PhysicalPlan{
+		Strategy: "test",
+		Virtual:  2,
+		Physical: 2,
+		Router:   modRouter(2),
+		Local: func(s *mpc.Server) []data.Tuple {
+			called = true
+			return nil
+		},
+	}
+	res := Run(plan, db, Config{SkipCompute: true})
+	if called {
+		t.Error("local compute ran despite SkipCompute")
+	}
+	if len(res.Output) != 0 {
+		t.Error("output non-empty despite SkipCompute")
+	}
+	if res.MaxVirtualBits == 0 {
+		t.Error("loads not accounted under SkipCompute")
+	}
+}
+
+func TestRunDedup(t *testing.T) {
+	db := testDB()
+	plan := &PhysicalPlan{
+		Strategy: "test",
+		Virtual:  3,
+		Physical: 3,
+		// Broadcast: every server holds every tuple, so without Dedup the
+		// output would triple.
+		Router: mpc.RouterFunc(func(rel string, t data.Tuple, dst []int) []int {
+			return append(dst, 0, 1, 2)
+		}),
+		Local: func(s *mpc.Server) []data.Tuple {
+			var out []data.Tuple
+			s.Fragment("S").Each(func(_ int, tu data.Tuple) bool {
+				out = append(out, append(data.Tuple(nil), tu...))
+				return true
+			})
+			return out
+		},
+		Dedup: true,
+	}
+	res := Run(plan, db, Config{})
+	if len(res.Output) != 8 {
+		t.Errorf("deduped output = %d tuples, want 8", len(res.Output))
+	}
+}
+
+func TestRunPanicsOnBadPlan(t *testing.T) {
+	for _, plan := range []*PhysicalPlan{
+		{Strategy: "bad", Virtual: 0, Physical: 1, Router: modRouter(1)},
+		{Strategy: "bad", Virtual: 1, Physical: 0, Router: modRouter(1)},
+		// Router emits an out-of-range destination.
+		{Strategy: "bad", Virtual: 1, Physical: 1, Router: modRouter(5)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("plan %+v: expected panic", plan)
+				}
+			}()
+			Run(plan, testDB(), Config{})
+		}()
+	}
+}

@@ -500,4 +500,3 @@ func E10CartesianProduct(s Scale) Table {
 		OK:       ok,
 	}
 }
-

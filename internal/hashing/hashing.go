@@ -23,6 +23,10 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix64 exposes the splitmix64 finalizer for content hashing elsewhere in
+// the system (e.g. database fingerprints).
+func Mix64(z uint64) uint64 { return mix64(z) }
+
 // Family is a seeded family of independent hash functions, one per
 // "dimension" (query variable or attribute position). Different dims give
 // independent-looking functions; the same (seed, dim, value) always hashes

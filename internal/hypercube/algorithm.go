@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/data"
+	"repro/internal/exec"
 	"repro/internal/hashing"
 	"repro/internal/join"
 	"repro/internal/mpc"
@@ -15,12 +16,20 @@ import (
 // Router routes tuples to hypercube subcubes: a tuple of S_j fixes the
 // coordinates of the dimensions of vars(S_j) by hashing and is replicated
 // over every combination of the remaining dimensions (§3.1).
+//
+// Destinations reuses per-router scratch, so a Router is not safe for
+// concurrent use; it implements mpc.PerSenderRouter and mpc.Round gives
+// each sender goroutine its own instance.
 type Router struct {
 	q      *query.Query
 	grid   *hashing.Grid
 	shares []int
+	stride []int // linearization strides, stride[k-1] = 1
 	// atomVars[name] maps attribute position → variable index (dimension).
 	atomVars map[string][]int
+	// Per-tuple scratch, reused across Destinations calls.
+	coords []int
+	fixed  []bool
 }
 
 // NewRouter builds the HC router for the given integer shares (one per
@@ -29,11 +38,20 @@ func NewRouter(q *query.Query, shares []int, family *hashing.Family) *Router {
 	if len(shares) != q.NumVars() {
 		panic("hypercube: shares length must equal variable count")
 	}
+	k := len(shares)
 	r := &Router{
 		q:        q,
 		grid:     hashing.NewGrid(shares, family),
 		shares:   append([]int(nil), shares...),
+		stride:   make([]int, k),
 		atomVars: make(map[string][]int),
+		coords:   make([]int, k),
+		fixed:    make([]bool, k),
+	}
+	size := 1
+	for i := k - 1; i >= 0; i-- {
+		r.stride[i] = size
+		size *= shares[i]
 	}
 	for _, a := range q.Atoms {
 		r.atomVars[a.Name] = append([]int(nil), a.Vars...)
@@ -44,37 +62,57 @@ func NewRouter(q *query.Query, shares []int, family *hashing.Family) *Router {
 // Size returns the number of hypercube cells (Π p_i).
 func (r *Router) Size() int { return r.grid.Size() }
 
+// ForSender implements mpc.PerSenderRouter: the copy shares the immutable
+// grid and share tables but owns fresh scratch.
+func (r *Router) ForSender() mpc.Router {
+	c := *r
+	c.coords = make([]int, len(r.shares))
+	c.fixed = make([]bool, len(r.shares))
+	return &c
+}
+
 // Destinations implements mpc.Router: the subcube of servers receiving t.
+// It appends the cells in lexicographic coordinate order and performs no
+// allocations beyond growing dst.
 func (r *Router) Destinations(rel string, t data.Tuple, dst []int) []int {
 	vars, ok := r.atomVars[rel]
 	if !ok {
 		panic("hypercube: relation " + rel + " not in query")
 	}
 	k := len(r.shares)
-	coords := make([]int, k)
-	fixed := make([]bool, k)
+	coords, fixed := r.coords, r.fixed
+	for i := 0; i < k; i++ {
+		coords[i] = 0
+		fixed[i] = false
+	}
+	lin := 0
 	for pos, v := range vars {
-		coords[v] = r.grid.HashDim(v, t[pos])
+		c := r.grid.HashDim(v, t[pos])
+		coords[v] = c
 		fixed[v] = true
+		lin += c * r.stride[v]
 	}
-	// Enumerate the free dimensions.
-	var rec func(dim int)
-	rec = func(dim int) {
-		if dim == k {
-			dst = append(dst, r.grid.Linear(coords))
-			return
+	// Odometer over the free dimensions, last dimension fastest —
+	// lexicographic order, maintaining the linear index incrementally.
+	for {
+		dst = append(dst, lin)
+		d := k - 1
+		for ; d >= 0; d-- {
+			if fixed[d] {
+				continue
+			}
+			if coords[d]+1 < r.shares[d] {
+				coords[d]++
+				lin += r.stride[d]
+				break
+			}
+			lin -= coords[d] * r.stride[d]
+			coords[d] = 0
 		}
-		if fixed[dim] {
-			rec(dim + 1)
-			return
-		}
-		for c := 0; c < r.shares[dim]; c++ {
-			coords[dim] = c
-			rec(dim + 1)
+		if d < 0 {
+			return dst
 		}
 	}
-	rec(0)
-	return dst
 }
 
 // Config controls a HyperCube run.
@@ -116,57 +154,89 @@ type Result struct {
 	Loads         mpc.LoadSummary
 }
 
-// Run executes the one-round HC algorithm for q over db on cfg.P simulated
-// servers and returns the answers plus the realized loads.
-func Run(q *query.Query, db *data.Database, cfg Config) Result {
+// Plan is the §3.1 planner output: the selected shares with their LP
+// analysis, lowered to the unified executor's PhysicalPlan. Plans are
+// reusable across executions (Engine's plan cache holds them).
+type Plan struct {
+	Shares        []int
+	Exponents     []float64
+	Lambda        float64
+	PredictedBits float64
+	Phys          *exec.PhysicalPlan
+	skipJoin      bool
+}
+
+// BuildPlan selects shares for q over db (LP-optimal by default; cfg can
+// force explicit shares, equal shares, or the Afrati–Ullman objective) and
+// lowers them to a PhysicalPlan on the cfg.P-cell hypercube.
+func BuildPlan(q *query.Query, db *data.Database, cfg Config) *Plan {
 	if cfg.P < 1 {
 		panic("hypercube: P must be >= 1")
 	}
-	res := Result{}
+	pl := &Plan{skipJoin: cfg.SkipJoin}
 	bits := atomBits(q, db)
 	switch {
 	case cfg.Shares != nil:
-		res.Shares = append([]int(nil), cfg.Shares...)
+		pl.Shares = append([]int(nil), cfg.Shares...)
 	case cfg.EqualShares:
-		res.Shares = EqualShares(q.NumVars(), cfg.P)
+		pl.Shares = EqualShares(q.NumVars(), cfg.P)
 	case cfg.Exponents != nil:
-		res.Exponents = append([]float64(nil), cfg.Exponents...)
-		res.Shares = RoundShares(res.Exponents, cfg.P, cfg.Strategy)
+		pl.Exponents = append([]float64(nil), cfg.Exponents...)
+		pl.Shares = RoundShares(pl.Exponents, cfg.P, cfg.Strategy)
 	case cfg.UseAfratiUllman:
-		res.Exponents = AfratiUllmanExponents(q, bits, cfg.P)
-		res.Shares = RoundShares(res.Exponents, cfg.P, cfg.Strategy)
+		pl.Exponents = AfratiUllmanExponents(q, bits, cfg.P)
+		pl.Shares = RoundShares(pl.Exponents, cfg.P, cfg.Strategy)
 	default:
 		e, lambda := OptimalExponents(q, bits, cfg.P)
-		res.Exponents = e
-		res.Lambda = lambda
-		res.PredictedBits = math.Pow(float64(cfg.P), lambda)
-		res.Shares = RoundShares(e, cfg.P, cfg.Strategy)
+		pl.Exponents = e
+		pl.Lambda = lambda
+		pl.PredictedBits = math.Pow(float64(cfg.P), lambda)
+		pl.Shares = RoundShares(e, cfg.P, cfg.Strategy)
 	}
-	if got := product(res.Shares); got > cfg.P {
-		panic(fmt.Sprintf("hypercube: shares %v use %d > p = %d servers", res.Shares, got, cfg.P))
+	if got := product(pl.Shares); got > cfg.P {
+		panic(fmt.Sprintf("hypercube: shares %v use %d > p = %d servers", pl.Shares, got, cfg.P))
 	}
 
-	family := hashing.NewFamily(cfg.Seed)
-	router := NewRouter(q, res.Shares, family)
-	cluster := mpc.NewCluster(cfg.P)
-	if err := cluster.Round(db, router); err != nil {
-		// The share product was validated above, so HC routing cannot emit
-		// out-of-range destinations; any error is an internal bug.
-		panic(err)
+	local := func(s *mpc.Server) []data.Tuple {
+		return join.Join(q, s.Received)
 	}
-	if !cfg.SkipJoin {
-		local := func(s *mpc.Server) []data.Tuple {
-			return join.Join(q, s.Received)
+	if cfg.UseWCOJ {
+		local = func(s *mpc.Server) []data.Tuple {
+			return wcoj.Join(q, s.Received)
 		}
-		if cfg.UseWCOJ {
-			local = func(s *mpc.Server) []data.Tuple {
-				return wcoj.Join(q, s.Received)
-			}
-		}
-		res.Output = cluster.Compute(local)
 	}
-	res.Loads = cluster.Loads().WithReplication(db.TotalBits())
-	return res
+	pl.Phys = &exec.PhysicalPlan{
+		Strategy: "hypercube",
+		Virtual:  cfg.P,
+		Physical: cfg.P,
+		Router:   NewRouter(q, pl.Shares, hashing.NewFamily(cfg.Seed)),
+		Local:    local,
+		// The share product is validated above, so HC routing cannot emit
+		// out-of-range destinations; exec.Run treats any error as a bug.
+		PredictedBits: pl.PredictedBits,
+	}
+	return pl
+}
+
+// Execute runs the plan on the unified executor and assembles the
+// HyperCube-specific result. Result slices are copies: plans are reused
+// across executions, so callers must not be able to mutate them.
+func (pl *Plan) Execute(db *data.Database) Result {
+	er := exec.Run(pl.Phys, db, exec.Config{SkipCompute: pl.skipJoin})
+	return Result{
+		Shares:        append([]int(nil), pl.Shares...),
+		Exponents:     append([]float64(nil), pl.Exponents...),
+		Lambda:        pl.Lambda,
+		PredictedBits: pl.PredictedBits,
+		Output:        er.Output,
+		Loads:         er.Loads,
+	}
+}
+
+// Run executes the one-round HC algorithm for q over db on cfg.P simulated
+// servers and returns the answers plus the realized loads.
+func Run(q *query.Query, db *data.Database, cfg Config) Result {
+	return BuildPlan(q, db, cfg).Execute(db)
 }
 
 // atomBits returns M_j in bits for each atom of q, looked up in db.

@@ -34,6 +34,26 @@ func (f RouterFunc) Destinations(rel string, t data.Tuple, dst []int) []int {
 	return f(rel, t, dst)
 }
 
+// PerSenderRouter is an optional Router extension for allocation-free
+// routing: a router that keeps reusable per-tuple scratch implements
+// ForSender, and Round hands each sender goroutine its own instance so
+// Destinations never allocates and never races. Routers without mutable
+// scratch simply don't implement it.
+type PerSenderRouter interface {
+	Router
+	// ForSender returns a router that routes identically but owns private
+	// scratch, safe for exclusive use by one goroutine.
+	ForSender() Router
+}
+
+// forSender resolves the router instance a sender goroutine should use.
+func forSender(r Router) Router {
+	if ps, ok := r.(PerSenderRouter); ok {
+		return ps.ForSender()
+	}
+	return r
+}
+
 // Server is one MPC worker: it accumulates the relation fragments routed to
 // it and tracks its load in bits and tuples.
 type Server struct {
@@ -148,37 +168,39 @@ func (c *Cluster) Round(db *data.Database, router Router) error {
 			sendWG.Add(1)
 			go func(rel *data.Relation, lo, hi int) {
 				defer sendWG.Done()
-				// Per-destination batches local to this sender.
+				// Per-sender router instance (private scratch) and
+				// per-destination batches local to this sender.
+				r := forSender(router)
 				bufs := make(map[int]*delivery)
 				var dst []int
+				var seen map[int]struct{} // reused; only for wide fan-outs
+				flatCap := batchTuples * rel.Arity
 				flush := func(server int) {
 					d := bufs[server]
 					if d == nil || d.count == 0 {
 						return
 					}
 					inboxes[server] <- *d
-					bufs[server] = &delivery{
-						rel: d.rel, arity: d.arity, domain: d.domain, bits: d.bits,
-					}
+					// The receiver now owns d.flat; start a fresh batch at
+					// full capacity so appends never regrow it.
+					d.flat = make([]int64, 0, flatCap)
+					d.count = 0
 				}
 				for i := lo; i < hi; i++ {
 					t := rel.Tuple(i)
-					dst = router.Destinations(rel.Name, t, dst[:0])
-					seen := make(map[int]bool, len(dst))
+					dst = r.Destinations(rel.Name, t, dst[:0])
+					dst = dedupDestinations(dst, &seen)
 					for _, server := range dst {
 						if server < 0 || server >= c.P {
 							report(fmt.Errorf("mpc: destination %d out of range [0,%d)", server, c.P))
 							continue
 						}
-						if seen[server] {
-							continue
-						}
-						seen[server] = true
 						d := bufs[server]
 						if d == nil {
 							d = &delivery{
 								rel: rel.Name, arity: rel.Arity, domain: rel.Domain,
 								bits: rel.BitsPerTuple(),
+								flat: make([]int64, 0, flatCap),
 							}
 							bufs[server] = d
 						}
@@ -201,6 +223,44 @@ func (c *Cluster) Round(db *data.Database, router Router) error {
 	}
 	recvWG.Wait()
 	return routeErr
+}
+
+// dedupDestinations removes duplicate server IDs from dst in place,
+// preserving first-occurrence order (the model delivers duplicates once).
+// Small lists — the common case, routers rarely emit duplicates — use a
+// quadratic scan with zero allocations; wide fan-outs (broadcasts) fall
+// back to a set reused across tuples via *seen.
+func dedupDestinations(dst []int, seen *map[int]struct{}) []int {
+	const scanLimit = 32
+	if len(dst) <= scanLimit {
+		n := 0
+	outer:
+		for _, server := range dst {
+			for _, prev := range dst[:n] {
+				if prev == server {
+					continue outer
+				}
+			}
+			dst[n] = server
+			n++
+		}
+		return dst[:n]
+	}
+	if *seen == nil {
+		*seen = make(map[int]struct{}, len(dst))
+	} else {
+		clear(*seen)
+	}
+	n := 0
+	for _, server := range dst {
+		if _, dup := (*seen)[server]; dup {
+			continue
+		}
+		(*seen)[server] = struct{}{}
+		dst[n] = server
+		n++
+	}
+	return dst[:n]
 }
 
 // Compute runs f on every server concurrently (the local-computation phase)

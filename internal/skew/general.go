@@ -114,13 +114,20 @@ type generalState struct {
 
 // RunGeneral executes the general skew-aware algorithm for q over db.
 func RunGeneral(q *query.Query, db *data.Database, cfg GeneralConfig) GeneralResult {
+	return PlanGeneral(q, db, cfg).Execute(db)
+}
+
+// PlanGeneral runs the Appendix-D bin-combination construction for q over
+// db and lowers the layout to a reusable PhysicalPlan. Statistics are
+// frozen at plan time, so the plan stays valid while (q, db, p) do.
+func PlanGeneral(q *query.Query, db *data.Database, cfg GeneralConfig) *GeneralPlan {
 	if cfg.P < 2 {
 		panic("skew: RunGeneral needs P >= 2")
 	}
 	gs := newGeneralState(q, db, cfg.P)
 	gs.applyOverweightFactor(cfg)
 	gs.buildCombos()
-	return gs.execute(cfg)
+	return gs.plan(cfg)
 }
 
 // applyOverweightFactor resolves the overweight multiplier from cfg: the

@@ -6,19 +6,25 @@ import (
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/exec"
 	"repro/internal/hashing"
 	"repro/internal/hypercube"
 	"repro/internal/join"
 	"repro/internal/mpc"
 	"repro/internal/query"
+	"repro/internal/stats"
 )
 
 // exclCheck is one overweight-exclusion test for a tuple of an atom within
 // a bin combination: project the tuple onto attrs and compare its frequency
-// against the overweight threshold for the extension variables extra.
+// against the overweight threshold. Both the frequency map and the
+// threshold are frozen at plan time, so the routing hot path neither
+// re-derives attribute keys nor needs the planning state (cached plans
+// must not pin the plan-time database).
 type exclCheck struct {
-	attrs []int // attribute positions within the atom (sorted), ⊋ x_j
-	extra []int // the variables of attrs − x_j (global indices)
+	attrs     []int          // attribute positions within the atom (sorted), ⊋ x_j
+	fm        *stats.FreqMap // frequencies over attrs; nil → check always passes
+	threshold float64        // N_bc · m_j / p^{β_j + Σ e_i} for the extension vars
 }
 
 // atomPlan is the routing plan of one atom within one bin combination.
@@ -40,9 +46,27 @@ type comboPlan struct {
 	byAtom    []atomPlan
 }
 
-// execute lays out virtual servers, routes the database in one round, and
-// computes the answers.
-func (gs *generalState) execute(cfg GeneralConfig) GeneralResult {
+// GeneralPlan is the §4.2 planner output: every bin combination's HC
+// subgrid layout lowered to the unified executor's PhysicalPlan, plus the
+// per-combination ranges for the load breakdown. Plans are reusable across
+// executions.
+type GeneralPlan struct {
+	Phys         *exec.PhysicalPlan
+	NumBinCombos int
+	// PredictedBits is max_B p^{λ(B)} (Theorem 4.6 up to log factors).
+	PredictedBits float64
+	p             int
+	comboRanges   []vrange
+	comboMeta     []ComboLoad
+	skipJoin      bool
+}
+
+// vrange is the virtual-ID range [lo, hi) of one bin combination.
+type vrange struct{ lo, hi int }
+
+// plan lays out virtual servers for every bin combination and lowers the
+// layout to a PhysicalPlan.
+func (gs *generalState) plan(cfg GeneralConfig) *GeneralPlan {
 	keys := make([]string, 0, len(gs.combos))
 	for key, b := range gs.combos {
 		if len(b.cprime) > 0 {
@@ -54,8 +78,6 @@ func (gs *generalState) execute(cfg GeneralConfig) GeneralResult {
 	virtual := 0
 	predicted := 0.0
 	var plans []*comboPlan
-	// comboRange[i] is the virtual-ID range [lo, hi) of plans[i].
-	type vrange struct{ lo, hi int }
 	var comboRanges []vrange
 	for _, key := range keys {
 		b := gs.combos[key]
@@ -128,75 +150,29 @@ func (gs *generalState) execute(cfg GeneralConfig) GeneralResult {
 	}
 
 	atomIndex := make(map[string]int, gs.q.NumAtoms())
+	maxScratch := 0
 	for j, a := range gs.q.Atoms {
 		atomIndex[a.Name] = j
-	}
-	family := hashing.NewFamily(cfg.Seed)
-
-	router := mpc.RouterFunc(func(rel string, t data.Tuple, dst []int) []int {
-		j, ok := atomIndex[rel]
-		if !ok {
-			return dst
+		if a.Arity() > maxScratch {
+			maxScratch = a.Arity()
 		}
-		for _, plan := range plans {
-			ap := &plan.byAtom[j]
-			// Overweight exclusion (the S^(B)_j membership test).
-			excluded := false
-			rs := gs.st[rel]
-			for _, ec := range ap.exclude {
-				proj := make(data.Tuple, len(ec.attrs))
-				for pi, a := range ec.attrs {
-					proj[pi] = t[a]
-				}
-				freq := rs.Freq(ec.attrs, proj)
-				if freq > 0 && float64(freq) > gs.overweightThreshold(plan.combo, j, ec.extra) {
-					excluded = true
-					break
-				}
-			}
-			if excluded {
-				continue
-			}
-			var bases []int
-			if len(ap.xjAttrs) == 0 {
-				bases = ap.allBases
-			} else {
-				proj := make(data.Tuple, len(ap.xjAttrs))
-				for pi, a := range ap.xjAttrs {
-					proj[pi] = t[a]
-				}
-				bases = ap.blocksByProj[proj.Key()]
-			}
-			if len(bases) == 0 {
-				continue
-			}
-			dst = gs.appendSubcube(dst, plan, j, t, bases, family)
+	}
+	for _, plan := range plans {
+		if len(plan.freeDims) > maxScratch {
+			maxScratch = len(plan.freeDims)
 		}
-		return dst
-	})
-
-	cluster := mpc.NewCluster(virtual)
-	if err := cluster.Round(gs.db, router); err != nil {
-		panic(fmt.Sprintf("skew: routing failed: %v", err))
-	}
-	var output []data.Tuple
-	if !cfg.SkipJoin {
-		q := gs.q
-		output = cluster.Compute(func(s *mpc.Server) []data.Tuple {
-			return join.Join(q, s.Received)
-		})
-		output = join.Dedup(output)
 	}
 
-	res := GeneralResult{
-		Output:         output,
-		VirtualServers: virtual,
-		NumBinCombos:   len(plans),
-		PredictedBits:  predicted,
+	gp := &GeneralPlan{
+		NumBinCombos:  len(plans),
+		PredictedBits: predicted,
+		p:             gs.p,
+		comboRanges:   comboRanges,
+		skipJoin:      cfg.SkipJoin,
 	}
-	res.ByCombo = make([]ComboLoad, len(plans))
+	gp.comboMeta = make([]ComboLoad, len(plans))
 	for pi, plan := range plans {
-		res.ByCombo[pi] = ComboLoad{
+		gp.comboMeta[pi] = ComboLoad{
 			Vars:      append([]int(nil), plan.combo.xSorted...),
 			Bins:      append([]int(nil), plan.combo.bins...),
 			CSize:     len(plan.combo.cprime),
@@ -204,57 +180,179 @@ func (gs *generalState) execute(cfg GeneralConfig) GeneralResult {
 			Predicted: math.Pow(float64(gs.p), plan.combo.lambda),
 		}
 	}
-	physical := make([]int64, gs.p)
-	for _, sv := range cluster.Servers {
-		if sv.BitsIn > res.MaxVirtualBits {
-			res.MaxVirtualBits = sv.BitsIn
-		}
-		for pi, vr := range comboRanges {
-			if sv.ID >= vr.lo && sv.ID < vr.hi && sv.BitsIn > res.ByCombo[pi].MaxBits {
-				res.ByCombo[pi].MaxBits = sv.BitsIn
-			}
-		}
-		physical[sv.ID%gs.p] += sv.BitsIn
+	q := gs.q
+	gp.Phys = &exec.PhysicalPlan{
+		Strategy: "bin-combination",
+		Virtual:  virtual,
+		Physical: gs.p,
+		Router: &generalRouter{
+			varPos:    gs.varPos,
+			plans:     plans,
+			atomIndex: atomIndex,
+			family:    hashing.NewFamily(cfg.Seed),
+			scratch:   maxScratch,
+		},
+		Local: func(s *mpc.Server) []data.Tuple {
+			return join.Join(q, s.Received)
+		},
+		// Overlapping bin combinations may each produce the same answer.
+		Dedup:         true,
+		PredictedBits: predicted,
 	}
-	for _, bbits := range physical {
-		if bbits > res.MaxPhysicalBits {
-			res.MaxPhysicalBits = bbits
+	return gp
+}
+
+// Execute runs the plan on the unified executor and assembles the
+// bin-combination result, including the per-combination load breakdown.
+func (gp *GeneralPlan) Execute(db *data.Database) GeneralResult {
+	er := exec.Run(gp.Phys, db, exec.Config{SkipCompute: gp.skipJoin})
+	res := GeneralResult{
+		Output:          er.Output,
+		MaxVirtualBits:  er.MaxVirtualBits,
+		MaxPhysicalBits: er.MaxPhysicalBits,
+		VirtualServers:  gp.Phys.Virtual,
+		NumBinCombos:    gp.NumBinCombos,
+		PredictedBits:   gp.PredictedBits,
+	}
+	// Deep-copy the per-combination metadata: plans are reused across
+	// executions, so callers must not be able to mutate the cached slices.
+	res.ByCombo = make([]ComboLoad, len(gp.comboMeta))
+	for i, cm := range gp.comboMeta {
+		cm.Vars = append([]int(nil), cm.Vars...)
+		cm.Bins = append([]int(nil), cm.Bins...)
+		res.ByCombo[i] = cm
+	}
+	for id, bits := range er.PerServerBits {
+		for pi, vr := range gp.comboRanges {
+			if id >= vr.lo && id < vr.hi && bits > res.ByCombo[pi].MaxBits {
+				res.ByCombo[pi].MaxBits = bits
+			}
 		}
 	}
 	return res
 }
 
+// generalRouter routes tuples to every bin combination's subgrid. It
+// carries only plan-time tables (thresholds and frequency maps are frozen
+// into the comboPlans), never the planning state, so cached plans don't
+// pin the database they were built from. Its per-tuple projection and
+// odometer scratch is reused across calls, so a generalRouter is not safe
+// for concurrent use; it implements mpc.PerSenderRouter and mpc.Round
+// gives each sender its own instance.
+type generalRouter struct {
+	varPos    [][]int // variable index → attribute position per atom
+	plans     []*comboPlan
+	atomIndex map[string]int
+	family    *hashing.Family
+	scratch   int // max of atom arities and free-dim counts
+	// Per-tuple scratch, reused across Destinations calls.
+	proj   data.Tuple
+	coords []int
+	fixed  []bool
+}
+
+// ForSender implements mpc.PerSenderRouter: the copy shares the immutable
+// plan tables but owns fresh scratch.
+func (r *generalRouter) ForSender() mpc.Router {
+	c := *r
+	c.proj = make(data.Tuple, r.scratch)
+	c.coords = make([]int, r.scratch)
+	c.fixed = make([]bool, r.scratch)
+	return &c
+}
+
+func (r *generalRouter) ensureScratch() {
+	if r.proj == nil {
+		r.proj = make(data.Tuple, r.scratch)
+		r.coords = make([]int, r.scratch)
+		r.fixed = make([]bool, r.scratch)
+	}
+}
+
+// Destinations implements mpc.Router over the bin-combination layout.
+func (r *generalRouter) Destinations(rel string, t data.Tuple, dst []int) []int {
+	j, ok := r.atomIndex[rel]
+	if !ok {
+		return dst
+	}
+	r.ensureScratch()
+	for _, plan := range r.plans {
+		ap := &plan.byAtom[j]
+		// Overweight exclusion (the S^(B)_j membership test).
+		excluded := false
+		for _, ec := range ap.exclude {
+			if ec.fm == nil {
+				continue // no heavy entries over attrs: never overweight
+			}
+			proj := r.proj[:len(ec.attrs)]
+			for pi, a := range ec.attrs {
+				proj[pi] = t[a]
+			}
+			freq := ec.fm.Count(proj)
+			if freq > 0 && float64(freq) > ec.threshold {
+				excluded = true
+				break
+			}
+		}
+		if excluded {
+			continue
+		}
+		var bases []int
+		if len(ap.xjAttrs) == 0 {
+			bases = ap.allBases
+		} else {
+			proj := r.proj[:len(ap.xjAttrs)]
+			for pi, a := range ap.xjAttrs {
+				proj[pi] = t[a]
+			}
+			bases = ap.blocksByProj[proj.Key()]
+		}
+		if len(bases) == 0 {
+			continue
+		}
+		dst = r.appendSubcube(dst, plan, j, t, bases)
+	}
+	return dst
+}
+
 // appendSubcube appends, for every base block, the servers of the HC
 // subcube that tuple t of atom j occupies: dimensions of vars(S_j)−x_j are
-// fixed by hashing, the remaining free dimensions replicate.
-func (gs *generalState) appendSubcube(dst []int, plan *comboPlan, j int, t data.Tuple, bases []int, family *hashing.Family) []int {
+// fixed by hashing, the remaining free dimensions replicate (odometer over
+// the free dimensions, reusing the router's scratch).
+func (r *generalRouter) appendSubcube(dst []int, plan *comboPlan, j int, t data.Tuple, bases []int) []int {
 	nd := len(plan.freeDims)
-	coords := make([]int, nd)
-	fixed := make([]bool, nd)
+	coords, fixed := r.coords[:nd], r.fixed[:nd]
+	offset := 0
 	for di, dim := range plan.freeDims {
-		if pos := gs.varPos[j][dim]; pos >= 0 {
-			coords[di] = family.Hash(dim, t[pos], plan.shares[di])
+		coords[di] = 0
+		fixed[di] = false
+		if pos := r.varPos[j][dim]; pos >= 0 {
+			coords[di] = r.family.Hash(dim, t[pos], plan.shares[di])
 			fixed[di] = true
+			offset += coords[di] * plan.strides[di]
 		}
 	}
-	var rec func(di, offset int)
-	rec = func(di, offset int) {
-		if di == nd {
-			for _, base := range bases {
-				dst = append(dst, base+offset)
+	for {
+		for _, base := range bases {
+			dst = append(dst, base+offset)
+		}
+		di := nd - 1
+		for ; di >= 0; di-- {
+			if fixed[di] {
+				continue
 			}
-			return
+			if coords[di]+1 < plan.shares[di] {
+				coords[di]++
+				offset += plan.strides[di]
+				break
+			}
+			offset -= coords[di] * plan.strides[di]
+			coords[di] = 0
 		}
-		if fixed[di] {
-			rec(di+1, offset+coords[di]*plan.strides[di])
-			return
-		}
-		for c := 0; c < plan.shares[di]; c++ {
-			rec(di+1, offset+c*plan.strides[di])
+		if di < 0 {
+			return dst
 		}
 	}
-	rec(0, 0)
-	return dst
 }
 
 // exclusionChecks enumerates the overweight tests for atom j within B: all
@@ -288,7 +386,11 @@ func (gs *generalState) exclusionChecks(j int, b *binCombo) []exclCheck {
 			}
 		}
 		sort.Ints(attrs)
-		checks = append(checks, exclCheck{attrs: attrs, extra: extra})
+		checks = append(checks, exclCheck{
+			attrs:     attrs,
+			fm:        gs.st[atom.Name].FreqMapFor(attrs),
+			threshold: gs.overweightThreshold(b, j, extra),
+		})
 	}
 	return checks
 }

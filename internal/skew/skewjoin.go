@@ -10,11 +10,11 @@
 package skew
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/exec"
 	"repro/internal/hashing"
 	"repro/internal/join"
 	"repro/internal/mpc"
@@ -84,15 +84,86 @@ type JoinResult struct {
 	ByClass              ClassLoads
 }
 
+// joinShape is the §4.1 query shape extracted from q's own atoms: relation
+// names, the position of the shared join variable z in each atom, and the
+// hash dimensions (q's variable indices, so renamed queries route their
+// own column order — no canonical-name remapping).
+type joinShape struct {
+	q                *query.Query
+	name1, name2     string
+	zPos1, zPos2     int // column of z in atom 1 / atom 2
+	xPos1, xPos2     int // column of the private variable
+	dimX, dimY, dimZ int
+}
+
+// shapeOf validates that q is the two-relation join q(x,y,z) = R(..), T(..)
+// — two binary atoms sharing exactly one variable — and extracts its shape.
+func shapeOf(q *query.Query) joinShape {
+	if q.NumAtoms() != 2 || q.NumVars() != 3 ||
+		q.Atoms[0].Arity() != 2 || q.Atoms[1].Arity() != 2 {
+		panic("skew: PlanJoin needs two binary atoms over three variables: " + q.String())
+	}
+	a, b := q.Atoms[0], q.Atoms[1]
+	sh := joinShape{q: q, name1: a.Name, name2: b.Name, zPos1: -1}
+	for pa, va := range a.Vars {
+		for pb, vb := range b.Vars {
+			if va == vb {
+				if sh.zPos1 >= 0 {
+					panic("skew: PlanJoin needs exactly one shared variable: " + q.String())
+				}
+				sh.zPos1, sh.zPos2 = pa, pb
+				sh.dimZ = va
+			}
+		}
+	}
+	if sh.zPos1 < 0 {
+		panic("skew: PlanJoin needs a shared variable: " + q.String())
+	}
+	sh.xPos1, sh.xPos2 = 1-sh.zPos1, 1-sh.zPos2
+	sh.dimX = a.Vars[sh.xPos1]
+	sh.dimY = b.Vars[sh.xPos2]
+	return sh
+}
+
+// JoinPlan is the §4.1 planner output: per-heavy-hitter virtual-server
+// blocks lowered to the unified executor's PhysicalPlan, plus the class
+// ranges needed for the per-class load breakdown. Plans are reusable
+// across executions.
+type JoinPlan struct {
+	Phys                 *exec.PhysicalPlan
+	NumH1, NumH2, NumH12 int
+	PredictedTuples      float64
+	PredictedBits        float64
+	p                    int
+	// classRanges are the hitter blocks in ascending virtual-ID order
+	// ([0,p) is the implicit light range).
+	classRanges []classRange
+	skipJoin    bool
+}
+
+type classRange struct {
+	lo, hi int
+	class  hitterClass
+}
+
 // RunJoin executes the skew join for q(x,y,z) = S1(x,z), S2(y,z) over db
-// (relations "S1", "S2", both binary with z in column 1). It detects heavy
-// hitters at threshold m_j/p, allocates virtual processors per §4.1, routes
-// every tuple in one round, and computes the join locally at each virtual
-// server.
+// (relations "S1", "S2", both binary with z in column 1) — the historical
+// entry point; PlanJoin accepts any two-relation join shape under q's own
+// names and column order.
 func RunJoin(db *data.Database, cfg JoinConfig) JoinResult {
+	return PlanJoin(query.Join2(), db, cfg).Execute(db)
+}
+
+// PlanJoin detects heavy hitters at threshold m_j/p and allocates virtual
+// processors per §4.1 for the two-relation join q over db, routing q's own
+// relation names and column order. Every routing decision of the produced
+// plan is a pure function of the tuple plus the heavy-hitter statistics
+// frozen at plan time.
+func PlanJoin(q *query.Query, db *data.Database, cfg JoinConfig) *JoinPlan {
 	if cfg.P < 1 {
 		panic("skew: P must be >= 1")
 	}
+	sh := shapeOf(q)
 	num, den := cfg.ThresholdNum, cfg.ThresholdDen
 	if num <= 0 {
 		num = 1
@@ -100,15 +171,15 @@ func RunJoin(db *data.Database, cfg JoinConfig) JoinResult {
 	if den <= 0 {
 		den = 1
 	}
-	s1, s2 := db.MustGet("S1"), db.MustGet("S2")
+	s1, s2 := db.MustGet(sh.name1), db.MustGet(sh.name2)
 	m1, m2 := int64(s1.Size()), int64(s2.Size())
 	var f1, f2 *stats.FreqMap
 	if cfg.SampleSize > 0 {
-		f1 = stats.SampleFrequencies(s1, []int{1}, cfg.SampleSize, cfg.SampleSeed)
-		f2 = stats.SampleFrequencies(s2, []int{1}, cfg.SampleSize, cfg.SampleSeed+1)
+		f1 = stats.SampleFrequencies(s1, []int{sh.zPos1}, cfg.SampleSize, cfg.SampleSeed)
+		f2 = stats.SampleFrequencies(s2, []int{sh.zPos2}, cfg.SampleSize, cfg.SampleSeed+1)
 	} else {
-		f1 = stats.Frequencies(s1, []int{1})
-		f2 = stats.Frequencies(s2, []int{1})
+		f1 = stats.Frequencies(s1, []int{sh.zPos1})
+		f2 = stats.Frequencies(s2, []int{sh.zPos2})
 	}
 	thr1 := float64(m1) * float64(num) / (float64(cfg.P) * float64(den))
 	thr2 := float64(m2) * float64(num) / (float64(cfg.P) * float64(den))
@@ -194,38 +265,48 @@ func RunJoin(db *data.Database, cfg JoinConfig) JoinResult {
 	virtual := next
 
 	family := hashing.NewFamily(cfg.Seed)
-	const dimX, dimY, dimZ = 0, 1, 2
 	router := mpc.RouterFunc(func(rel string, t data.Tuple, dst []int) []int {
-		z := t[1]
+		// The database may carry relations outside the join (the engine no
+		// longer isolates the two via a renamed copy); they are not routed.
+		first := rel == sh.name1
+		if !first && rel != sh.name2 {
+			return dst
+		}
+		var z, x int64
+		if first {
+			z, x = t[sh.zPos1], t[sh.xPos1]
+		} else {
+			z, x = t[sh.zPos2], t[sh.xPos2]
+		}
 		pl := plans[z]
 		if pl == nil { // light: hash join on z over servers [0,p)
-			return append(dst, family.Hash(dimZ, z, cfg.P))
+			return append(dst, family.Hash(sh.dimZ, z, cfg.P))
 		}
 		switch pl.class {
 		case classH12:
-			if rel == "S1" { // row fixed by hash(x), replicate across columns
-				row := family.Hash(dimX, t[0], pl.p1)
+			if first { // row fixed by hash(x), replicate across columns
+				row := family.Hash(sh.dimX, x, pl.p1)
 				for c := 0; c < pl.p2; c++ {
 					dst = append(dst, pl.base+row*pl.p2+c)
 				}
 			} else { // column fixed by hash(y), replicate across rows
-				col := family.Hash(dimY, t[0], pl.p2)
+				col := family.Hash(sh.dimY, x, pl.p2)
 				for r := 0; r < pl.p1; r++ {
 					dst = append(dst, pl.base+r*pl.p2+col)
 				}
 			}
 		case classH1:
-			if rel == "S1" { // partition on x
-				dst = append(dst, pl.base+family.Hash(dimX, t[0], pl.ph))
-			} else { // broadcast the light S2 side
+			if first { // partition the heavy side on x
+				dst = append(dst, pl.base+family.Hash(sh.dimX, x, pl.ph))
+			} else { // broadcast the light side
 				for i := 0; i < pl.ph; i++ {
 					dst = append(dst, pl.base+i)
 				}
 			}
 		case classH2:
-			if rel == "S2" { // partition on y
-				dst = append(dst, pl.base+family.Hash(dimY, t[0], pl.ph))
-			} else { // broadcast the light S1 side
+			if !first { // partition the heavy side on y
+				dst = append(dst, pl.base+family.Hash(sh.dimY, x, pl.ph))
+			} else { // broadcast the light side
 				for i := 0; i < pl.ph; i++ {
 					dst = append(dst, pl.base+i)
 				}
@@ -234,67 +315,90 @@ func RunJoin(db *data.Database, cfg JoinConfig) JoinResult {
 		return dst
 	})
 
-	cluster := mpc.NewCluster(virtual)
-	if err := cluster.Round(db, router); err != nil {
-		panic(fmt.Sprintf("skew: routing failed: %v", err))
+	jp := &JoinPlan{
+		NumH1:    len(h1Keys),
+		NumH2:    len(h2Keys),
+		NumH12:   len(h12Keys),
+		p:        cfg.P,
+		skipJoin: cfg.SkipJoin,
 	}
-	var output []data.Tuple
-	if !cfg.SkipJoin {
-		q := query.Join2()
-		output = cluster.Compute(func(s *mpc.Server) []data.Tuple {
-			return join.Join(q, s.Received)
-		})
+	// Class ranges in the virtual-ID space: [0,p) is light; hitter blocks
+	// follow in allocation order (H12, H1, H2), so the ranges are sorted.
+	for _, v := range h12Keys {
+		pl := plans[v]
+		jp.classRanges = append(jp.classRanges, classRange{pl.base, pl.base + pl.p1*pl.p2, classH12})
 	}
-
-	res := JoinResult{
-		Output:         output,
-		VirtualServers: virtual,
-		NumH1:          len(h1Keys),
-		NumH2:          len(h2Keys),
-		NumH12:         len(h12Keys),
+	for _, v := range h1Keys {
+		pl := plans[v]
+		jp.classRanges = append(jp.classRanges, classRange{pl.base, pl.base + pl.ph, classH1})
 	}
-	// Class boundaries in the virtual-ID space: [0,p) is light; hitter
-	// blocks follow in allocation order (H12, H1, H2).
-	classOf := func(id int) *int64 {
-		if id < cfg.P {
-			return &res.ByClass.Light
-		}
-		for _, v := range h12Keys {
-			pl := plans[v]
-			if id >= pl.base && id < pl.base+pl.p1*pl.p2 {
-				return &res.ByClass.H12
-			}
-		}
-		for _, v := range h1Keys {
-			pl := plans[v]
-			if id >= pl.base && id < pl.base+pl.ph {
-				return &res.ByClass.H1
-			}
-		}
-		return &res.ByClass.H2
-	}
-	physical := make([]int64, cfg.P)
-	for _, sv := range cluster.Servers {
-		if sv.BitsIn > res.MaxVirtualBits {
-			res.MaxVirtualBits = sv.BitsIn
-		}
-		if slot := classOf(sv.ID); sv.BitsIn > *slot {
-			*slot = sv.BitsIn
-		}
-		physical[sv.ID%cfg.P] += sv.BitsIn
-	}
-	for _, b := range physical {
-		if b > res.MaxPhysicalBits {
-			res.MaxPhysicalBits = b
-		}
+	for _, v := range h2Keys {
+		pl := plans[v]
+		jp.classRanges = append(jp.classRanges, classRange{pl.base, pl.base + pl.ph, classH2})
 	}
 	// Eq. (10): L = max(m1/p, m2/p, L1, L2, L12).
 	p := float64(cfg.P)
-	res.PredictedTuples = math.Max(float64(m1)/p, float64(m2)/p)
-	res.PredictedTuples = math.Max(res.PredictedTuples, math.Sqrt(sumK12/p))
-	res.PredictedTuples = math.Max(res.PredictedTuples, math.Sqrt(sumK1/p))
-	res.PredictedTuples = math.Max(res.PredictedTuples, math.Sqrt(sumK2/p))
-	res.PredictedBits = res.PredictedTuples * float64(s1.BitsPerTuple())
+	jp.PredictedTuples = math.Max(float64(m1)/p, float64(m2)/p)
+	jp.PredictedTuples = math.Max(jp.PredictedTuples, math.Sqrt(sumK12/p))
+	jp.PredictedTuples = math.Max(jp.PredictedTuples, math.Sqrt(sumK1/p))
+	jp.PredictedTuples = math.Max(jp.PredictedTuples, math.Sqrt(sumK2/p))
+	jp.PredictedBits = jp.PredictedTuples * float64(s1.BitsPerTuple())
+	jp.Phys = &exec.PhysicalPlan{
+		Strategy: "skew-join",
+		Virtual:  virtual,
+		Physical: cfg.P,
+		Router:   router,
+		Local: func(s *mpc.Server) []data.Tuple {
+			return join.Join(q, s.Received)
+		},
+		PredictedBits: jp.PredictedBits,
+	}
+	return jp
+}
+
+// classOf maps a virtual server ID to its §4.1 case.
+func (jp *JoinPlan) classOf(id int) hitterClass {
+	if id < jp.p {
+		return classLight
+	}
+	i := sort.Search(len(jp.classRanges), func(i int) bool { return jp.classRanges[i].hi > id })
+	if i < len(jp.classRanges) && id >= jp.classRanges[i].lo {
+		return jp.classRanges[i].class
+	}
+	return classLight // unreachable for IDs the plan allocated
+}
+
+// Execute runs the plan on the unified executor and assembles the
+// skew-join result, including the per-class load breakdown.
+func (jp *JoinPlan) Execute(db *data.Database) JoinResult {
+	er := exec.Run(jp.Phys, db, exec.Config{SkipCompute: jp.skipJoin})
+	res := JoinResult{
+		Output:          er.Output,
+		MaxVirtualBits:  er.MaxVirtualBits,
+		MaxPhysicalBits: er.MaxPhysicalBits,
+		VirtualServers:  jp.Phys.Virtual,
+		PredictedTuples: jp.PredictedTuples,
+		PredictedBits:   jp.PredictedBits,
+		NumH1:           jp.NumH1,
+		NumH2:           jp.NumH2,
+		NumH12:          jp.NumH12,
+	}
+	for id, bits := range er.PerServerBits {
+		var slot *int64
+		switch jp.classOf(id) {
+		case classLight:
+			slot = &res.ByClass.Light
+		case classH1:
+			slot = &res.ByClass.H1
+		case classH2:
+			slot = &res.ByClass.H2
+		case classH12:
+			slot = &res.ByClass.H12
+		}
+		if bits > *slot {
+			*slot = bits
+		}
+	}
 	return res
 }
 

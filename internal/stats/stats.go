@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/data"
+	"repro/internal/hashing"
 )
 
 // AttrKey canonically encodes an attribute-position subset, e.g. [0,2] →
@@ -222,11 +223,26 @@ func (rs *RelationStats) Heavy(attrs []int) []HeavyHitter {
 func (rs *RelationStats) Freq(attrs []int, projected data.Tuple) int64 {
 	sorted := append([]int(nil), attrs...)
 	sort.Ints(sorted)
-	f, ok := rs.ByAttrs[AttrKey(sorted)]
+	return rs.FreqSorted(sorted, projected)
+}
+
+// FreqSorted is Freq for callers that guarantee attrs is already sorted
+// ascending — it skips the defensive copy and sort.
+func (rs *RelationStats) FreqSorted(attrs []int, projected data.Tuple) int64 {
+	f, ok := rs.ByAttrs[AttrKey(attrs)]
 	if !ok {
 		return 0
 	}
 	return f.Count(projected)
+}
+
+// FreqMapFor returns the frequency map over the given attribute subset, or
+// nil if none is recorded. Routing hot paths resolve the map once at plan
+// time instead of re-deriving the attribute key per tuple.
+func (rs *RelationStats) FreqMapFor(attrs []int) *FreqMap {
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	return rs.ByAttrs[AttrKey(sorted)]
 }
 
 // Collect computes RelationStats for r with heavy-hitter threshold m/p. It
@@ -269,6 +285,47 @@ func nonEmptySubsets(arity int) [][]int {
 		out = append(out, s)
 	}
 	return out
+}
+
+// fnvOffset and fnvPrime are the 64-bit FNV-1a parameters used by
+// Fingerprint's value chaining.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Fingerprint returns a cheap content hash of db: one linear scan, no
+// statistics collection. Two databases with the same relations (names,
+// shapes, and tuple multisets — insertion order is ignored) fingerprint
+// identically, so any plan built for one is valid for the other. The
+// engine's plan cache keys on this together with the query's canonical
+// form and p; a fingerprint scan costs O(Σ m_j) while replanning costs
+// heavy-hitter collection over every attribute subset plus LP solving.
+func Fingerprint(db *data.Database) uint64 {
+	h := fnvOffset
+	for _, name := range db.Names() {
+		r := db.Relations[name]
+		for i := 0; i < len(name); i++ {
+			h = (h ^ uint64(name[i])) * fnvPrime
+		}
+		h = (h ^ uint64(r.Arity)) * fnvPrime
+		h = (h ^ uint64(r.Domain)) * fnvPrime
+		h = (h ^ uint64(r.Size())) * fnvPrime
+		// Commutative fold of avalanched per-tuple hashes: insertion order
+		// does not affect any plan (routing is per-tuple), so it must not
+		// affect the fingerprint either.
+		var content uint64
+		r.Each(func(_ int, t data.Tuple) bool {
+			th := fnvOffset
+			for _, v := range t {
+				th = (th ^ uint64(v)) * fnvPrime
+			}
+			content += hashing.Mix64(th)
+			return true
+		})
+		h = (h ^ content) * fnvPrime
+	}
+	return h
 }
 
 // DBStats is the full complex-statistics bundle of §4: per-relation

@@ -4,12 +4,14 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/exec"
 	"repro/internal/hypercube"
 	"repro/internal/mapreduce"
 	"repro/internal/packing"
 	"repro/internal/query"
 	"repro/internal/rounds"
 	"repro/internal/skew"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -28,8 +30,12 @@ type (
 	Relation = data.Relation
 	// Database is a set of relations keyed by name.
 	Database = data.Database
-	// Engine evaluates queries in one MPC round on p simulated servers.
+	// Engine evaluates queries in one MPC round on p simulated servers,
+	// caching physical plans across Execute calls on unchanged inputs.
 	Engine = core.Engine
+	// PhysicalPlan is the unified executable form every strategy planner
+	// lowers to; exec.Run is the single executor they share.
+	PhysicalPlan = exec.PhysicalPlan
 	// Plan describes the algorithm the engine chose and its bound.
 	Plan = core.Plan
 	// Result is an executed plan with answers and realized loads.
@@ -132,6 +138,10 @@ func RunSkewJoin(db *Database, cfg SkewJoinConfig) SkewJoinResult {
 func RunGeneralSkew(q *Query, db *Database, cfg GeneralSkewConfig) GeneralSkewResult {
 	return skew.RunGeneral(q, db, cfg)
 }
+
+// DatabaseFingerprint returns the content hash the engine's plan cache
+// keys on: equal fingerprints mean any cached plan remains valid.
+func DatabaseFingerprint(db *Database) uint64 { return stats.Fingerprint(db) }
 
 // VanillaJoin runs the baseline standard hash join on z for relations
 // "S1","S2" (the algorithm that degrades to Ω(m) under skew), returning
