@@ -106,9 +106,11 @@ func BenchmarkHashingThroughput(b *testing.B) {
 }
 
 // BenchmarkRouterDestinations measures the per-tuple cost of the HC
-// routing hot path. The seed baseline (per-call coords/fixed allocation)
-// measured 101.7 ns/op, 27 B/op, 2 allocs/op; the reusable-scratch router
-// must report 0 allocs/op.
+// routing hot path through the row-view entry point. The seed baseline
+// (per-call coords/fixed allocation) measured 101.7 ns/op, 27 B/op,
+// 2 allocs/op; PR 1's reusable-scratch odometer measured 44.6 ns/op; the
+// precomputed-offset router must report 0 allocs/op and ≤ half PR 1's
+// ns/op.
 func BenchmarkRouterDestinations(b *testing.B) {
 	q := query.Triangle()
 	fam := hashing.NewFamily(2)
@@ -118,6 +120,27 @@ func BenchmarkRouterDestinations(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		dst = r.Destinations("S1", tup, dst[:0])
+	}
+	if len(dst) != 4 {
+		b.Fatalf("destinations = %d", len(dst))
+	}
+}
+
+// BenchmarkRouterDestinationsAt measures the columnar entry point
+// (mpc.ColumnRouter) the communication phase actually drives: destinations
+// are computed from the relation's column strides with no row view at all.
+func BenchmarkRouterDestinationsAt(b *testing.B) {
+	q := query.Triangle()
+	fam := hashing.NewFamily(2)
+	r := hypercube.NewRouter(q, []int{4, 4, 4}, fam)
+	rel := NewRelation("S1", 2, 1<<20)
+	for i := int64(0); i < 1024; i++ {
+		rel.Add((12345*i)%(1<<20), (67890*i)%(1<<20))
+	}
+	var dst []int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = r.DestinationsAt(rel, i&1023, dst[:0])
 	}
 	if len(dst) != 4 {
 		b.Fatalf("destinations = %d", len(dst))
@@ -140,8 +163,7 @@ func BenchmarkPlanCache(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e.Execute(q, db)
 		}
-		hits, _ := e.CacheStats()
-		if hits == 0 {
+		if e.CacheStats().Hits == 0 {
 			b.Fatal("no cache hits")
 		}
 	})

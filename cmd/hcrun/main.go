@@ -82,7 +82,8 @@ func main() {
 		fmt.Printf("shares:       %v\n", res.Plan.Shares)
 	}
 	if *repeatFlag > 1 {
-		hits, misses := engine.CacheStats()
-		fmt.Printf("plan cache:   %d hits / %d misses over %d executions\n", hits, misses, *repeatFlag)
+		cs := engine.CacheStats()
+		fmt.Printf("plan cache:   %d hits / %d misses / %d evictions over %d executions\n",
+			cs.Hits, cs.Misses, cs.Evictions, *repeatFlag)
 	}
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	skewbench [-scale quick|full] [-exp E1,E5,A2] [-markdown out.md]
+//	skewbench -routingbench BENCH_routing.json
 package main
 
 import (
@@ -22,7 +23,16 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 	mdFlag := flag.String("markdown", "", "also write results as markdown to this file")
+	routingFlag := flag.String("routingbench", "", "measure the routing baseline on the zipf join instance, write JSON here, and exit")
 	flag.Parse()
+
+	if *routingFlag != "" {
+		if err := runRoutingBench(*routingFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "skewbench: routing bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scale := exp.Quick
 	switch *scaleFlag {

@@ -292,19 +292,22 @@ func supportAssignments(q *query.Query, xSorted []int, db *data.Database) []data
 		}
 		rel := db.MustGet(a.Name)
 		prj := data.NewRelation(a.Name, len(attrs), rel.Domain)
-		seen := make(map[string]bool)
-		rel.Each(func(_ int, t data.Tuple) bool {
-			pt := make(data.Tuple, len(attrs))
-			for i, pos := range attrs {
-				pt[i] = t[pos]
+		seen := make(map[data.Key]bool)
+		cols := make([][]int64, len(attrs))
+		for i, pos := range attrs {
+			cols[i] = rel.Column(pos)
+		}
+		pt := make(data.Tuple, len(attrs))
+		for row := 0; row < rel.Size(); row++ {
+			for i, col := range cols {
+				pt[i] = col[row]
 			}
-			k := pt.Key()
+			k := data.KeyOf(pt)
 			if !seen[k] {
 				seen[k] = true
 				prj.Add(pt...)
 			}
-			return true
-		})
+		}
 		pq.Atoms = append(pq.Atoms, query.Atom{Name: a.Name, Vars: atomVars})
 		rels[a.Name] = prj
 	}

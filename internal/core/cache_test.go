@@ -4,10 +4,20 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/data"
 	"repro/internal/join"
 	"repro/internal/query"
 	"repro/internal/workload"
 )
+
+// wantHM asserts the hit and miss counters.
+func wantHM(t *testing.T, e *Engine, label string, hits, misses uint64) {
+	t.Helper()
+	cs := e.CacheStats()
+	if cs.Hits != hits || cs.Misses != misses {
+		t.Errorf("%s: hits=%d misses=%d, want %d/%d", label, cs.Hits, cs.Misses, hits, misses)
+	}
+}
 
 // TestPlanCacheHitSkipsReplanning is the cache-hit contract: repeated
 // Execute on unchanged (query, db, p) reuses the cached physical plan —
@@ -21,13 +31,9 @@ func TestPlanCacheHitSkipsReplanning(t *testing.T) {
 	)
 	e := NewEngine(16, 9)
 	first := e.Execute(q, db)
-	if hits, misses := e.CacheStats(); hits != 0 || misses != 1 {
-		t.Fatalf("after first Execute: hits=%d misses=%d, want 0/1", hits, misses)
-	}
+	wantHM(t, e, "after first Execute", 0, 1)
 	second := e.Execute(q, db)
-	if hits, misses := e.CacheStats(); hits != 1 || misses != 1 {
-		t.Fatalf("after second Execute: hits=%d misses=%d, want 1/1", hits, misses)
-	}
+	wantHM(t, e, "after second Execute", 1, 1)
 	if !join.EqualTupleSets(first.Output, second.Output) {
 		t.Error("cached plan produced different answers")
 	}
@@ -50,38 +56,30 @@ func TestPlanCacheMissOnChange(t *testing.T) {
 	// Same shape, different content: the fingerprint must differ.
 	db.MustGet("S1").Add(42, 99)
 	e.Execute(q, db)
-	if hits, misses := e.CacheStats(); hits != 0 || misses != 2 {
-		t.Errorf("after db mutation: hits=%d misses=%d, want 0/2", hits, misses)
-	}
+	wantHM(t, e, "after db mutation", 0, 2)
 
 	// Different query text (renamed head variables keep the same semantics
 	// but a different canonical form — conservative misses are fine).
 	e.Execute(query.MustParse("q(a,b,c) = S1(a,c), S2(b,c)"), db)
-	if hits, misses := e.CacheStats(); hits != 0 || misses != 3 {
-		t.Errorf("after query change: hits=%d misses=%d, want 0/3", hits, misses)
-	}
+	wantHM(t, e, "after query change", 0, 3)
 
 	// A forced strategy is part of the key.
 	force := BinCombination
 	e.ForceStrategy = &force
 	e.Execute(q, db)
-	if hits, misses := e.CacheStats(); hits != 0 || misses != 4 {
-		t.Errorf("after forcing strategy: hits=%d misses=%d, want 0/4", hits, misses)
-	}
+	wantHM(t, e, "after forcing strategy", 0, 4)
 	e.ForceStrategy = nil
 
 	// So is the hash seed: a reseeded engine must not reuse old routing.
 	e.Seed = 99
 	e.Execute(q, db)
-	if hits, misses := e.CacheStats(); hits != 0 || misses != 5 {
-		t.Errorf("after reseeding: hits=%d misses=%d, want 0/5", hits, misses)
-	}
+	wantHM(t, e, "after reseeding", 0, 5)
 	e.Seed = 1
 
 	// And the original (query, db) entries are still live.
 	e.Execute(q, db)
-	if hits, _ := e.CacheStats(); hits != 1 {
-		t.Errorf("original entry evicted: hits=%d, want 1", hits)
+	if cs := e.CacheStats(); cs.Hits != 1 {
+		t.Errorf("original entry evicted: hits=%d, want 1", cs.Hits)
 	}
 }
 
@@ -95,9 +93,7 @@ func TestPlanCacheDisable(t *testing.T) {
 	e.DisablePlanCache = true
 	e.Execute(q, db)
 	e.Execute(q, db)
-	if hits, misses := e.CacheStats(); hits != 0 || misses != 0 {
-		t.Errorf("disabled cache still counting: hits=%d misses=%d", hits, misses)
-	}
+	wantHM(t, e, "disabled cache still counting", 0, 0)
 }
 
 func TestClearPlanCache(t *testing.T) {
@@ -109,14 +105,77 @@ func TestClearPlanCache(t *testing.T) {
 	e := NewEngine(8, 1)
 	e.Execute(q, db)
 	e.ClearPlanCache()
-	if hits, misses := e.CacheStats(); hits != 0 || misses != 0 {
-		t.Errorf("counters survive clear: hits=%d misses=%d", hits, misses)
+	cs := e.CacheStats()
+	if cs.Hits != 0 || cs.Misses != 0 || cs.Evictions != 0 || cs.Size != 0 {
+		t.Errorf("state survives clear: %+v", cs)
 	}
 	e.Execute(q, db)
-	if hits, misses := e.CacheStats(); hits != 0 || misses != 1 {
-		t.Errorf("cache not rebuilt after clear: hits=%d misses=%d", hits, misses)
+	wantHM(t, e, "cache not rebuilt after clear", 0, 1)
+}
+
+// TestPlanCacheLRUEviction: with capacity c, inserting c+1 distinct keys
+// evicts exactly the least-recently-used entry — a re-Execute of the
+// evicted key misses while a recently touched key still hits.
+func TestPlanCacheLRUEviction(t *testing.T) {
+	q := query.Join2()
+	mkdb := func(seed int64) *dbHandle {
+		return &dbHandle{db2(
+			workload.Matching("S1", 2, 100, 100000, seed),
+			workload.Matching("S2", 2, 100, 100000, seed+50),
+		)}
+	}
+	e := NewEngine(8, 1)
+	e.PlanCacheCapacity = 2
+	a, b, c := mkdb(1), mkdb(2), mkdb(3)
+
+	e.Execute(q, a.db) // cache: [a]
+	e.Execute(q, b.db) // cache: [b a]
+	cs := e.CacheStats()
+	if cs.Size != 2 || cs.Evictions != 0 {
+		t.Fatalf("before eviction: %+v", cs)
+	}
+	e.Execute(q, a.db) // touch a → cache: [a b]
+	e.Execute(q, c.db) // evicts b → cache: [c a]
+	cs = e.CacheStats()
+	if cs.Evictions != 1 || cs.Size != 2 {
+		t.Fatalf("after third insert: %+v", cs)
+	}
+	e.Execute(q, a.db) // must still hit
+	if got := e.CacheStats(); got.Hits != 2 {
+		t.Errorf("touched entry was evicted: %+v", got)
+	}
+	e.Execute(q, b.db) // must miss (was the LRU victim) and evict again
+	cs = e.CacheStats()
+	if cs.Misses != 4 || cs.Evictions != 2 {
+		t.Errorf("victim not evicted: %+v", cs)
+	}
+	if cs.Capacity != 2 {
+		t.Errorf("Capacity = %d, want 2", cs.Capacity)
 	}
 }
+
+// TestPlanCacheUnboundedNegativeCapacity: a negative capacity disables
+// eviction entirely.
+func TestPlanCacheUnboundedNegativeCapacity(t *testing.T) {
+	q := query.Join2()
+	e := NewEngine(8, 1)
+	e.PlanCacheCapacity = -1
+	for seed := int64(0); seed < 5; seed++ {
+		db := db2(
+			workload.Matching("S1", 2, 50, 100000, seed),
+			workload.Matching("S2", 2, 50, 100000, seed+100),
+		)
+		e.Execute(q, db)
+	}
+	cs := e.CacheStats()
+	if cs.Evictions != 0 || cs.Size != 5 {
+		t.Errorf("unbounded cache evicted: %+v", cs)
+	}
+}
+
+// dbHandle names a database in the eviction test so the LRU walkthrough
+// reads as [a b c].
+type dbHandle struct{ db *data.Database }
 
 // TestExecuteConcurrentSharedEngine exercises the cache under concurrent
 // Execute calls on one engine (the production serving pattern): same
@@ -146,7 +205,7 @@ func TestExecuteConcurrentSharedEngine(t *testing.T) {
 			t.Error(err)
 		}
 	}
-	if hits, misses := e.CacheStats(); hits+misses != workers {
-		t.Errorf("hits+misses = %d, want %d", hits+misses, workers)
+	if cs := e.CacheStats(); cs.Hits+cs.Misses != workers {
+		t.Errorf("hits+misses = %d, want %d", cs.Hits+cs.Misses, workers)
 	}
 }

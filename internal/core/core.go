@@ -8,6 +8,7 @@
 package core
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 
@@ -47,6 +48,12 @@ func (s Strategy) String() string {
 	return "?"
 }
 
+// DefaultPlanCacheCapacity bounds the plan cache when the engine does not
+// set an explicit capacity: enough for a realistic working set of
+// (query, database-version) pairs, small enough that a churn of one-off
+// fingerprints cannot grow the engine without bound.
+const DefaultPlanCacheCapacity = 64
+
 // Engine evaluates conjunctive queries in one communication round on p
 // simulated servers.
 //
@@ -54,7 +61,10 @@ func (s Strategy) String() string {
 // fingerprint, p, forced strategy): repeated calls on unchanged inputs —
 // the heavy repeated-traffic case — skip statistics collection, LP
 // solving, and heavy-hitter planning, paying only a linear fingerprint
-// scan before routing. Engines are safe for concurrent use.
+// scan before routing. The cache is a bounded LRU
+// (DefaultPlanCacheCapacity entries unless PlanCacheCapacity overrides
+// it); least-recently-used plans are evicted and counted in CacheStats.
+// Engines are safe for concurrent use.
 type Engine struct {
 	P    int
 	Seed uint64
@@ -62,11 +72,24 @@ type Engine struct {
 	ForceStrategy *Strategy
 	// DisablePlanCache replans on every Execute call.
 	DisablePlanCache bool
+	// PlanCacheCapacity bounds the number of cached plans; 0 means
+	// DefaultPlanCacheCapacity, negative means unbounded. Read when an
+	// entry is inserted, so set it before the first Execute.
+	PlanCacheCapacity int
 
-	mu     sync.Mutex
-	cache  map[planKey]*cachedPlan
-	hits   uint64
-	misses uint64
+	mu        sync.Mutex
+	cache     map[planKey]*list.Element // key → element whose Value is *cacheEntry
+	lru       list.List                 // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// cacheEntry is one LRU node: the key (so eviction can unmap it) plus the
+// cached plan bundle.
+type cacheEntry struct {
+	key planKey
+	cp  *cachedPlan
 }
 
 // planKey identifies a cached plan: q.String() is a canonical rendering of
@@ -185,7 +208,8 @@ func (e *Engine) Execute(q *query.Query, db *data.Database) Result {
 }
 
 // planFor returns the cached plan bundle for (q, db), building and caching
-// it on a miss.
+// it on a miss. Hits refresh the entry's LRU position; inserts beyond the
+// capacity evict from the cold end.
 func (e *Engine) planFor(q *query.Query, db *data.Database) *cachedPlan {
 	if e.DisablePlanCache {
 		return e.buildPlan(q, db)
@@ -195,8 +219,10 @@ func (e *Engine) planFor(q *query.Query, db *data.Database) *cachedPlan {
 		key.forced = *e.ForceStrategy
 	}
 	e.mu.Lock()
-	if cp, ok := e.cache[key]; ok {
+	if el, ok := e.cache[key]; ok {
 		e.hits++
+		e.lru.MoveToFront(el)
+		cp := el.Value.(*cacheEntry).cp
 		e.mu.Unlock()
 		return cp
 	}
@@ -205,12 +231,27 @@ func (e *Engine) planFor(q *query.Query, db *data.Database) *cachedPlan {
 	// duplicate build for a racing miss is just redundant work.
 	cp := e.buildPlan(q, db)
 	e.mu.Lock()
-	if e.cache == nil {
-		e.cache = make(map[planKey]*cachedPlan)
-	}
-	e.cache[key] = cp
+	defer e.mu.Unlock()
 	e.misses++
-	e.mu.Unlock()
+	if el, ok := e.cache[key]; ok {
+		// A racing miss already inserted this key; keep the live entry.
+		e.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).cp
+	}
+	if e.cache == nil {
+		e.cache = make(map[planKey]*list.Element)
+	}
+	e.cache[key] = e.lru.PushFront(&cacheEntry{key: key, cp: cp})
+	capacity := e.PlanCacheCapacity
+	if capacity == 0 {
+		capacity = DefaultPlanCacheCapacity
+	}
+	for capacity > 0 && e.lru.Len() > capacity {
+		cold := e.lru.Back()
+		e.lru.Remove(cold)
+		delete(e.cache, cold.Value.(*cacheEntry).key)
+		e.evictions++
+	}
 	return cp
 }
 
@@ -230,11 +271,30 @@ func (e *Engine) buildPlan(q *query.Query, db *data.Database) *cachedPlan {
 	return cp
 }
 
-// CacheStats returns the plan cache hit and miss counters.
-func (e *Engine) CacheStats() (hits, misses uint64) {
+// CacheStats reports the plan cache counters and occupancy.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Size      int // live entries
+	Capacity  int // effective bound (≤ 0 means unbounded)
+}
+
+// CacheStats returns the plan cache counters.
+func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.hits, e.misses
+	capacity := e.PlanCacheCapacity
+	if capacity == 0 {
+		capacity = DefaultPlanCacheCapacity
+	}
+	return CacheStats{
+		Hits:      e.hits,
+		Misses:    e.misses,
+		Evictions: e.evictions,
+		Size:      len(e.cache),
+		Capacity:  capacity,
+	}
 }
 
 // ClearPlanCache drops all cached plans and resets the counters.
@@ -242,7 +302,8 @@ func (e *Engine) ClearPlanCache() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cache = nil
-	e.hits, e.misses = 0, 0
+	e.lru.Init()
+	e.hits, e.misses, e.evictions = 0, 0, 0
 }
 
 // isJoin2Shaped recognizes q(x,y,z) = S1(x,z), S2(y,z) up to renaming:

@@ -148,6 +148,31 @@ func TestExecuteSkewJoinIgnoresUnrelatedRelations(t *testing.T) {
 	}
 }
 
+func TestExecuteHyperCubeIgnoresUnrelatedRelations(t *testing.T) {
+	// Same contract for the skew-free path: the HyperCube router must skip
+	// relations the query doesn't mention instead of panicking in a sender
+	// goroutine (which would kill the process, not fail the Execute).
+	q := query.Join2()
+	db := db2(
+		workload.Matching("S1", 2, 300, 100000, 1),
+		workload.Matching("S2", 2, 300, 100000, 2),
+	)
+	extra := data.NewRelation("U", 1, 100000)
+	extra.Add(7)
+	extra.Add(8)
+	db.Put(extra)
+	e := NewEngine(16, 9)
+	plan := e.PlanQuery(q, db)
+	if plan.Strategy != HyperCube {
+		t.Fatalf("strategy = %v, want hypercube", plan.Strategy)
+	}
+	res := e.Execute(q, db)
+	want := join.Join(q, join.FromDatabase(db))
+	if !join.EqualTupleSets(res.Output, want) {
+		t.Errorf("output %d tuples, want %d", len(res.Output), len(want))
+	}
+}
+
 func TestForceStrategy(t *testing.T) {
 	q := query.Join2()
 	db := db2(

@@ -10,6 +10,7 @@ import (
 	"repro/internal/packing"
 	"repro/internal/query"
 	"repro/internal/skew"
+	"repro/internal/stats"
 )
 
 // Explain renders a human-readable analysis of how the engine would
@@ -30,8 +31,12 @@ func (e *Engine) Explain(q *query.Query, db *data.Database) string {
 	for j, a := range q.Atoms {
 		rel := db.MustGet(a.Name)
 		bitsM[j] = float64(rel.Bits())
-		fmt.Fprintf(&b, "relation %-6s m = %8d tuples, M = %10d bits\n",
-			a.Name, rel.Size(), rel.Bits())
+		distinct := make([]string, rel.Arity)
+		for attr := range distinct {
+			distinct[attr] = fmt.Sprintf("%d", stats.Cardinality(rel, attr))
+		}
+		fmt.Fprintf(&b, "relation %-6s m = %8d tuples, M = %10d bits, distinct/attr = (%s)\n",
+			a.Name, rel.Size(), rel.Bits(), strings.Join(distinct, ","))
 	}
 	fmt.Fprintf(&b, "\nτ* = %.3f  (max fractional edge packing value)\n", packing.Tau(q))
 

@@ -2,8 +2,10 @@
 // accounts their size in bits, matching the paper's convention
 // M_j = a_j · m_j · log n for a relation with arity a_j and m_j tuples.
 //
-// Tuples are kept in a flat row-major int64 slice for locality; a Tuple view
-// is a sub-slice and must not be retained across Add calls.
+// Storage is columnar: one []int64 per attribute. Routers hash only the
+// join columns, local joins scan only the attributes they touch, and the
+// simulator's communication phase ships column slices — row views exist
+// only at the edges (tests, debug output, reference algorithms).
 package data
 
 import (
@@ -16,7 +18,8 @@ import (
 // Tuple is one row of a relation; len(Tuple) is the relation's arity.
 type Tuple []int64
 
-// Key renders a tuple as a compact map key.
+// Key renders a tuple as a compact map key. It allocates; hot paths use
+// KeyOf instead and keep Key() for error/debug formatting only.
 func (t Tuple) Key() string {
 	var b strings.Builder
 	for i, v := range t {
@@ -28,6 +31,94 @@ func (t Tuple) Key() string {
 	return b.String()
 }
 
+// keyInline is the arity up to which Key stores values inline without
+// allocating. Base relations in this repository have arity ≤ 3 and
+// attribute subsets are no wider; the overflow path exists so that wide
+// intermediate relations (multi-round plans) stay correct.
+const keyInline = 8
+
+// Key is a comparable, allocation-free rendering of a tuple for use as a
+// map key: values up to keyInline are stored inline, wider tuples spill
+// the remainder into a packed string (one allocation, still comparable).
+// The zero Key is the key of the empty tuple.
+type Key struct {
+	v        [keyInline]int64
+	n        int32
+	overflow string
+}
+
+// KeyOf returns the map key of vals. It never allocates for
+// len(vals) ≤ keyInline.
+func KeyOf(vals []int64) Key {
+	k := Key{n: int32(len(vals))}
+	if len(vals) <= keyInline {
+		copy(k.v[:], vals)
+		return k
+	}
+	copy(k.v[:], vals[:keyInline])
+	var sb strings.Builder
+	sb.Grow((len(vals) - keyInline) * 8)
+	for _, v := range vals[keyInline:] {
+		u := uint64(v)
+		sb.Write([]byte{
+			byte(u >> 56), byte(u >> 48), byte(u >> 40), byte(u >> 32),
+			byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u),
+		})
+	}
+	k.overflow = sb.String()
+	return k
+}
+
+// Key1 is KeyOf for a single value — the hot single-attribute case.
+func Key1(v int64) Key {
+	k := Key{n: 1}
+	k.v[0] = v
+	return k
+}
+
+// Len returns the arity of the keyed tuple.
+func (k Key) Len() int { return int(k.n) }
+
+// At returns the i-th value of the keyed tuple.
+func (k Key) At(i int) int64 {
+	if i < keyInline {
+		return k.v[i]
+	}
+	off := (i - keyInline) * 8
+	var u uint64
+	for b := 0; b < 8; b++ {
+		u = u<<8 | uint64(k.overflow[off+b])
+	}
+	return int64(u)
+}
+
+// Tuple materializes the keyed tuple.
+func (k Key) Tuple() Tuple {
+	t := make(Tuple, k.n)
+	for i := range t {
+		t[i] = k.At(i)
+	}
+	return t
+}
+
+// Less orders keys by their value sequences (shorter prefixes first).
+func (k Key) Less(o Key) bool {
+	n := int(k.n)
+	if int(o.n) < n {
+		n = int(o.n)
+	}
+	for i := 0; i < n; i++ {
+		a, b := k.At(i), o.At(i)
+		if a != b {
+			return a < b
+		}
+	}
+	return k.n < o.n
+}
+
+// String renders the key like Tuple.Key (debug only).
+func (k Key) String() string { return k.Tuple().Key() }
+
 // BitsPerValue returns ⌈log₂ n⌉ (minimum 1), the bits needed to encode one
 // value from a domain of size n.
 func BitsPerValue(domain int64) int {
@@ -37,14 +128,16 @@ func BitsPerValue(domain int64) int {
 	return bits.Len64(uint64(domain - 1))
 }
 
-// Relation is a named multiset-free relation instance S_j ⊆ [domain]^arity.
-// Duplicate insertion is the caller's responsibility to avoid (generators
-// never produce duplicates; AddUnique enforces it when needed).
+// Relation is a named multiset-free relation instance S_j ⊆ [domain]^arity,
+// stored column-wise: cols[a][i] is attribute a of tuple i. Duplicate
+// insertion is the caller's responsibility to avoid (generators never
+// produce duplicates; AddUnique enforces it when needed).
 type Relation struct {
 	Name   string
 	Arity  int
 	Domain int64
-	flat   []int64
+	cols   [][]int64
+	rows   int
 }
 
 // NewRelation returns an empty relation.
@@ -52,7 +145,7 @@ func NewRelation(name string, arity int, domain int64) *Relation {
 	if arity < 0 || domain < 1 {
 		panic(fmt.Sprintf("data: bad relation shape arity=%d domain=%d", arity, domain))
 	}
-	return &Relation{Name: name, Arity: arity, Domain: domain}
+	return &Relation{Name: name, Arity: arity, Domain: domain, cols: make([][]int64, arity)}
 }
 
 // Add appends a tuple. Values must lie in [0, Domain).
@@ -60,32 +153,94 @@ func (r *Relation) Add(vals ...int64) {
 	if len(vals) != r.Arity {
 		panic(fmt.Sprintf("data: %s: tuple arity %d, want %d", r.Name, len(vals), r.Arity))
 	}
-	for _, v := range vals {
+	for a, v := range vals {
 		if v < 0 || v >= r.Domain {
 			panic(fmt.Sprintf("data: %s: value %d outside domain [0,%d)", r.Name, v, r.Domain))
 		}
+		r.cols[a] = append(r.cols[a], v)
 	}
-	r.flat = append(r.flat, vals...)
+	r.rows++
+}
+
+// AppendColumns bulk-appends count rows given column-wise (cols[a] holds
+// attribute a of every appended row). Values are trusted — they must come
+// from a relation of the same shape (the simulator's delivery path, where
+// every value was validated on its original Add). The slices are copied.
+func (r *Relation) AppendColumns(cols [][]int64, count int) {
+	if len(cols) != r.Arity {
+		panic(fmt.Sprintf("data: %s: AppendColumns arity %d, want %d", r.Name, len(cols), r.Arity))
+	}
+	for a := range r.cols {
+		r.cols[a] = append(r.cols[a], cols[a][:count]...)
+	}
+	r.rows += count
+}
+
+// AppendRow appends row i of src, which must have the same arity.
+// Values are trusted (src already validated them).
+func (r *Relation) AppendRow(src *Relation, i int) {
+	if src.Arity != r.Arity {
+		panic(fmt.Sprintf("data: %s: AppendRow from arity %d, want %d", r.Name, src.Arity, r.Arity))
+	}
+	for a := range r.cols {
+		r.cols[a] = append(r.cols[a], src.cols[a][i])
+	}
+	r.rows++
 }
 
 // Size returns m, the number of tuples.
-func (r *Relation) Size() int {
-	if r.Arity == 0 {
-		return len(r.flat) // degenerate; nullary relations unused in practice
-	}
-	return len(r.flat) / r.Arity
-}
+func (r *Relation) Size() int { return r.rows }
 
-// Tuple returns a view of the i-th tuple. The view aliases internal storage.
+// Column returns attribute a of every tuple — the columnar view routers
+// and joins scan. The slice aliases internal storage: callers must treat
+// it as read-only and must not retain it across Add calls.
+func (r *Relation) Column(a int) []int64 { return r.cols[a][:r.rows] }
+
+// Columns returns all column slices (read-only, like Column).
+func (r *Relation) Columns() [][]int64 { return r.cols }
+
+// At returns attribute a of tuple i.
+func (r *Relation) At(i, a int) int64 { return r.cols[a][i] }
+
+// Tuple materializes the i-th tuple as a fresh row. It allocates — hot
+// paths read Column/At directly or use ReadTuple with reusable scratch.
 func (r *Relation) Tuple(i int) Tuple {
-	return Tuple(r.flat[i*r.Arity : (i+1)*r.Arity])
+	return r.ReadTuple(i, make(Tuple, r.Arity))
 }
 
-// Each calls f on every tuple; returning false stops early.
+// ReadTuple gathers the i-th tuple into dst (which must have length
+// Arity) and returns dst.
+func (r *Relation) ReadTuple(i int, dst Tuple) Tuple {
+	for a, col := range r.cols {
+		dst[a] = col[i]
+	}
+	return dst
+}
+
+// KeyAt returns the map key of the i-th tuple without materializing it.
+func (r *Relation) KeyAt(i int) Key {
+	if r.Arity <= keyInline {
+		k := Key{n: int32(r.Arity)}
+		for a, col := range r.cols {
+			k.v[a] = col[i]
+		}
+		return k
+	}
+	return KeyOf(r.Tuple(i))
+}
+
+// Each calls f on every tuple; returning false stops early. The Tuple
+// view is scratch reused across iterations (one allocation per Each
+// call): it is only valid inside the callback and must be copied to be
+// retained. Each itself never writes to the relation, so concurrent scans
+// of one relation are safe.
 func (r *Relation) Each(f func(i int, t Tuple) bool) {
-	n := r.Size()
-	for i := 0; i < n; i++ {
-		if !f(i, r.Tuple(i)) {
+	t := make(Tuple, r.Arity)
+	for i := 0; i < r.rows; i++ {
+		for a, col := range r.cols {
+			t[a] = col[i]
+		}
+		if !f(i, t) {
 			return
 		}
 	}
@@ -104,48 +259,50 @@ func (r *Relation) Bits() int64 {
 // Clone returns a deep copy.
 func (r *Relation) Clone() *Relation {
 	c := NewRelation(r.Name, r.Arity, r.Domain)
-	c.flat = append([]int64(nil), r.flat...)
+	for a := range r.cols {
+		c.cols[a] = append([]int64(nil), r.cols[a]...)
+	}
+	c.rows = r.rows
 	return c
 }
 
 // Sort orders tuples lexicographically in place (used to canonicalize for
-// comparisons in tests).
+// comparisons in tests). Column-wise: sort a row permutation, then gather
+// each column once.
 func (r *Relation) Sort() {
-	n := r.Size()
-	idx := make([]int, n)
+	idx := make([]int, r.rows)
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		ta, tb := r.Tuple(idx[a]), r.Tuple(idx[b])
-		for i := range ta {
-			if ta[i] != tb[i] {
-				return ta[i] < tb[i]
+		ia, ib := idx[a], idx[b]
+		for _, col := range r.cols {
+			if col[ia] != col[ib] {
+				return col[ia] < col[ib]
 			}
 		}
 		return false
 	})
-	sorted := make([]int64, 0, len(r.flat))
-	for _, i := range idx {
-		sorted = append(sorted, r.Tuple(i)...)
+	for a, col := range r.cols {
+		sorted := make([]int64, r.rows)
+		for out, i := range idx {
+			sorted[out] = col[i]
+		}
+		r.cols[a] = sorted
 	}
-	r.flat = sorted
 }
 
 // ContainsDuplicates reports whether any tuple occurs twice.
 func (r *Relation) ContainsDuplicates() bool {
-	seen := make(map[string]bool, r.Size())
-	dup := false
-	r.Each(func(_ int, t Tuple) bool {
-		k := t.Key()
+	seen := make(map[Key]bool, r.rows)
+	for i := 0; i < r.rows; i++ {
+		k := r.KeyAt(i)
 		if seen[k] {
-			dup = true
-			return false
+			return true
 		}
 		seen[k] = true
-		return true
-	})
-	return dup
+	}
+	return false
 }
 
 // Database is a set of relations keyed by relation (atom) name.

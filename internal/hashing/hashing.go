@@ -47,13 +47,28 @@ func (f *Family) Hash(dim int, value int64, buckets int) int {
 	if buckets == 1 {
 		return 0
 	}
-	h := mix64(f.seed ^ mix64(uint64(dim)+0x51f7a54d) ^ uint64(value))
-	return int(h % uint64(buckets))
+	return int(mix64(f.DimSeed(dim)^uint64(value)) % uint64(buckets))
+}
+
+// DimSeed returns the dimension-specific seed that Hash folds the value
+// into. Routing hot paths resolve it once per dimension at plan time and
+// call HashSeeded per value, saving a mix per hash; Hash(dim, v, b) ==
+// HashSeeded(DimSeed(dim), v, b) always.
+func (f *Family) DimSeed(dim int) uint64 {
+	return f.seed ^ mix64(uint64(dim)+0x51f7a54d)
+}
+
+// HashSeeded is Hash with the per-dimension seed precomputed via DimSeed.
+func HashSeeded(dimSeed uint64, value int64, buckets int) int {
+	if buckets == 1 {
+		return 0
+	}
+	return int(mix64(dimSeed^uint64(value)) % uint64(buckets))
 }
 
 // Uint64 returns a raw 64-bit hash for (dim, value).
 func (f *Family) Uint64(dim int, value int64) uint64 {
-	return mix64(f.seed ^ mix64(uint64(dim)+0x51f7a54d) ^ uint64(value))
+	return mix64(f.DimSeed(dim) ^ uint64(value))
 }
 
 // Grid is a p_1 × … × p_r bucket grid: attribute i of a tuple is hashed by

@@ -17,19 +17,41 @@ import (
 // coordinates of the dimensions of vars(S_j) by hashing and is replicated
 // over every combination of the remaining dimensions (§3.1).
 //
-// Destinations reuses per-router scratch, so a Router is not safe for
-// concurrent use; it implements mpc.PerSenderRouter and mpc.Round gives
-// each sender goroutine its own instance.
+// The residual subcube of an atom is a fixed set of linear offsets, so it
+// is enumerated once at router construction; per tuple, routing is one
+// hash per bound dimension plus one append per destination — no odometer
+// and no per-tuple scratch. Destinations caches the last relation binding,
+// so a Router is not safe for concurrent use; it implements
+// mpc.PerSenderRouter and mpc.Round gives each sender its own instance.
 type Router struct {
 	q      *query.Query
 	grid   *hashing.Grid
 	shares []int
 	stride []int // linearization strides, stride[k-1] = 1
-	// atomVars[name] maps attribute position → variable index (dimension).
-	atomVars map[string][]int
-	// Per-tuple scratch, reused across Destinations calls.
-	coords []int
-	fixed  []bool
+	atoms  map[string]*routerAtom
+	// last-bound relation, so Destinations/DestinationsAt resolve the atom
+	// table and column slices with an equality check instead of a map
+	// lookup (senders route one relation chunk at a time).
+	lastRel  *data.Relation
+	lastName string
+	lastAtom *routerAtom
+}
+
+// routerAtom is the per-atom routing table: the hash dimensions of the
+// atom's own variables (with their per-dimension hash seeds and linear
+// strides precomputed) and the subcube offsets of the free dimensions, in
+// lexicographic coordinate order.
+type routerAtom struct {
+	dims    []atomDim // one per attribute position
+	offsets []int
+}
+
+// atomDim is one hashed dimension of an atom: attribute pos hashes with
+// seed into share buckets contributing coord·stride to the linear index.
+type atomDim struct {
+	seed   uint64
+	share  int
+	stride int
 }
 
 // NewRouter builds the HC router for the given integer shares (one per
@@ -40,13 +62,11 @@ func NewRouter(q *query.Query, shares []int, family *hashing.Family) *Router {
 	}
 	k := len(shares)
 	r := &Router{
-		q:        q,
-		grid:     hashing.NewGrid(shares, family),
-		shares:   append([]int(nil), shares...),
-		stride:   make([]int, k),
-		atomVars: make(map[string][]int),
-		coords:   make([]int, k),
-		fixed:    make([]bool, k),
+		q:      q,
+		grid:   hashing.NewGrid(shares, family),
+		shares: append([]int(nil), shares...),
+		stride: make([]int, k),
+		atoms:  make(map[string]*routerAtom),
 	}
 	size := 1
 	for i := k - 1; i >= 0; i-- {
@@ -54,65 +74,124 @@ func NewRouter(q *query.Query, shares []int, family *hashing.Family) *Router {
 		size *= shares[i]
 	}
 	for _, a := range q.Atoms {
-		r.atomVars[a.Name] = append([]int(nil), a.Vars...)
+		ra := &routerAtom{dims: make([]atomDim, len(a.Vars))}
+		for pos, v := range a.Vars {
+			ra.dims[pos] = atomDim{
+				seed:   family.DimSeed(v),
+				share:  shares[v],
+				stride: r.stride[v],
+			}
+		}
+		fixed := make([]bool, k)
+		for _, v := range a.Vars {
+			fixed[v] = true
+		}
+		ra.offsets = enumerateFree(r.shares, r.stride, fixed)
+		r.atoms[a.Name] = ra
 	}
 	return r
+}
+
+// enumerateFree lists the linear offsets of every combination of the free
+// (non-fixed) dimensions in lexicographic coordinate order, last dimension
+// fastest — the same order the routing odometer used to produce.
+func enumerateFree(shares, stride []int, fixed []bool) []int {
+	k := len(shares)
+	n := 1
+	for d := 0; d < k; d++ {
+		if !fixed[d] {
+			n *= shares[d]
+		}
+	}
+	offsets := make([]int, 0, n)
+	coords := make([]int, k)
+	lin := 0
+	for {
+		offsets = append(offsets, lin)
+		d := k - 1
+		for ; d >= 0; d-- {
+			if fixed[d] {
+				continue
+			}
+			if coords[d]+1 < shares[d] {
+				coords[d]++
+				lin += stride[d]
+				break
+			}
+			lin -= coords[d] * stride[d]
+			coords[d] = 0
+		}
+		if d < 0 {
+			return offsets
+		}
+	}
 }
 
 // Size returns the number of hypercube cells (Π p_i).
 func (r *Router) Size() int { return r.grid.Size() }
 
 // ForSender implements mpc.PerSenderRouter: the copy shares the immutable
-// grid and share tables but owns fresh scratch.
+// grid and offset tables but owns a private relation-binding cache.
 func (r *Router) ForSender() mpc.Router {
 	c := *r
-	c.coords = make([]int, len(r.shares))
-	c.fixed = make([]bool, len(r.shares))
+	c.lastRel, c.lastName, c.lastAtom = nil, "", nil
 	return &c
 }
 
-// Destinations implements mpc.Router: the subcube of servers receiving t.
-// It appends the cells in lexicographic coordinate order and performs no
-// allocations beyond growing dst.
+// atomFor resolves the routing table of an atom name; nil means the
+// relation is not part of the query. The database may carry relations
+// outside the query (the engine routes whatever the caller staged), and
+// the other strategies' routers skip those, so the HC router must too —
+// a panic here would kill a sender goroutine mid-round.
+func (r *Router) atomFor(rel string) *routerAtom {
+	return r.atoms[rel]
+}
+
+// Destinations implements mpc.Router: the subcube of servers receiving t,
+// in lexicographic coordinate order, with no allocations beyond growing
+// dst. Relations outside the query are not routed.
 func (r *Router) Destinations(rel string, t data.Tuple, dst []int) []int {
-	vars, ok := r.atomVars[rel]
-	if !ok {
-		panic("hypercube: relation " + rel + " not in query")
-	}
-	k := len(r.shares)
-	coords, fixed := r.coords, r.fixed
-	for i := 0; i < k; i++ {
-		coords[i] = 0
-		fixed[i] = false
-	}
-	lin := 0
-	for pos, v := range vars {
-		c := r.grid.HashDim(v, t[pos])
-		coords[v] = c
-		fixed[v] = true
-		lin += c * r.stride[v]
-	}
-	// Odometer over the free dimensions, last dimension fastest —
-	// lexicographic order, maintaining the linear index incrementally.
-	for {
-		dst = append(dst, lin)
-		d := k - 1
-		for ; d >= 0; d-- {
-			if fixed[d] {
-				continue
-			}
-			if coords[d]+1 < r.shares[d] {
-				coords[d]++
-				lin += r.stride[d]
-				break
-			}
-			lin -= coords[d] * r.stride[d]
-			coords[d] = 0
-		}
-		if d < 0 {
+	ra := r.lastAtom
+	if rel != r.lastName || ra == nil {
+		ra = r.atomFor(rel)
+		if ra == nil {
 			return dst
 		}
+		r.lastName, r.lastAtom = rel, ra
+		r.lastRel = nil
 	}
+	lin := 0
+	for pos := range ra.dims {
+		d := &ra.dims[pos]
+		lin += hashing.HashSeeded(d.seed, t[pos], d.share) * d.stride
+	}
+	for _, off := range ra.offsets {
+		dst = append(dst, lin+off)
+	}
+	return dst
+}
+
+// DestinationsAt implements mpc.ColumnRouter: identical routing to
+// Destinations, hashing the relation's column strides directly.
+func (r *Router) DestinationsAt(rel *data.Relation, row int, dst []int) []int {
+	ra := r.lastAtom
+	if rel != r.lastRel || ra == nil {
+		ra = r.atomFor(rel.Name)
+		if ra == nil {
+			return dst
+		}
+		r.lastRel, r.lastName, r.lastAtom = rel, rel.Name, ra
+	}
+	cols := rel.Columns()
+	lin := 0
+	for pos := range ra.dims {
+		d := &ra.dims[pos]
+		lin += hashing.HashSeeded(d.seed, cols[pos][row], d.share) * d.stride
+	}
+	for _, off := range ra.offsets {
+		dst = append(dst, lin+off)
+	}
+	return dst
 }
 
 // Config controls a HyperCube run.

@@ -236,15 +236,24 @@ func TestRouterOutputCoverage(t *testing.T) {
 	}
 }
 
-func TestRouterUnknownRelationPanics(t *testing.T) {
+func TestRouterSkipsUnknownRelation(t *testing.T) {
+	// The database may stage relations the query doesn't mention; like the
+	// skew routers, the HC router must not route them (a panic here would
+	// kill a sender goroutine mid-round).
 	q := query.Join2()
 	r := NewRouter(q, []int{1, 1, 2}, hashing.NewFamily(1))
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	r.Destinations("nope", data.Tuple{1, 2}, nil)
+	if dst := r.Destinations("nope", data.Tuple{1, 2}, nil); len(dst) != 0 {
+		t.Errorf("unknown relation routed to %v", dst)
+	}
+	rel := data.NewRelation("nope", 2, 10)
+	rel.Add(1, 2)
+	if dst := r.DestinationsAt(rel, 0, nil); len(dst) != 0 {
+		t.Errorf("unknown relation routed to %v (columnar)", dst)
+	}
+	// And known relations still route after an unknown one was seen.
+	if dst := r.Destinations("S1", data.Tuple{1, 2}, nil); len(dst) == 0 {
+		t.Error("known relation stopped routing")
+	}
 }
 
 func mkDB(q *query.Query, m int, domain int64, seed int64) *data.Database {

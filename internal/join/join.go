@@ -53,17 +53,23 @@ func JoinLimit(q *query.Query, rels map[string]*data.Relation, limit int) []data
 				joinVar = append(joinVar, v)
 			}
 		}
-		// Index the relation by the join positions.
-		index := make(map[string][]int, rel.Size())
+		// Build the hash index from the key columns only — the payload
+		// columns are not touched until a binding actually extends.
+		m := rel.Size()
+		keyCols := make([][]int64, len(joinPos))
+		for a, pos := range joinPos {
+			keyCols[a] = rel.Column(pos)
+		}
+		index := make(map[data.Key][]int, m)
 		key := make(data.Tuple, len(joinPos))
-		rel.Each(func(i int, t data.Tuple) bool {
-			for a, pos := range joinPos {
-				key[a] = t[pos]
+		for i := 0; i < m; i++ {
+			for a, col := range keyCols {
+				key[a] = col[i]
 			}
-			ks := key.Key()
+			ks := data.KeyOf(key)
 			index[ks] = append(index[ks], i)
-			return true
-		})
+		}
+		cols := rel.Columns()
 		var next []data.Tuple
 		probe := make(data.Tuple, len(joinVar))
 	extend:
@@ -71,11 +77,10 @@ func JoinLimit(q *query.Query, rels map[string]*data.Relation, limit int) []data
 			for a, v := range joinVar {
 				probe[a] = b[v]
 			}
-			for _, ti := range index[probe.Key()] {
-				t := rel.Tuple(ti)
+			for _, ti := range index[data.KeyOf(probe)] {
 				nb := append(data.Tuple(nil), b...)
 				for pos, v := range atom.Vars {
-					nb[v] = t[pos]
+					nb[v] = cols[pos][ti]
 				}
 				next = append(next, nb)
 				if limit > 0 && len(next) >= limit {
@@ -208,13 +213,14 @@ func EqualTupleSets(a, b []data.Tuple) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	counts := make(map[string]int, len(a))
+	counts := make(map[data.Key]int, len(a))
 	for _, t := range a {
-		counts[t.Key()]++
+		counts[data.KeyOf(t)]++
 	}
 	for _, t := range b {
-		counts[t.Key()]--
-		if counts[t.Key()] < 0 {
+		k := data.KeyOf(t)
+		counts[k]--
+		if counts[k] < 0 {
 			return false
 		}
 	}
@@ -223,10 +229,10 @@ func EqualTupleSets(a, b []data.Tuple) bool {
 
 // Dedup removes duplicate tuples, preserving first occurrence order.
 func Dedup(ts []data.Tuple) []data.Tuple {
-	seen := make(map[string]bool, len(ts))
+	seen := make(map[data.Key]bool, len(ts))
 	out := ts[:0]
 	for _, t := range ts {
-		k := t.Key()
+		k := data.KeyOf(t)
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, t)

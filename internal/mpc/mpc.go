@@ -34,6 +34,18 @@ func (f RouterFunc) Destinations(rel string, t data.Tuple, dst []int) []int {
 	return f(rel, t, dst)
 }
 
+// ColumnRouter is an optional Router extension for columnar routing:
+// DestinationsAt decides the destinations of row `row` of rel by reading
+// the relation's column strides directly, so the communication phase never
+// materializes a row view. Semantics are otherwise identical to
+// Destinations(rel.Name, rel.Tuple(row), dst) — the two entry points must
+// route every tuple to the same servers in the same order. Round prefers
+// this path; Routers without it are driven through a gathered scratch row.
+type ColumnRouter interface {
+	Router
+	DestinationsAt(rel *data.Relation, row int, dst []int) []int
+}
+
 // PerSenderRouter is an optional Router extension for allocation-free
 // routing: a router that keeps reusable per-tuple scratch implements
 // ForSender, and Round hands each sender goroutine its own instance so
@@ -92,13 +104,16 @@ func NewCluster(p int) *Cluster {
 	return c
 }
 
-// delivery is one routed tuple batch destined for a single server.
+// delivery is one routed tuple batch destined for a single server, shipped
+// as per-column slabs: cols[a] holds attribute a of every batched tuple.
+// Receivers append the slabs column-wise in one copy per attribute instead
+// of re-validating tuples value by value.
 type delivery struct {
 	rel    string
 	arity  int
 	domain int64
 	bits   int64 // bits per tuple
-	flat   []int64
+	cols   [][]int64
 	count  int
 }
 
@@ -142,9 +157,7 @@ func (c *Cluster) Round(db *data.Database, router Router) error {
 					frag = data.NewRelation(d.rel, d.arity, d.domain)
 					s.Received[d.rel] = frag
 				}
-				for t := 0; t < d.count; t++ {
-					frag.Add(d.flat[t*d.arity : (t+1)*d.arity]...)
-				}
+				frag.AppendColumns(d.cols, d.count)
 				s.BitsIn += d.bits * int64(d.count)
 				s.TuplesIn += int64(d.count)
 			}
@@ -171,24 +184,37 @@ func (c *Cluster) Round(db *data.Database, router Router) error {
 				// Per-sender router instance (private scratch) and
 				// per-destination batches local to this sender.
 				r := forSender(router)
+				cr, columnar := r.(ColumnRouter)
+				cols := rel.Columns()
+				arity := rel.Arity
 				bufs := make(map[int]*delivery)
 				var dst []int
 				var seen map[int]struct{} // reused; only for wide fan-outs
-				flatCap := batchTuples * rel.Arity
+				scratch := make(data.Tuple, arity)
+				newSlabs := func() [][]int64 {
+					s := make([][]int64, arity)
+					for a := range s {
+						s[a] = make([]int64, 0, batchTuples)
+					}
+					return s
+				}
 				flush := func(server int) {
 					d := bufs[server]
 					if d == nil || d.count == 0 {
 						return
 					}
 					inboxes[server] <- *d
-					// The receiver now owns d.flat; start a fresh batch at
-					// full capacity so appends never regrow it.
-					d.flat = make([]int64, 0, flatCap)
+					// The receiver now owns d.cols; start fresh slabs at
+					// full capacity so appends never regrow them.
+					d.cols = newSlabs()
 					d.count = 0
 				}
 				for i := lo; i < hi; i++ {
-					t := rel.Tuple(i)
-					dst = r.Destinations(rel.Name, t, dst[:0])
+					if columnar {
+						dst = cr.DestinationsAt(rel, i, dst[:0])
+					} else {
+						dst = r.Destinations(rel.Name, rel.ReadTuple(i, scratch), dst[:0])
+					}
 					dst = dedupDestinations(dst, &seen)
 					for _, server := range dst {
 						if server < 0 || server >= c.P {
@@ -198,13 +224,15 @@ func (c *Cluster) Round(db *data.Database, router Router) error {
 						d := bufs[server]
 						if d == nil {
 							d = &delivery{
-								rel: rel.Name, arity: rel.Arity, domain: rel.Domain,
+								rel: rel.Name, arity: arity, domain: rel.Domain,
 								bits: rel.BitsPerTuple(),
-								flat: make([]int64, 0, flatCap),
+								cols: newSlabs(),
 							}
 							bufs[server] = d
 						}
-						d.flat = append(d.flat, t...)
+						for a := 0; a < arity; a++ {
+							d.cols[a] = append(d.cols[a], cols[a][i])
+						}
 						d.count++
 						if d.count >= batchTuples {
 							flush(server)

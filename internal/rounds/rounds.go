@@ -207,27 +207,26 @@ func joinRound(st Step, left, right *data.Relation, cfg Config, roundSeed uint64
 
 	p := cfg.P
 	virtual := p
-	type heavyPlan struct {
-		base, p1, p2 int
-	}
-	heavy := make(map[string]*heavyPlan)
+	heavy := make(map[data.Key]*heavyPlan)
 	if cfg.SkewAware && len(st.JoinVars) > 0 {
 		fL := stats.Frequencies(left, leftKey)
 		fR := stats.Frequencies(right, rightKey)
 		thrL := float64(left.Size()) / float64(p)
 		thrR := float64(right.Size()) / float64(p)
-		var keys []string
+		seen := make(map[data.Key]bool)
+		var keys []data.Key
 		for k, c := range fL.Counts {
 			if float64(c) >= thrL || float64(fR.Counts[k]) >= thrR {
 				keys = append(keys, k)
+				seen[k] = true
 			}
 		}
 		for k, c := range fR.Counts {
-			if float64(c) >= thrR && !containsStr(keys, k) {
+			if float64(c) >= thrR && !seen[k] {
 				keys = append(keys, k)
 			}
 		}
-		sort.Strings(keys)
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 		var sumK float64
 		for _, k := range keys {
 			sumK += math.Max(1, float64(fL.Counts[k])) * math.Max(1, float64(fR.Counts[k]))
@@ -253,56 +252,11 @@ func joinRound(st Step, left, right *data.Relation, cfg Config, roundSeed uint64
 		}
 	}
 
-	const dimKey, dimLeft, dimRight = 0, 1, 2
-	router := mpc.RouterFunc(func(rel string, t data.Tuple, dst []int) []int {
-		isLeft := rel == "L"
-		var key data.Tuple
-		if isLeft {
-			key = project(t, leftKey)
-		} else {
-			key = project(t, rightKey)
-		}
-		ks := key.Key()
-		if hp := heavy[ks]; hp != nil {
-			if isLeft {
-				row := family.Hash(dimLeft, rowHash(t), hp.p1)
-				for c := 0; c < hp.p2; c++ {
-					dst = append(dst, hp.base+row*hp.p2+c)
-				}
-			} else {
-				col := family.Hash(dimRight, rowHash(t), hp.p2)
-				for r := 0; r < hp.p1; r++ {
-					dst = append(dst, hp.base+r*hp.p2+col)
-				}
-			}
-			return dst
-		}
-		if len(st.JoinVars) == 0 {
-			// Cartesian step: grid over all p servers.
-			g1 := int(math.Max(1, math.Sqrt(float64(p))))
-			g2 := p / g1
-			if isLeft {
-				row := family.Hash(dimLeft, rowHash(t), g1)
-				for c := 0; c < g2; c++ {
-					dst = append(dst, row*g2+c)
-				}
-			} else {
-				col := family.Hash(dimRight, rowHash(t), g2)
-				for r := 0; r < g1; r++ {
-					dst = append(dst, r*g2+col)
-				}
-			}
-			return dst
-		}
-		h := 0
-		for i, v := range key {
-			h = h*31 + family.Hash(dimKey+i, v, 1<<30)
-		}
-		if h < 0 {
-			h = -h
-		}
-		return append(dst, h%p)
-	})
+	router := &stepRouter{
+		leftKey: leftKey, rightKey: rightKey,
+		cartesian: len(st.JoinVars) == 0,
+		heavy:     heavy, p: p, family: family,
+	}
 
 	// Stage the two inputs under canonical names.
 	roundDB := data.NewDatabase()
@@ -317,7 +271,9 @@ func joinRound(st Step, left, right *data.Relation, cfg Config, roundSeed uint64
 	if err := cluster.Round(roundDB, router); err != nil {
 		panic(fmt.Sprintf("rounds: %v", err))
 	}
-	// Local join at each server.
+	// Local join at each server: index the right fragment by its key
+	// columns, probe with the left key columns, and gather output values
+	// straight from the column slices.
 	outArity := len(st.OutVars)
 	rightPosOf := make([]int, 0, outArity)
 	for _, v := range st.OutVars {
@@ -338,26 +294,38 @@ func joinRound(st Step, left, right *data.Relation, cfg Config, roundSeed uint64
 		if lf == nil || rf == nil {
 			return nil
 		}
-		index := make(map[string][]int, rf.Size())
-		rf.Each(func(i int, t data.Tuple) bool {
-			k := project(t, rightKey).Key()
+		index := make(map[data.Key][]int, rf.Size())
+		rKeyCols := make([][]int64, len(rightKey))
+		for a, pos := range rightKey {
+			rKeyCols[a] = rf.Column(pos)
+		}
+		kbuf := make(data.Tuple, len(rightKey))
+		for i := 0; i < rf.Size(); i++ {
+			for a, col := range rKeyCols {
+				kbuf[a] = col[i]
+			}
+			k := data.KeyOf(kbuf)
 			index[k] = append(index[k], i)
-			return true
-		})
+		}
+		lCols, rCols := lf.Columns(), rf.Columns()
+		lArity := lf.Arity
+		lkbuf := make(data.Tuple, len(leftKey))
 		var out []data.Tuple
-		lf.Each(func(_ int, lt data.Tuple) bool {
-			k := project(lt, leftKey).Key()
-			for _, ri := range index[k] {
-				rt := rf.Tuple(ri)
+		for li := 0; li < lf.Size(); li++ {
+			for a, pos := range leftKey {
+				lkbuf[a] = lCols[pos][li]
+			}
+			for _, ri := range index[data.KeyOf(lkbuf)] {
 				nt := make(data.Tuple, 0, outArity)
-				nt = append(nt, lt...)
+				for a := 0; a < lArity; a++ {
+					nt = append(nt, lCols[a][li])
+				}
 				for _, pos := range rightPosOf {
-					nt = append(nt, rt[pos])
+					nt = append(nt, rCols[pos][ri])
 				}
 				out = append(out, nt)
 			}
-			return true
-		})
+		}
 		return out
 	})
 	result := data.NewRelation(st.Output, outArity, domain)
@@ -369,6 +337,126 @@ func joinRound(st Step, left, right *data.Relation, cfg Config, roundSeed uint64
 		Step: st, MaxBits: loads.MaxBits, TotalBits: loads.TotalBits,
 		Intermediate: result.Size(),
 	}
+}
+
+// heavyPlan is a per-heavy-key cartesian grid of virtual servers.
+type heavyPlan struct {
+	base, p1, p2 int
+}
+
+// Hash-family dimensions used by one join round.
+const dimKey, dimLeft, dimRight = 0, 1, 2
+
+// stepRouter routes one binary-join round: heavy keys to their cartesian
+// grids, cartesian steps over a p-server grid, everything else by hash
+// join on the key columns. The columnar entry point reads key columns in
+// place; its projection scratch makes it per-sender
+// (mpc.PerSenderRouter).
+type stepRouter struct {
+	leftKey, rightKey []int
+	cartesian         bool
+	heavy             map[data.Key]*heavyPlan
+	p                 int
+	family            *hashing.Family
+	proj              data.Tuple // key-projection scratch
+}
+
+// ForSender implements mpc.PerSenderRouter.
+func (r *stepRouter) ForSender() mpc.Router {
+	c := *r
+	c.proj = nil
+	return &c
+}
+
+func (r *stepRouter) keyScratch(n int) data.Tuple {
+	want := len(r.leftKey)
+	if len(r.rightKey) > want {
+		want = len(r.rightKey)
+	}
+	if r.proj == nil {
+		r.proj = make(data.Tuple, want)
+	}
+	return r.proj[:n]
+}
+
+// Destinations implements mpc.Router.
+func (r *stepRouter) Destinations(rel string, t data.Tuple, dst []int) []int {
+	isLeft := rel == "L"
+	kp := r.rightKey
+	if isLeft {
+		kp = r.leftKey
+	}
+	key := r.keyScratch(len(kp))
+	for i, pos := range kp {
+		key[i] = t[pos]
+	}
+	if hp := r.heavy[data.KeyOf(key)]; hp != nil {
+		return r.gridRoute(isLeft, hp.base, hp.p1, hp.p2, rowHash(t), dst)
+	}
+	if r.cartesian {
+		g1, g2 := r.cartesianGrid()
+		return r.gridRoute(isLeft, 0, g1, g2, rowHash(t), dst)
+	}
+	return append(dst, r.keyHash(key))
+}
+
+// DestinationsAt implements mpc.ColumnRouter: identical routing, reading
+// the key columns (and, on the grid paths, all columns for the row hash)
+// in place.
+func (r *stepRouter) DestinationsAt(rel *data.Relation, row int, dst []int) []int {
+	isLeft := rel.Name == "L"
+	cols := rel.Columns()
+	kp := r.rightKey
+	if isLeft {
+		kp = r.leftKey
+	}
+	key := r.keyScratch(len(kp))
+	for i, pos := range kp {
+		key[i] = cols[pos][row]
+	}
+	if hp := r.heavy[data.KeyOf(key)]; hp != nil {
+		return r.gridRoute(isLeft, hp.base, hp.p1, hp.p2, rowHashCols(cols, row), dst)
+	}
+	if r.cartesian {
+		g1, g2 := r.cartesianGrid()
+		return r.gridRoute(isLeft, 0, g1, g2, rowHashCols(cols, row), dst)
+	}
+	return append(dst, r.keyHash(key))
+}
+
+// cartesianGrid splits p into a g1 × g2 grid for key-less steps.
+func (r *stepRouter) cartesianGrid() (int, int) {
+	g1 := int(math.Max(1, math.Sqrt(float64(r.p))))
+	return g1, r.p / g1
+}
+
+// gridRoute places a left row in one grid row (replicated across columns)
+// and a right row in one grid column (replicated across rows).
+func (r *stepRouter) gridRoute(isLeft bool, base, p1, p2 int, rh int64, dst []int) []int {
+	if isLeft {
+		row := r.family.Hash(dimLeft, rh, p1)
+		for c := 0; c < p2; c++ {
+			dst = append(dst, base+row*p2+c)
+		}
+	} else {
+		col := r.family.Hash(dimRight, rh, p2)
+		for rr := 0; rr < p1; rr++ {
+			dst = append(dst, base+rr*p2+col)
+		}
+	}
+	return dst
+}
+
+// keyHash maps a join key to one of the p light servers.
+func (r *stepRouter) keyHash(key data.Tuple) int {
+	h := 0
+	for i, v := range key {
+		h = h*31 + r.family.Hash(dimKey+i, v, 1<<30)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h % r.p
 }
 
 // keyPositions maps join variables to their column positions in a schema.
@@ -384,14 +472,6 @@ func keyPositions(schema, joinVars []int) []int {
 	return pos
 }
 
-func project(t data.Tuple, pos []int) data.Tuple {
-	out := make(data.Tuple, len(pos))
-	for i, p := range pos {
-		out[i] = t[p]
-	}
-	return out
-}
-
 // rowHash folds a whole tuple into one value for the non-key dimension of
 // a cartesian grid.
 func rowHash(t data.Tuple) int64 {
@@ -403,11 +483,12 @@ func rowHash(t data.Tuple) int64 {
 	return h
 }
 
-func containsStr(xs []string, s string) bool {
-	for _, x := range xs {
-		if x == s {
-			return true
-		}
+// rowHashCols is rowHash over a columnar row.
+func rowHashCols(cols [][]int64, row int) int64 {
+	h := int64(1469598103934665603)
+	for _, col := range cols {
+		h = h ^ col[row]
+		h *= 1099511628211
 	}
-	return false
+	return h
 }

@@ -410,7 +410,7 @@ func (gs *generalState) extend(bPrime *binCombo) {
 				pAttrs, pVals, hasPrev := gs.atomProj(j, bPrime.xSorted, hPrime)
 				threshold := gs.overweightThreshold(bPrime, j, thresholdVars)
 				for _, hh := range hitters {
-					vals := stats.ParseKey(hh.Key)
+					vals := hh.Key.Tuple()
 					if hasPrev && !consistentWith(attrs, vals, pAttrs, pVals) {
 						continue
 					}

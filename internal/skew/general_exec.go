@@ -29,9 +29,9 @@ type exclCheck struct {
 
 // atomPlan is the routing plan of one atom within one bin combination.
 type atomPlan struct {
-	xjAttrs      []int            // positions of x_j in the atom (sorted)
-	blocksByProj map[string][]int // projected-value key → block bases
-	allBases     []int            // used when x_j = ∅
+	xjAttrs      []int              // positions of x_j in the atom (sorted)
+	blocksByProj map[data.Key][]int // projected-value key → block bases
+	allBases     []int              // used when x_j = ∅
 	exclude      []exclCheck
 }
 
@@ -121,7 +121,7 @@ func (gs *generalState) plan(cfg GeneralConfig) *GeneralPlan {
 		}
 		// Per-atom projections and exclusion checks.
 		for j := range gs.q.Atoms {
-			ap := atomPlan{blocksByProj: make(map[string][]int)}
+			ap := atomPlan{blocksByProj: make(map[data.Key][]int)}
 			for _, hk := range hKeys {
 				h := b.cprime[hk]
 				attrs, vals, ok := gs.atomProj(j, b.xSorted, h)
@@ -130,7 +130,7 @@ func (gs *generalState) plan(cfg GeneralConfig) *GeneralPlan {
 					continue
 				}
 				ap.xjAttrs = attrs
-				pk := vals.Key()
+				pk := data.KeyOf(vals)
 				ap.blocksByProj[pk] = append(ap.blocksByProj[pk], bases[hk])
 			}
 			ap.exclude = gs.exclusionChecks(j, b)
@@ -247,6 +247,7 @@ type generalRouter struct {
 	scratch   int // max of atom arities and free-dim counts
 	// Per-tuple scratch, reused across Destinations calls.
 	proj   data.Tuple
+	row    data.Tuple
 	coords []int
 	fixed  []bool
 }
@@ -256,6 +257,7 @@ type generalRouter struct {
 func (r *generalRouter) ForSender() mpc.Router {
 	c := *r
 	c.proj = make(data.Tuple, r.scratch)
+	c.row = make(data.Tuple, r.scratch)
 	c.coords = make([]int, r.scratch)
 	c.fixed = make([]bool, r.scratch)
 	return &c
@@ -264,6 +266,7 @@ func (r *generalRouter) ForSender() mpc.Router {
 func (r *generalRouter) ensureScratch() {
 	if r.proj == nil {
 		r.proj = make(data.Tuple, r.scratch)
+		r.row = make(data.Tuple, r.scratch)
 		r.coords = make([]int, r.scratch)
 		r.fixed = make([]bool, r.scratch)
 	}
@@ -276,6 +279,24 @@ func (r *generalRouter) Destinations(rel string, t data.Tuple, dst []int) []int 
 		return dst
 	}
 	r.ensureScratch()
+	return r.destinations(j, t, dst)
+}
+
+// DestinationsAt implements mpc.ColumnRouter: the row is gathered into
+// reusable scratch (the §4.2 projections touch every attribute subset, so
+// unlike the HC and skew-join routers there is no untouched column to
+// skip) and routed identically to Destinations.
+func (r *generalRouter) DestinationsAt(rel *data.Relation, row int, dst []int) []int {
+	j, ok := r.atomIndex[rel.Name]
+	if !ok {
+		return dst
+	}
+	r.ensureScratch()
+	return r.destinations(j, rel.ReadTuple(row, r.row[:rel.Arity]), dst)
+}
+
+// destinations routes one tuple of atom j.
+func (r *generalRouter) destinations(j int, t data.Tuple, dst []int) []int {
 	for _, plan := range r.plans {
 		ap := &plan.byAtom[j]
 		// Overweight exclusion (the S^(B)_j membership test).
@@ -305,7 +326,7 @@ func (r *generalRouter) Destinations(rel string, t data.Tuple, dst []int) []int 
 			for pi, a := range ap.xjAttrs {
 				proj[pi] = t[a]
 			}
-			bases = ap.blocksByProj[proj.Key()]
+			bases = ap.blocksByProj[data.KeyOf(proj)]
 		}
 		if len(bases) == 0 {
 			continue

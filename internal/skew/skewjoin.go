@@ -191,7 +191,7 @@ func PlanJoin(q *query.Query, db *data.Database, cfg JoinConfig) *JoinPlan {
 		if float64(c1) < thr1 {
 			continue
 		}
-		v := stats.ParseKey(k)[0]
+		v := k.At(0)
 		if float64(f2.Counts[k]) >= thr2 {
 			plans[v] = &hitterPlan{class: classH12}
 			h12Keys = append(h12Keys, v)
@@ -204,7 +204,7 @@ func PlanJoin(q *query.Query, db *data.Database, cfg JoinConfig) *JoinPlan {
 		if float64(c2) < thr2 {
 			continue
 		}
-		v := stats.ParseKey(k)[0]
+		v := k.At(0)
 		if _, done := plans[v]; !done {
 			plans[v] = &hitterPlan{class: classH2}
 			h2Keys = append(h2Keys, v)
@@ -214,7 +214,7 @@ func PlanJoin(q *query.Query, db *data.Database, cfg JoinConfig) *JoinPlan {
 	sort.Slice(h1Keys, func(i, j int) bool { return h1Keys[i] < h1Keys[j] })
 	sort.Slice(h2Keys, func(i, j int) bool { return h2Keys[i] < h2Keys[j] })
 
-	count := func(f *stats.FreqMap, v int64) int64 { return f.Counts[data.Tuple{v}.Key()] }
+	count := func(f *stats.FreqMap, v int64) int64 { return f.Counts[data.Key1(v)] }
 
 	// Server allocation (§4.1). Light hitters use virtual servers [0, p).
 	next := cfg.P
@@ -265,55 +265,14 @@ func PlanJoin(q *query.Query, db *data.Database, cfg JoinConfig) *JoinPlan {
 	virtual := next
 
 	family := hashing.NewFamily(cfg.Seed)
-	router := mpc.RouterFunc(func(rel string, t data.Tuple, dst []int) []int {
-		// The database may carry relations outside the join (the engine no
-		// longer isolates the two via a renamed copy); they are not routed.
-		first := rel == sh.name1
-		if !first && rel != sh.name2 {
-			return dst
-		}
-		var z, x int64
-		if first {
-			z, x = t[sh.zPos1], t[sh.xPos1]
-		} else {
-			z, x = t[sh.zPos2], t[sh.xPos2]
-		}
-		pl := plans[z]
-		if pl == nil { // light: hash join on z over servers [0,p)
-			return append(dst, family.Hash(sh.dimZ, z, cfg.P))
-		}
-		switch pl.class {
-		case classH12:
-			if first { // row fixed by hash(x), replicate across columns
-				row := family.Hash(sh.dimX, x, pl.p1)
-				for c := 0; c < pl.p2; c++ {
-					dst = append(dst, pl.base+row*pl.p2+c)
-				}
-			} else { // column fixed by hash(y), replicate across rows
-				col := family.Hash(sh.dimY, x, pl.p2)
-				for r := 0; r < pl.p1; r++ {
-					dst = append(dst, pl.base+r*pl.p2+col)
-				}
-			}
-		case classH1:
-			if first { // partition the heavy side on x
-				dst = append(dst, pl.base+family.Hash(sh.dimX, x, pl.ph))
-			} else { // broadcast the light side
-				for i := 0; i < pl.ph; i++ {
-					dst = append(dst, pl.base+i)
-				}
-			}
-		case classH2:
-			if !first { // partition the heavy side on y
-				dst = append(dst, pl.base+family.Hash(sh.dimY, x, pl.ph))
-			} else { // broadcast the light side
-				for i := 0; i < pl.ph; i++ {
-					dst = append(dst, pl.base+i)
-				}
-			}
-		}
-		return dst
-	})
+	router := &joinRouter{
+		sh:    sh,
+		plans: plans,
+		p:     cfg.P,
+		zSeed: family.DimSeed(sh.dimZ),
+		xSeed: family.DimSeed(sh.dimX),
+		ySeed: family.DimSeed(sh.dimY),
+	}
 
 	jp := &JoinPlan{
 		NumH1:    len(h1Keys),
@@ -354,6 +313,87 @@ func PlanJoin(q *query.Query, db *data.Database, cfg JoinConfig) *JoinPlan {
 		PredictedBits: jp.PredictedBits,
 	}
 	return jp
+}
+
+// joinRouter routes the §4.1 skew join: light z-values hash-join over
+// servers [0,p), heavy hitters go to their per-hitter blocks. It carries
+// only plan-time tables (hitter classes frozen into plans) and no mutable
+// scratch, so one instance is safe for concurrent senders. The columnar
+// entry point reads the z and x columns directly; no row is materialized.
+type joinRouter struct {
+	sh    joinShape
+	plans map[int64]*hitterPlan
+	p     int
+	// Per-dimension hash seeds, precomputed at plan time.
+	zSeed, xSeed, ySeed uint64
+}
+
+// Destinations implements mpc.Router.
+func (r *joinRouter) Destinations(rel string, t data.Tuple, dst []int) []int {
+	// The database may carry relations outside the join (the engine no
+	// longer isolates the two via a renamed copy); they are not routed.
+	first := rel == r.sh.name1
+	if !first && rel != r.sh.name2 {
+		return dst
+	}
+	if first {
+		return r.route(true, t[r.sh.zPos1], t[r.sh.xPos1], dst)
+	}
+	return r.route(false, t[r.sh.zPos2], t[r.sh.xPos2], dst)
+}
+
+// DestinationsAt implements mpc.ColumnRouter: identical routing, hashing
+// the join columns in place.
+func (r *joinRouter) DestinationsAt(rel *data.Relation, row int, dst []int) []int {
+	first := rel.Name == r.sh.name1
+	if !first && rel.Name != r.sh.name2 {
+		return dst
+	}
+	cols := rel.Columns()
+	if first {
+		return r.route(true, cols[r.sh.zPos1][row], cols[r.sh.xPos1][row], dst)
+	}
+	return r.route(false, cols[r.sh.zPos2][row], cols[r.sh.xPos2][row], dst)
+}
+
+// route appends the destinations of one tuple given its join value z and
+// private value x.
+func (r *joinRouter) route(first bool, z, x int64, dst []int) []int {
+	pl := r.plans[z]
+	if pl == nil { // light: hash join on z over servers [0,p)
+		return append(dst, hashing.HashSeeded(r.zSeed, z, r.p))
+	}
+	switch pl.class {
+	case classH12:
+		if first { // row fixed by hash(x), replicate across columns
+			row := hashing.HashSeeded(r.xSeed, x, pl.p1)
+			for c := 0; c < pl.p2; c++ {
+				dst = append(dst, pl.base+row*pl.p2+c)
+			}
+		} else { // column fixed by hash(y), replicate across rows
+			col := hashing.HashSeeded(r.ySeed, x, pl.p2)
+			for rr := 0; rr < pl.p1; rr++ {
+				dst = append(dst, pl.base+rr*pl.p2+col)
+			}
+		}
+	case classH1:
+		if first { // partition the heavy side on x
+			dst = append(dst, pl.base+hashing.HashSeeded(r.xSeed, x, pl.ph))
+		} else { // broadcast the light side
+			for i := 0; i < pl.ph; i++ {
+				dst = append(dst, pl.base+i)
+			}
+		}
+	case classH2:
+		if !first { // partition the heavy side on y
+			dst = append(dst, pl.base+hashing.HashSeeded(r.ySeed, x, pl.ph))
+		} else { // broadcast the light side
+			for i := 0; i < pl.ph; i++ {
+				dst = append(dst, pl.base+i)
+			}
+		}
+	}
+	return dst
 }
 
 // classOf maps a virtual server ID to its §4.1 case.

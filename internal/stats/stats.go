@@ -29,11 +29,13 @@ func AttrKey(attrs []int) string {
 }
 
 // FreqMap records, for one relation and one attribute subset, the frequency
-// of every value combination that occurs.
+// of every value combination that occurs. Keys are data.Key — the
+// allocation-free fixed-size rendering — so hot routing paths can probe the
+// map without building strings.
 type FreqMap struct {
-	Attrs  []int            // sorted attribute positions within the relation
-	Counts map[string]int64 // projected-tuple key → frequency
-	Total  int64            // Σ counts = m_j
+	Attrs  []int              // sorted attribute positions within the relation
+	Counts map[data.Key]int64 // projected-tuple key → frequency
+	Total  int64              // Σ counts = m_j
 }
 
 // Project extracts the FreqMap's attributes from a full tuple.
@@ -47,20 +49,36 @@ func (f *FreqMap) Project(t data.Tuple) data.Tuple {
 
 // Count returns the frequency of the projected values of t (0 if absent).
 func (f *FreqMap) Count(projected data.Tuple) int64 {
-	return f.Counts[projected.Key()]
+	return f.Counts[data.KeyOf(projected)]
 }
 
 // Frequencies computes the exact frequency map of r over the given
-// attribute positions.
+// attribute positions. It scans only the projected columns: the
+// single-attribute case — every per-variable heavy-hitter map — is one
+// pass over one column slice.
 func Frequencies(r *data.Relation, attrs []int) *FreqMap {
 	sorted := append([]int(nil), attrs...)
 	sort.Ints(sorted)
-	f := &FreqMap{Attrs: sorted, Counts: make(map[string]int64)}
-	r.Each(func(_ int, t data.Tuple) bool {
-		f.Counts[f.Project(t).Key()]++
-		f.Total++
-		return true
-	})
+	f := &FreqMap{Attrs: sorted, Counts: make(map[data.Key]int64)}
+	m := r.Size()
+	f.Total = int64(m)
+	if len(sorted) == 1 {
+		for _, v := range r.Column(sorted[0]) {
+			f.Counts[data.Key1(v)]++
+		}
+		return f
+	}
+	cols := make([][]int64, len(sorted))
+	for i, a := range sorted {
+		cols[i] = r.Column(a)
+	}
+	proj := make(data.Tuple, len(sorted))
+	for row := 0; row < m; row++ {
+		for i, col := range cols {
+			proj[i] = col[row]
+		}
+		f.Counts[data.KeyOf(proj)]++
+	}
 	return f
 }
 
@@ -71,16 +89,20 @@ func Frequencies(r *data.Relation, attrs []int) *FreqMap {
 func SampleFrequencies(r *data.Relation, attrs []int, sampleSize int, seed int64) *FreqMap {
 	sorted := append([]int(nil), attrs...)
 	sort.Ints(sorted)
-	f := &FreqMap{Attrs: sorted, Counts: make(map[string]int64)}
+	f := &FreqMap{Attrs: sorted, Counts: make(map[data.Key]int64)}
 	m := r.Size()
 	if m == 0 || sampleSize <= 0 {
 		return f
 	}
 	rng := rand.New(rand.NewSource(seed))
-	raw := make(map[string]int64)
+	raw := make(map[data.Key]int64)
+	proj := make(data.Tuple, len(sorted))
 	for i := 0; i < sampleSize; i++ {
-		t := r.Tuple(rng.Intn(m))
-		raw[f.Project(t).Key()]++
+		row := rng.Intn(m)
+		for a, pos := range sorted {
+			proj[a] = r.At(row, pos)
+		}
+		raw[data.KeyOf(proj)]++
 	}
 	scale := float64(m) / float64(sampleSize)
 	for k, c := range raw {
@@ -96,11 +118,11 @@ func SampleFrequencies(r *data.Relation, attrs []int, sampleSize int, seed int64
 // match.
 func Merge(parts ...*FreqMap) *FreqMap {
 	if len(parts) == 0 {
-		return &FreqMap{Counts: make(map[string]int64)}
+		return &FreqMap{Counts: make(map[data.Key]int64)}
 	}
 	out := &FreqMap{
 		Attrs:  append([]int(nil), parts[0].Attrs...),
-		Counts: make(map[string]int64),
+		Counts: make(map[data.Key]int64),
 	}
 	for _, p := range parts {
 		if AttrKey(p.Attrs) != AttrKey(out.Attrs) {
@@ -116,7 +138,7 @@ func Merge(parts ...*FreqMap) *FreqMap {
 
 // HeavyHitter is one skewed value combination with its frequency.
 type HeavyHitter struct {
-	Key   string
+	Key   data.Key
 	Count int64
 }
 
@@ -134,24 +156,9 @@ func (f *FreqMap) HeavyHitters(threshold int64) []HeavyHitter {
 		if out[i].Count != out[j].Count {
 			return out[i].Count > out[j].Count
 		}
-		return out[i].Key < out[j].Key
+		return out[i].Key.Less(out[j].Key)
 	})
 	return out
-}
-
-// ParseKey converts a FreqMap key back to tuple values.
-func ParseKey(key string) data.Tuple {
-	if key == "" {
-		return data.Tuple{}
-	}
-	parts := strings.Split(key, ",")
-	t := make(data.Tuple, len(parts))
-	for i, p := range parts {
-		var v int64
-		fmt.Sscanf(p, "%d", &v)
-		t[i] = v
-	}
-	return t
 }
 
 // NumBins returns the number of heavy-hitter bins for p servers:
@@ -236,6 +243,16 @@ func (rs *RelationStats) FreqSorted(attrs []int, projected data.Tuple) int64 {
 	return f.Count(projected)
 }
 
+// Cardinality returns the number of distinct values in one column of r —
+// a single-column scan over the columnar storage.
+func Cardinality(r *data.Relation, attr int) int64 {
+	seen := make(map[int64]struct{}, r.Size())
+	for _, v := range r.Column(attr) {
+		seen[v] = struct{}{}
+	}
+	return int64(len(seen))
+}
+
 // FreqMapFor returns the frequency map over the given attribute subset, or
 // nil if none is recorded. Routing hot paths resolve the map once at plan
 // time instead of re-deriving the attribute key per tuple.
@@ -261,7 +278,7 @@ func Collect(r *data.Relation, p int) *RelationStats {
 	}
 	for _, attrs := range nonEmptySubsets(r.Arity) {
 		full := Frequencies(r, attrs)
-		pruned := &FreqMap{Attrs: full.Attrs, Counts: make(map[string]int64), Total: full.Total}
+		pruned := &FreqMap{Attrs: full.Attrs, Counts: make(map[data.Key]int64), Total: full.Total}
 		for k, c := range full.Counts {
 			if c > rs.Threshold {
 				pruned.Counts[k] = c
@@ -313,16 +330,19 @@ func Fingerprint(db *data.Database) uint64 {
 		h = (h ^ uint64(r.Size())) * fnvPrime
 		// Commutative fold of avalanched per-tuple hashes: insertion order
 		// does not affect any plan (routing is per-tuple), so it must not
-		// affect the fingerprint either.
+		// affect the fingerprint either. Reads column slices directly — no
+		// row materialization — and produces the same hash as the
+		// row-major implementation did.
 		var content uint64
-		r.Each(func(_ int, t data.Tuple) bool {
+		cols := r.Columns()
+		m := r.Size()
+		for i := 0; i < m; i++ {
 			th := fnvOffset
-			for _, v := range t {
-				th = (th ^ uint64(v)) * fnvPrime
+			for _, col := range cols {
+				th = (th ^ uint64(col[i])) * fnvPrime
 			}
 			content += hashing.Mix64(th)
-			return true
-		})
+		}
 		h = (h ^ content) * fnvPrime
 	}
 	return h

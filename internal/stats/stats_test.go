@@ -62,7 +62,7 @@ func TestHeavyHitters(t *testing.T) {
 	f := Frequencies(r, []int{1})
 	// threshold m/p with p=10: 100/10 = 10; only value 7 (40) is heavy.
 	hh := f.HeavyHitters(10)
-	if len(hh) != 1 || hh[0].Key != "7" || hh[0].Count != 40 {
+	if len(hh) != 1 || hh[0].Key != data.Key1(7) || hh[0].Count != 40 {
 		t.Errorf("HeavyHitters = %v", hh)
 	}
 	// threshold 0: every distinct value is heavy; sorted by count desc.
@@ -89,16 +89,6 @@ func TestSampleFrequenciesEmpty(t *testing.T) {
 	f := SampleFrequencies(r, []int{0}, 100, 1)
 	if len(f.Counts) != 0 {
 		t.Error("empty relation should sample nothing")
-	}
-}
-
-func TestParseKeyRoundTrip(t *testing.T) {
-	tu := data.Tuple{5, 0, 123}
-	if got := ParseKey(tu.Key()); got.Key() != tu.Key() {
-		t.Errorf("round trip = %v", got)
-	}
-	if len(ParseKey("")) != 0 {
-		t.Error("empty key should parse to empty tuple")
 	}
 }
 
@@ -300,7 +290,7 @@ func TestMergeMismatchedAttrsPanics(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	a := &FreqMap{Attrs: []int{0}, Counts: map[string]int64{}}
-	b := &FreqMap{Attrs: []int{1}, Counts: map[string]int64{}}
+	a := &FreqMap{Attrs: []int{0}, Counts: map[data.Key]int64{}}
+	b := &FreqMap{Attrs: []int{1}, Counts: map[data.Key]int64{}}
 	Merge(a, b)
 }

@@ -72,10 +72,9 @@ func Join(q *query.Query, rels map[string]*data.Relation) []data.Tuple {
 				continue
 			}
 			m := make(map[int64][]int)
-			st.rel.Each(func(i int, t data.Tuple) bool {
-				m[t[p]] = append(m[t[p]], i)
-				return true
-			})
+			for i, v := range st.rel.Column(p) { // single-column scan
+				m[v] = append(m[v], i)
+			}
 			fullGroups[si][level] = m
 		}
 	}
@@ -101,47 +100,73 @@ func Join(q *query.Query, rels map[string]*data.Relation) []data.Tuple {
 			// Variable not in any atom cannot happen on validated queries.
 			panic("wcoj: uncovered variable")
 		}
-		// Group each touching atom's candidate rows by this level's value
-		// once (the NPRR trick of walking the smallest list amortizes into
-		// these single passes).
+		// The smallest candidate list is the pivot: only its rows are
+		// grouped by value at this node. Every other atom is checked by
+		// intersecting its (sorted) restricted rows with the prebuilt full
+		// grouping — never by regrouping its whole restriction, which on
+		// AGM-hard instances is what used to reintroduce a quadratic
+		// factor per node.
 		sort.Slice(touching, func(a, b int) bool {
 			return len(touching[a].rows) < len(touching[b].rows)
 		})
-		byValue := make([]map[int64][]int, len(touching))
-		for ti, st := range touching {
-			if len(st.rows) == st.rel.Size() {
-				byValue[ti] = fullGroups[stateIndex[st]][level]
-				continue
+		pivot := touching[0]
+		var pivotGroup map[int64][]int
+		if len(pivot.rows) == pivot.rel.Size() {
+			pivotGroup = fullGroups[stateIndex[pivot]][level]
+		} else {
+			pivotGroup = make(map[int64][]int, len(pivot.rows))
+			col := pivot.rel.Column(pivot.varPos[level])
+			for _, r := range pivot.rows {
+				pivotGroup[col[r]] = append(pivotGroup[col[r]], r)
 			}
-			m := make(map[int64][]int)
-			p := st.varPos[level]
-			for _, r := range st.rows {
-				v := st.rel.Tuple(r)[p]
-				m[v] = append(m[v], r)
-			}
-			byValue[ti] = m
 		}
-		// Candidates: keys of the smallest map that appear in every map.
-		values := make([]int64, 0, len(byValue[0]))
-	candidates:
-		for v := range byValue[0] {
-			for _, m := range byValue[1:] {
-				if m[v] == nil {
-					continue candidates
-				}
-			}
+		values := make([]int64, 0, len(pivotGroup))
+		for v := range pivotGroup {
 			values = append(values, v)
 		}
 		sort.Slice(values, func(a, b int) bool { return values[a] < values[b] })
 
-		// For each value: restrict the touching atoms via the prebuilt
-		// groups and recurse.
+		last := level == k-1
 		saved := make([][]int, len(touching))
+		newRows := make([][]int, len(touching))
 		for _, v := range values {
+			ok := true
+			newRows[0] = pivotGroup[v]
+			for ti := 1; ti < len(touching); ti++ {
+				st := touching[ti]
+				grp := fullGroups[stateIndex[st]][level][v]
+				if grp == nil {
+					ok = false
+					break
+				}
+				if len(st.rows) == st.rel.Size() {
+					newRows[ti] = grp
+					continue
+				}
+				if last {
+					// The deepest level never reads the restriction; an
+					// existence check suffices.
+					if !sortedIntersects(st.rows, grp) {
+						ok = false
+						break
+					}
+					newRows[ti] = nil
+					continue
+				}
+				inter := sortedIntersect(st.rows, grp)
+				if len(inter) == 0 {
+					ok = false
+					break
+				}
+				newRows[ti] = inter
+			}
+			if !ok {
+				continue
+			}
 			assignment[level] = v
 			for ti, st := range touching {
 				saved[ti] = st.rows
-				st.rows = byValue[ti][v]
+				st.rows = newRows[ti]
 			}
 			rec(level + 1)
 			for ti, st := range touching {
@@ -151,4 +176,35 @@ func Join(q *query.Query, rels map[string]*data.Relation) []data.Tuple {
 	}
 	rec(0)
 	return out
+}
+
+// sortedIntersect intersects two ascending row-index lists by walking the
+// smaller and binary-searching the larger. Row lists stay sorted through
+// the recursion (initial enumeration, groupings, and intersections all
+// preserve ascending order), so the result is sorted too.
+func sortedIntersect(a, b []int) []int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var out []int
+	for _, x := range a {
+		if i := sort.SearchInts(b, x); i < len(b) && b[i] == x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// sortedIntersects reports whether two ascending row-index lists share an
+// element, early-exiting on the first hit.
+func sortedIntersects(a, b []int) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for _, x := range a {
+		if i := sort.SearchInts(b, x); i < len(b) && b[i] == x {
+			return true
+		}
+	}
+	return false
 }
