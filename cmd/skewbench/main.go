@@ -7,6 +7,7 @@
 //
 //	skewbench [-scale quick|full] [-exp E1,E5,A2] [-markdown out.md]
 //	skewbench -routingbench BENCH_routing.json
+//	skewbench -roundsbench BENCH_rounds.json
 package main
 
 import (
@@ -24,11 +25,19 @@ func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 	mdFlag := flag.String("markdown", "", "also write results as markdown to this file")
 	routingFlag := flag.String("routingbench", "", "measure the routing baseline on the zipf join instance, write JSON here, and exit")
+	roundsFlag := flag.String("roundsbench", "", "measure the multi-round pipeline baseline (resident shuffle + end-to-end), write JSON here, and exit")
 	flag.Parse()
 
 	if *routingFlag != "" {
 		if err := runRoutingBench(*routingFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "skewbench: routing bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *roundsFlag != "" {
+		if err := runRoundsBench(*roundsFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "skewbench: rounds bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/mpc"
+	"repro/internal/query"
+	"repro/internal/rounds"
+	"repro/internal/workload"
+)
+
+// RoundsBench is the committed BENCH_rounds.json baseline for the
+// multi-round pipeline: the server-to-server resident shuffle and the
+// end-to-end pipelined execution on the canonical instances (matching
+// BenchmarkMultiRoundEndToEnd). PreRefactorEndToEnd* record the
+// per-round-fresh-cluster loop this PR replaced, measured on the same
+// machine immediately before the refactor — the numbers the pipelined path
+// must stay at or below.
+type RoundsBench struct {
+	Instance string `json:"instance"`
+	GoArch   string `json:"goarch"`
+	NumCPU   int    `json:"num_cpu"`
+	// One ShuffleResident round moving the triangle plan's round-1
+	// intermediate (resident fragments, p=64) into the round-2 layout.
+	ShuffleNsPerOp float64 `json:"shuffle_ns_per_op"`
+	// ShuffleTuples is how many resident tuples one shuffle op moves.
+	ShuffleTuples int64 `json:"shuffle_tuples"`
+	// End-to-end multi-round runs (plan lowering + pipeline execution).
+	TriangleMatchingsMsPerOp    float64 `json:"triangle_matchings_ms_per_op"`
+	ZipfJoinSkewAwareMsPerOp    float64 `json:"zipf_join_skew_aware_ms_per_op"`
+	PreRefactorTriangleMsPerOp  float64 `json:"pre_refactor_triangle_ms_per_op"`
+	PreRefactorZipfSkewAwareMs  float64 `json:"pre_refactor_zipf_skew_aware_ms_per_op"`
+	TriangleSumMaxBits          int64   `json:"triangle_sum_max_bits"`
+	TriangleResidentRound2Tuple int64   `json:"triangle_resident_round2_tuples"`
+}
+
+// Pre-refactor loop timings (fresh cluster per round, intermediates
+// re-ingested through a data.Database at the coordinator), measured on the
+// machine this baseline was committed from.
+const (
+	preRefactorTriangleMs = 5.49
+	preRefactorZipfMs     = 4543.0
+)
+
+// triangleMatchingsDB is the canonical sparse multi-round instance
+// (matching BenchmarkMultiRoundEndToEnd/triangle-matchings).
+func triangleMatchingsDB() *data.Database {
+	db := data.NewDatabase()
+	for j, name := range []string{"S1", "S2", "S3"} {
+		db.Put(workload.Matching(name, 2, 5000, 1<<20, int64(j+1)))
+	}
+	return db
+}
+
+// runRoundsBench measures the multi-round pipeline baseline and writes it
+// as JSON.
+func runRoundsBench(path string) error {
+	tri := triangleMatchingsDB()
+	q := query.Triangle()
+	triPlan := rounds.PlanPipeline(q, tri, rounds.Config{P: 64, Seed: 3})
+
+	// Per-round shuffle: stage a cluster in the round-1 layout (round-1
+	// routing + local join resident), then repeatedly re-shuffle the
+	// intermediate with the round-2 router. Tuples are conserved across
+	// shuffles, so every iteration moves the same resident set.
+	pipe := triPlan.Pipe
+	st1, st2 := &pipe.Stages[0], &pipe.Stages[1]
+	maxVirtual := st1.Plan.Virtual
+	if st2.Plan.Virtual > maxVirtual {
+		maxVirtual = st2.Plan.Virtual
+	}
+	cluster := mpc.NewCluster(maxVirtual)
+	base := make([]*data.Relation, len(st1.Base))
+	for i, name := range st1.Base {
+		base[i] = tri.MustGet(name)
+	}
+	if err := cluster.RoundRelations(st1.Plan.Router, base...); err != nil {
+		return err
+	}
+	cluster.ComputeResident(st1.LocalFragment)
+	var resident int64
+	for _, sv := range cluster.Servers {
+		if f := sv.Received[st1.OutName]; f != nil {
+			resident += int64(f.Size())
+		}
+	}
+	shuffle := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := cluster.ShuffleResident(st2.Plan.Router, st1.OutName); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	triRun := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rounds.Run(rounds.BuildPlan(q), tri, rounds.Config{P: 64, Seed: uint64(i)})
+		}
+	})
+	triRes := rounds.Run(rounds.BuildPlan(q), tri, rounds.Config{P: 64, Seed: 3})
+
+	zdb := zipfJoinDB()
+	q2 := query.Join2()
+	zipfRun := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rounds.Run(rounds.BuildPlan(q2), zdb, rounds.Config{P: 64, Seed: uint64(i), SkewAware: true})
+		}
+	})
+
+	out := RoundsBench{
+		Instance: "triangle matchings m=5000 domain=2^20 p=64; zipf join2 m=5000 zipf(1.6) over 500 values p=64 skew-aware",
+		GoArch:   runtime.GOARCH,
+		NumCPU:   runtime.NumCPU(),
+
+		ShuffleNsPerOp:              float64(shuffle.NsPerOp()),
+		ShuffleTuples:               resident,
+		TriangleMatchingsMsPerOp:    float64(triRun.NsPerOp()) / 1e6,
+		ZipfJoinSkewAwareMsPerOp:    float64(zipfRun.NsPerOp()) / 1e6,
+		PreRefactorTriangleMsPerOp:  preRefactorTriangleMs,
+		PreRefactorZipfSkewAwareMs:  preRefactorZipfMs,
+		TriangleSumMaxBits:          triRes.SumMaxBits,
+		TriangleResidentRound2Tuple: triRes.Rounds[1].ResidentTuples,
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("rounds baseline written to %s\n%s", path, blob)
+	return nil
+}

@@ -14,8 +14,10 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/data"
+	"repro/internal/exec"
 	"repro/internal/hypercube"
 	"repro/internal/query"
+	"repro/internal/rounds"
 	"repro/internal/skew"
 	"repro/internal/stats"
 )
@@ -34,6 +36,10 @@ const (
 	// BinCombination is the general §4.2 algorithm for arbitrary
 	// conjunctive queries with heavy hitters.
 	BinCombination
+	// MultiRound is the traditional one-join-per-round pipeline (skew-aware
+	// per-step heavy-hitter grids), executed through exec.RunPipeline with
+	// intermediates resident on the servers between rounds.
+	MultiRound
 )
 
 func (s Strategy) String() string {
@@ -44,6 +50,8 @@ func (s Strategy) String() string {
 		return "skew-join"
 	case BinCombination:
 		return "bin-combination"
+	case MultiRound:
+		return "multi-round"
 	}
 	return "?"
 }
@@ -76,6 +84,13 @@ type Engine struct {
 	// DefaultPlanCacheCapacity, negative means unbounded. Read when an
 	// entry is inserted, so set it before the first Execute.
 	PlanCacheCapacity int
+	// ConsiderMultiRound adds the multi-round pipeline to plan selection:
+	// when its predicted cost (SumMaxBits — the busiest server's total bits
+	// across rounds) undercuts the chosen one-round strategy's
+	// PredictedBits, the engine plans, caches, and executes the pipeline
+	// instead. Off by default: the repository reproduces a one-round paper,
+	// so trading rounds for load is opt-in.
+	ConsiderMultiRound bool
 
 	mu        sync.Mutex
 	cache     map[planKey]*list.Element // key → element whose Value is *cacheEntry
@@ -83,6 +98,10 @@ type Engine struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	// scratchPool recycles exec.Scratch buffers across Execute calls so
+	// repeated executions of cached plans don't allocate load-accounting
+	// slices.
+	scratchPool sync.Pool
 }
 
 // cacheEntry is one LRU node: the key (so eviction can unmap it) plus the
@@ -97,11 +116,12 @@ type cacheEntry struct {
 // database content, seed pins the hash family, and forced pins the
 // strategy override in effect.
 type planKey struct {
-	query  string
-	fp     uint64
-	p      int
-	seed   uint64
-	forced Strategy // -1 when no override
+	query   string
+	fp      uint64
+	p       int
+	seed    uint64
+	forced  Strategy // -1 when no override
+	mrAware bool     // ConsiderMultiRound changes plan selection
 }
 
 // cachedPlan holds the logical plan plus the strategy-specific physical
@@ -111,6 +131,7 @@ type cachedPlan struct {
 	hc   *hypercube.Plan
 	sj   *skew.JoinPlan
 	gen  *skew.GeneralPlan
+	mr   *rounds.PipelinePlan
 }
 
 // Plan describes the chosen algorithm and the bound analysis for one
@@ -121,6 +142,14 @@ type Plan struct {
 	LowerBoundBits float64 // Theorem 1.2's L_lower = max_{x,u} L_x(u,M,p)
 	HasSkew        bool
 	Reason         string
+	// PredictedBits is the chosen strategy's cost prediction: p^λ for
+	// HyperCube, Eq. 10 for the skew join, max_B p^{λ(B)} for bin
+	// combinations, and the summed per-round maxima (SumMaxBits) for
+	// multi-round pipelines.
+	PredictedBits float64
+	// Rounds is the number of communication rounds the plan uses (1 for
+	// every one-round strategy).
+	Rounds int
 }
 
 // Result is the outcome of Execute.
@@ -140,8 +169,17 @@ func NewEngine(p int, seed uint64) *Engine {
 	return &Engine{P: p, Seed: seed}
 }
 
-// PlanQuery analyzes statistics and picks the algorithm.
+// PlanQuery analyzes statistics and picks the algorithm, including the
+// multi-round cost comparison when ConsiderMultiRound is set. It builds
+// (and discards) the physical plan to obtain the strategy's cost
+// prediction; Execute's plan cache avoids the duplicate work on the hot
+// path.
 func (e *Engine) PlanQuery(q *query.Query, db *data.Database) Plan {
+	return e.buildPlan(q, db).plan
+}
+
+// logicalPlan runs the one-round strategy selection of §3/§4.
+func (e *Engine) logicalPlan(q *query.Query, db *data.Database) Plan {
 	if err := q.Validate(); err != nil {
 		panic(fmt.Sprintf("core: invalid query: %v", err))
 	}
@@ -186,24 +224,43 @@ func (e *Engine) Execute(q *query.Query, db *data.Database) Result {
 	// Callers own the Result; don't let them mutate the cached plan
 	// through the shared backing array.
 	res.Plan.Shares = append([]int(nil), cp.plan.Shares...)
+	// Pooled load-accounting scratch: PerServerBits aliases it, so each
+	// planner's result shaping must finish before the buffers go back.
+	sc, _ := e.scratchPool.Get().(*exec.Scratch)
+	if sc == nil {
+		sc = new(exec.Scratch)
+	}
+	ec := exec.Config{Scratch: sc}
 	switch {
 	case cp.hc != nil:
-		hc := cp.hc.Execute(db)
+		hc := cp.hc.ExecuteWith(db, ec)
 		res.Output = hc.Output
 		res.MaxLoadBits = hc.Loads.MaxBits
 		res.TotalBits = hc.Loads.TotalBits
 		res.PredictedBits = hc.PredictedBits
 	case cp.sj != nil:
-		sj := cp.sj.Execute(db)
+		sj := cp.sj.ExecuteWith(db, ec)
 		res.Output = sj.Output
 		res.MaxLoadBits = sj.MaxVirtualBits
 		res.PredictedBits = sj.PredictedBits
 	case cp.gen != nil:
-		g := cp.gen.Execute(db)
+		g := cp.gen.ExecuteWith(db, ec)
 		res.Output = g.Output
 		res.MaxLoadBits = g.MaxVirtualBits
 		res.PredictedBits = g.PredictedBits
+	case cp.mr != nil:
+		r := cp.mr.Execute(db)
+		res.Output = r.Output
+		// The multi-round analogue of the one-round max load is the summed
+		// per-round maxima: the most bits one server could have received
+		// across the whole computation.
+		res.MaxLoadBits = r.SumMaxBits
+		for _, rl := range r.Rounds {
+			res.TotalBits += rl.TotalBits
+		}
+		res.PredictedBits = cp.mr.PredictedSumMaxBits
 	}
+	e.scratchPool.Put(sc)
 	return res
 }
 
@@ -214,7 +271,7 @@ func (e *Engine) planFor(q *query.Query, db *data.Database) *cachedPlan {
 	if e.DisablePlanCache {
 		return e.buildPlan(q, db)
 	}
-	key := planKey{query: q.String(), fp: stats.Fingerprint(db), p: e.P, seed: e.Seed, forced: -1}
+	key := planKey{query: q.String(), fp: stats.Fingerprint(db), p: e.P, seed: e.Seed, forced: -1, mrAware: e.ConsiderMultiRound}
 	if e.ForceStrategy != nil {
 		key.forced = *e.ForceStrategy
 	}
@@ -255,20 +312,54 @@ func (e *Engine) planFor(q *query.Query, db *data.Database) *cachedPlan {
 	return cp
 }
 
-// buildPlan runs the logical planner and lowers the chosen strategy to its
-// physical plan.
+// buildPlan runs the logical planner, lowers the chosen strategy to its
+// physical plan, and — when ConsiderMultiRound is on — cost-compares the
+// one-round choice against a multi-round pipeline (predicted SumMaxBits vs
+// the one-round PredictedBits), switching to the pipeline when cheaper.
 func (e *Engine) buildPlan(q *query.Query, db *data.Database) *cachedPlan {
-	cp := &cachedPlan{plan: e.PlanQuery(q, db)}
+	cp := &cachedPlan{plan: e.logicalPlan(q, db)}
+	cp.plan.Rounds = 1
 	switch cp.plan.Strategy {
 	case HyperCube:
 		cp.hc = hypercube.BuildPlan(q, db, hypercube.Config{P: e.P, Seed: e.Seed})
 		cp.plan.Shares = cp.hc.Shares
+		cp.plan.PredictedBits = cp.hc.PredictedBits
 	case SkewJoin:
 		cp.sj = skew.PlanJoin(q, db, skew.JoinConfig{P: e.P, Seed: e.Seed})
+		cp.plan.PredictedBits = cp.sj.PredictedBits
 	case BinCombination:
 		cp.gen = skew.PlanGeneral(q, db, skew.GeneralConfig{P: e.P, Seed: e.Seed})
+		cp.plan.PredictedBits = cp.gen.PredictedBits
+	case MultiRound:
+		cp.mr = e.planMultiRound(q, db)
+		cp.plan.PredictedBits = cp.mr.PredictedSumMaxBits
+		cp.plan.Rounds = len(cp.mr.Logical.Steps)
+	}
+	if e.ConsiderMultiRound && e.ForceStrategy == nil && cp.mr == nil && q.NumAtoms() >= 2 {
+		mr := e.planMultiRound(q, db)
+		one := cp.plan.PredictedBits
+		if one > 0 && mr.PredictedSumMaxBits < one {
+			cp.plan.Reason = fmt.Sprintf(
+				"multi-round pipeline predicted Σmax %.0f bits beats one-round %s predicted %.0f bits (%s)",
+				mr.PredictedSumMaxBits, cp.plan.Strategy, one, cp.plan.Reason)
+			cp.plan.Strategy = MultiRound
+			cp.plan.Shares = nil
+			cp.plan.PredictedBits = mr.PredictedSumMaxBits
+			cp.plan.Rounds = len(mr.Logical.Steps)
+			cp.hc, cp.sj, cp.gen = nil, nil, nil
+			cp.mr = mr
+		} else {
+			cp.plan.Reason += fmt.Sprintf(
+				"; multi-round rejected (predicted Σmax %.0f bits over %d rounds)",
+				mr.PredictedSumMaxBits, len(mr.Logical.Steps))
+		}
 	}
 	return cp
+}
+
+// planMultiRound lowers the skew-aware multi-round pipeline for q.
+func (e *Engine) planMultiRound(q *query.Query, db *data.Database) *rounds.PipelinePlan {
+	return rounds.PlanPipeline(q, db, rounds.Config{P: e.P, Seed: e.Seed, SkewAware: true})
 }
 
 // CacheStats reports the plan cache counters and occupancy.

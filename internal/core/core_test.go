@@ -7,6 +7,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/join"
 	"repro/internal/query"
+	"repro/internal/rounds"
 	"repro/internal/workload"
 )
 
@@ -256,5 +257,113 @@ func TestExplainShowsBinCombosUnderSkew(t *testing.T) {
 	out := NewEngine(16, 1).Explain(q, db)
 	if !strings.Contains(out, "bin combinations") {
 		t.Errorf("Explain should list bin combinations under skew:\n%s", out)
+	}
+}
+
+func TestForceMultiRound(t *testing.T) {
+	q := query.Triangle()
+	db := data.NewDatabase()
+	db.Put(workload.Matching("S1", 2, 300, 100000, 1))
+	db.Put(workload.Matching("S2", 2, 300, 100000, 2))
+	db.Put(workload.Matching("S3", 2, 300, 100000, 3))
+	force := MultiRound
+	e := NewEngine(8, 1)
+	e.ForceStrategy = &force
+	res := e.Execute(q, db)
+	if res.Plan.Strategy != MultiRound {
+		t.Fatalf("forced strategy ignored: %v", res.Plan.Strategy)
+	}
+	if res.Plan.Rounds != 2 {
+		t.Errorf("Plan.Rounds = %d, want 2", res.Plan.Rounds)
+	}
+	if res.Plan.PredictedBits <= 0 {
+		t.Error("multi-round plan has no cost prediction")
+	}
+	want := join.Join(q, join.FromDatabase(db))
+	if !join.EqualTupleSets(res.Output, want) {
+		t.Errorf("multi-round output %d tuples, want %d", len(res.Output), len(want))
+	}
+	if res.MaxLoadBits <= 0 || res.TotalBits <= 0 {
+		t.Error("multi-round loads not accounted")
+	}
+}
+
+func TestConsiderMultiRoundCostComparison(t *testing.T) {
+	// Sparse matchings: per-round loads ~m/p beat the one-round m/p^{2/3},
+	// so the cost comparison should flip to the pipeline — and the choice
+	// must agree with the two predictions it compares.
+	q := query.Triangle()
+	db := data.NewDatabase()
+	for j, a := range q.Atoms {
+		db.Put(workload.Matching(a.Name, 2, 4096, 1<<20, int64(j+1)))
+	}
+	e := NewEngine(64, 3)
+	e.ConsiderMultiRound = true
+	plan := e.PlanQuery(q, db)
+
+	base := NewEngine(64, 3).PlanQuery(q, db)
+	mrPred := rounds.PlanPipeline(q, db, rounds.Config{P: 64, Seed: 3, SkewAware: true}).PredictedSumMaxBits
+	wantMR := base.PredictedBits > 0 && mrPred < base.PredictedBits
+	if gotMR := plan.Strategy == MultiRound; gotMR != wantMR {
+		t.Fatalf("choice %v disagrees with predictions (one-round %.0f, multi-round %.0f)",
+			plan.Strategy, base.PredictedBits, mrPred)
+	}
+	if wantMR && !strings.Contains(plan.Reason, "beats one-round") {
+		t.Errorf("reason does not explain the comparison: %q", plan.Reason)
+	}
+	if !wantMR && !strings.Contains(plan.Reason, "multi-round rejected") {
+		t.Errorf("reason does not record the rejection: %q", plan.Reason)
+	}
+	// Execution under the comparison stays correct.
+	res := e.Execute(q, db)
+	want := join.Join(q, join.FromDatabase(db))
+	if !join.EqualTupleSets(join.Dedup(res.Output), want) {
+		t.Errorf("cost-comparing engine output %d tuples, want %d", len(res.Output), len(want))
+	}
+}
+
+func TestMultiRoundPlanCached(t *testing.T) {
+	q := query.Triangle()
+	db := data.NewDatabase()
+	db.Put(workload.Matching("S1", 2, 400, 100000, 1))
+	db.Put(workload.Matching("S2", 2, 400, 100000, 2))
+	db.Put(workload.Matching("S3", 2, 400, 100000, 3))
+	force := MultiRound
+	e := NewEngine(8, 1)
+	e.ForceStrategy = &force
+	r1 := e.Execute(q, db)
+	r2 := e.Execute(q, db)
+	st := e.CacheStats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("cache stats = %+v, want 1 miss + 1 hit", st)
+	}
+	if !join.EqualTupleSets(r1.Output, r2.Output) {
+		t.Error("cached multi-round plan changed its answers")
+	}
+	// A ConsiderMultiRound toggle is part of the cache key.
+	e2 := NewEngine(8, 1)
+	e2.ConsiderMultiRound = true
+	e2.Execute(q, db)
+	e2.ConsiderMultiRound = false
+	e2.Execute(q, db)
+	if st2 := e2.CacheStats(); st2.Misses != 2 {
+		t.Errorf("toggling ConsiderMultiRound reused a stale plan: %+v", st2)
+	}
+}
+
+func TestExplainListsPredictedCosts(t *testing.T) {
+	q := query.Triangle()
+	db := data.NewDatabase()
+	db.Put(workload.Matching("S1", 2, 500, 100000, 1))
+	db.Put(workload.Matching("S2", 2, 500, 100000, 2))
+	db.Put(workload.Matching("S3", 2, 500, 100000, 3))
+	out := NewEngine(16, 1).Explain(q, db)
+	for _, want := range []string{
+		"predicted cost per strategy", "hypercube", "skew-join", "bin-combination",
+		"multi-round", "SumMaxBits", "← chosen", "not §4.1-shaped",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -19,13 +19,67 @@ import (
 // statistics), the optimal share exponents, and — when skew is present —
 // the bin combinations the §4.2 algorithm would build.
 func (e *Engine) Explain(q *query.Query, db *data.Database) string {
-	plan := e.PlanQuery(q, db)
+	// Plan once: the cost table reuses the chosen strategy's lowered plan
+	// (and the multi-round pipeline, if the comparison built one) instead
+	// of re-planning it.
+	cp := e.buildPlan(q, db)
+	plan := cp.plan
 	var b strings.Builder
 	fmt.Fprintf(&b, "query:    %s\n", q)
 	fmt.Fprintf(&b, "servers:  p = %d\n", e.P)
 	fmt.Fprintf(&b, "strategy: %s\n", plan.Strategy)
 	fmt.Fprintf(&b, "reason:   %s\n", plan.Reason)
 	fmt.Fprintf(&b, "skew:     heavy hitters present = %v\n\n", plan.HasSkew)
+
+	// Predicted cost of every strategy, chosen one marked — the numbers the
+	// engine's cost comparison decides on (multi-round only competes when
+	// ConsiderMultiRound is set, but its prediction is always shown).
+	b.WriteString("predicted cost per strategy (bits):\n")
+	writeCost := func(s Strategy, cost float64, note string) {
+		mark := ""
+		if s == plan.Strategy {
+			mark = "  ← chosen"
+		}
+		if cost > 0 {
+			fmt.Fprintf(&b, "  %-16s %14.0f %s%s\n", s, cost, note, mark)
+		} else {
+			fmt.Fprintf(&b, "  %-16s %14s %s%s\n", s, "n/a", note, mark)
+		}
+	}
+	hcBits := func() float64 {
+		if cp.hc != nil {
+			return cp.hc.PredictedBits
+		}
+		return hypercube.BuildPlan(q, db, hypercube.Config{P: e.P, Seed: e.Seed}).PredictedBits
+	}
+	writeCost(HyperCube, hcBits(), "(p^λ)")
+	switch {
+	case cp.sj != nil:
+		writeCost(SkewJoin, cp.sj.PredictedBits, "(Eq. 10)")
+	case isJoin2Shaped(q):
+		writeCost(SkewJoin, skew.PlanJoin(q, db, skew.JoinConfig{P: e.P, Seed: e.Seed}).PredictedBits, "(Eq. 10)")
+	default:
+		writeCost(SkewJoin, 0, "(query not §4.1-shaped)")
+	}
+	genBits := func() float64 {
+		if cp.gen != nil {
+			return cp.gen.PredictedBits
+		}
+		return skew.PlanGeneral(q, db, skew.GeneralConfig{P: e.P, Seed: e.Seed}).PredictedBits
+	}
+	writeCost(BinCombination, genBits(), "(max_B p^λ(B))")
+	switch {
+	case cp.mr != nil:
+		writeCost(MultiRound, cp.mr.PredictedSumMaxBits,
+			fmt.Sprintf("(SumMaxBits, %d rounds)", len(cp.mr.Logical.Steps)))
+	case q.NumAtoms() >= 2:
+		mr := e.planMultiRound(q, db)
+		writeCost(MultiRound, mr.PredictedSumMaxBits,
+			fmt.Sprintf("(SumMaxBits, %d rounds)", len(mr.Logical.Steps)))
+	default:
+		writeCost(MultiRound, 0, "(single atom: no rounds needed)")
+	}
+	b.WriteByte('\n')
 
 	bitsM := make([]float64, q.NumAtoms())
 	for j, a := range q.Atoms {

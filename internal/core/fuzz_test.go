@@ -93,5 +93,27 @@ func TestFuzzAllAlgorithmsAgree(t *testing.T) {
 			t.Fatalf("trial %d %s: engine(%v) %d vs %d",
 				trial, q, res.Plan.Strategy, len(res.Output), len(want))
 		}
+		// The engine's multi-round pipeline, forced: must agree with every
+		// one-round strategy through the plan cache and exec.RunPipeline.
+		force := MultiRound
+		emr := NewEngine(8, uint64(trial))
+		emr.ForceStrategy = &force
+		fres := emr.Execute(q, db)
+		if fres.Plan.Strategy != MultiRound {
+			t.Fatalf("trial %d %s: forced multi-round ignored (%v)", trial, q, fres.Plan.Strategy)
+		}
+		if !join.EqualTupleSets(fres.Output, want) {
+			t.Fatalf("trial %d %s: engine multi-round %d vs %d",
+				trial, q, len(fres.Output), len(want))
+		}
+		// Cost-comparing engine: whichever strategy the comparison picks,
+		// answers must match the reference.
+		ecc := NewEngine(8, uint64(trial))
+		ecc.ConsiderMultiRound = true
+		cres := ecc.Execute(q, db)
+		if !join.EqualTupleSets(join.Dedup(cres.Output), want) {
+			t.Fatalf("trial %d %s: cost-comparing engine(%v) %d vs %d",
+				trial, q, cres.Plan.Strategy, len(cres.Output), len(want))
+		}
 	}
 }

@@ -54,6 +54,32 @@ type Config struct {
 	// Load-focused experiments use this to avoid materializing quadratic
 	// join outputs.
 	SkipCompute bool
+	// Scratch, when non-nil, supplies reusable buffers for Run's load
+	// accounting, so repeated executions of a cached plan stop allocating
+	// per-server slices every run. Result.PerServerBits then aliases the
+	// scratch buffer: it is valid until the next Run with the same Scratch.
+	Scratch *Scratch
+}
+
+// Scratch holds Run's reusable load-accounting buffers. A Scratch may be
+// reused across any number of Run calls (plans of different sizes included)
+// but must not be shared by concurrent runs.
+type Scratch struct {
+	perServer []int64
+	physical  []int64
+}
+
+// grow returns buf resized to n with every element zeroed, reusing the
+// backing array when capacity allows.
+func grow(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // Result reports one execution of a plan: the answers plus the realized
@@ -99,8 +125,16 @@ func Run(plan *PhysicalPlan, db *data.Database, cfg Config) Result {
 	}
 	res.Loads = cluster.Loads().WithReplication(db.TotalBits())
 	res.MaxVirtualBits = res.Loads.MaxBits
-	res.PerServerBits = make([]int64, plan.Virtual)
-	physical := make([]int64, plan.Physical)
+	var physical []int64
+	if cfg.Scratch != nil {
+		cfg.Scratch.perServer = grow(cfg.Scratch.perServer, plan.Virtual)
+		cfg.Scratch.physical = grow(cfg.Scratch.physical, plan.Physical)
+		res.PerServerBits = cfg.Scratch.perServer
+		physical = cfg.Scratch.physical
+	} else {
+		res.PerServerBits = make([]int64, plan.Virtual)
+		physical = make([]int64, plan.Physical)
+	}
 	for _, sv := range cluster.Servers {
 		res.PerServerBits[sv.ID] = sv.BitsIn
 		physical[sv.ID%plan.Physical] += sv.BitsIn

@@ -301,7 +301,16 @@ func BuildPlan(q *query.Query, db *data.Database, cfg Config) *Plan {
 // HyperCube-specific result. Result slices are copies: plans are reused
 // across executions, so callers must not be able to mutate them.
 func (pl *Plan) Execute(db *data.Database) Result {
-	er := exec.Run(pl.Phys, db, exec.Config{SkipCompute: pl.skipJoin})
+	return pl.ExecuteWith(db, exec.Config{})
+}
+
+// ExecuteWith is Execute with caller-supplied executor configuration —
+// the engine passes a pooled exec.Scratch so repeated executions of a
+// cached plan stop allocating load-accounting slices. The plan's own
+// SkipJoin setting still governs whether the local join runs.
+func (pl *Plan) ExecuteWith(db *data.Database, ec exec.Config) Result {
+	ec.SkipCompute = ec.SkipCompute || pl.skipJoin
+	er := exec.Run(pl.Phys, db, ec)
 	return Result{
 		Shares:        append([]int(nil), pl.Shares...),
 		Exponents:     append([]float64(nil), pl.Exponents...),

@@ -129,10 +129,80 @@ type delivery struct {
 // [0, P); tuples with bad destinations are dropped and the first error is
 // reported after all goroutines drain.
 func (c *Cluster) Round(db *data.Database, router Router) error {
+	rels := make([]*data.Relation, 0, len(db.Relations))
+	for _, name := range db.Names() {
+		rels = append(rels, db.Relations[name])
+	}
+	return c.RoundRelations(router, rels...)
+}
+
+// RoundRelations is Round restricted to an explicit relation list: only the
+// given relations are routed, so a multi-round pipeline re-routes just the
+// relations entering the current round instead of rescanning the whole
+// database to produce empty destination lists.
+func (c *Cluster) RoundRelations(router Router, rels ...*data.Relation) error {
 	senders := c.Senders
 	if senders <= 0 {
 		senders = DefaultSenders
 	}
+	var parts []sendPart
+	for _, rel := range rels {
+		m := rel.Size()
+		chunk := (m + senders - 1) / senders
+		if chunk == 0 {
+			chunk = 1
+		}
+		for lo := 0; lo < m; lo += chunk {
+			hi := lo + chunk
+			if hi > m {
+				hi = m
+			}
+			parts = append(parts, sendPart{rel: rel, lo: lo, hi: hi})
+		}
+	}
+	return c.communicate(parts, router)
+}
+
+// ShuffleResident executes a communication phase whose senders are the
+// cluster's own servers: each server routes its resident fragment of every
+// named relation through router, server-to-server, and afterwards holds
+// exactly the fragments newly delivered to it. This is how a multi-round
+// pipeline moves an intermediate result into the next round's layout
+// without concatenating it at the coordinator and re-ingesting it as a
+// fresh database. Loads accumulate exactly as in Round (received bits are
+// the model's load, whatever server sent them).
+func (c *Cluster) ShuffleResident(router Router, names ...string) error {
+	var parts []sendPart
+	for _, s := range c.Servers {
+		for _, name := range names {
+			frag, ok := s.Received[name]
+			if !ok {
+				continue
+			}
+			// Detach before routing: receivers append to s.Received[name]
+			// concurrently, so the outgoing fragment must no longer be
+			// reachable there.
+			delete(s.Received, name)
+			if frag.Size() > 0 {
+				parts = append(parts, sendPart{rel: frag, lo: 0, hi: frag.Size()})
+			}
+		}
+	}
+	return c.communicate(parts, router)
+}
+
+// sendPart is one sender goroutine's share of the communication phase: rows
+// [lo, hi) of one relation (an input-server partition in Round, a resident
+// server fragment in ShuffleResident).
+type sendPart struct {
+	rel    *data.Relation
+	lo, hi int
+}
+
+// communicate runs the shared delivery machinery: one sender goroutine per
+// part routing its rows, one receiver goroutine per server draining its
+// private channel, column-slab batching in between.
+func (c *Cluster) communicate(parts []sendPart, router Router) error {
 	var errOnce sync.Once
 	var routeErr error
 	report := func(err error) {
@@ -166,84 +236,72 @@ func (c *Cluster) Round(db *data.Database, router Router) error {
 
 	const batchTuples = 128
 	var sendWG sync.WaitGroup
-	for _, name := range db.Names() {
-		rel := db.Relations[name]
-		m := rel.Size()
-		chunk := (m + senders - 1) / senders
-		if chunk == 0 {
-			chunk = 1
-		}
-		for lo := 0; lo < m; lo += chunk {
-			hi := lo + chunk
-			if hi > m {
-				hi = m
+	for _, part := range parts {
+		sendWG.Add(1)
+		go func(rel *data.Relation, lo, hi int) {
+			defer sendWG.Done()
+			// Per-sender router instance (private scratch) and
+			// per-destination batches local to this sender.
+			r := forSender(router)
+			cr, columnar := r.(ColumnRouter)
+			cols := rel.Columns()
+			arity := rel.Arity
+			bufs := make(map[int]*delivery)
+			var dst []int
+			var seen map[int]struct{} // reused; only for wide fan-outs
+			scratch := make(data.Tuple, arity)
+			newSlabs := func() [][]int64 {
+				s := make([][]int64, arity)
+				for a := range s {
+					s[a] = make([]int64, 0, batchTuples)
+				}
+				return s
 			}
-			sendWG.Add(1)
-			go func(rel *data.Relation, lo, hi int) {
-				defer sendWG.Done()
-				// Per-sender router instance (private scratch) and
-				// per-destination batches local to this sender.
-				r := forSender(router)
-				cr, columnar := r.(ColumnRouter)
-				cols := rel.Columns()
-				arity := rel.Arity
-				bufs := make(map[int]*delivery)
-				var dst []int
-				var seen map[int]struct{} // reused; only for wide fan-outs
-				scratch := make(data.Tuple, arity)
-				newSlabs := func() [][]int64 {
-					s := make([][]int64, arity)
-					for a := range s {
-						s[a] = make([]int64, 0, batchTuples)
-					}
-					return s
+			flush := func(server int) {
+				d := bufs[server]
+				if d == nil || d.count == 0 {
+					return
 				}
-				flush := func(server int) {
+				inboxes[server] <- *d
+				// The receiver now owns d.cols; start fresh slabs at
+				// full capacity so appends never regrow them.
+				d.cols = newSlabs()
+				d.count = 0
+			}
+			for i := lo; i < hi; i++ {
+				if columnar {
+					dst = cr.DestinationsAt(rel, i, dst[:0])
+				} else {
+					dst = r.Destinations(rel.Name, rel.ReadTuple(i, scratch), dst[:0])
+				}
+				dst = dedupDestinations(dst, &seen)
+				for _, server := range dst {
+					if server < 0 || server >= c.P {
+						report(fmt.Errorf("mpc: destination %d out of range [0,%d)", server, c.P))
+						continue
+					}
 					d := bufs[server]
-					if d == nil || d.count == 0 {
-						return
+					if d == nil {
+						d = &delivery{
+							rel: rel.Name, arity: arity, domain: rel.Domain,
+							bits: rel.BitsPerTuple(),
+							cols: newSlabs(),
+						}
+						bufs[server] = d
 					}
-					inboxes[server] <- *d
-					// The receiver now owns d.cols; start fresh slabs at
-					// full capacity so appends never regrow them.
-					d.cols = newSlabs()
-					d.count = 0
-				}
-				for i := lo; i < hi; i++ {
-					if columnar {
-						dst = cr.DestinationsAt(rel, i, dst[:0])
-					} else {
-						dst = r.Destinations(rel.Name, rel.ReadTuple(i, scratch), dst[:0])
+					for a := 0; a < arity; a++ {
+						d.cols[a] = append(d.cols[a], cols[a][i])
 					}
-					dst = dedupDestinations(dst, &seen)
-					for _, server := range dst {
-						if server < 0 || server >= c.P {
-							report(fmt.Errorf("mpc: destination %d out of range [0,%d)", server, c.P))
-							continue
-						}
-						d := bufs[server]
-						if d == nil {
-							d = &delivery{
-								rel: rel.Name, arity: arity, domain: rel.Domain,
-								bits: rel.BitsPerTuple(),
-								cols: newSlabs(),
-							}
-							bufs[server] = d
-						}
-						for a := 0; a < arity; a++ {
-							d.cols[a] = append(d.cols[a], cols[a][i])
-						}
-						d.count++
-						if d.count >= batchTuples {
-							flush(server)
-						}
+					d.count++
+					if d.count >= batchTuples {
+						flush(server)
 					}
 				}
-				for server := range bufs {
-					flush(server)
-				}
-			}(rel, lo, hi)
-		}
+			}
+			for server := range bufs {
+				flush(server)
+			}
+		}(part.rel, part.lo, part.hi)
 	}
 	sendWG.Wait()
 	for _, in := range inboxes {
@@ -289,6 +347,29 @@ func dedupDestinations(dst []int, seen *map[int]struct{}) []int {
 		n++
 	}
 	return dst[:n]
+}
+
+// ComputeResident runs f on every server concurrently and installs the
+// returned relation as the server's sole resident fragment (under the
+// relation's own name); a nil return leaves the server empty. The round's
+// input fragments are dropped either way — between pipeline stages each
+// server holds exactly its share of the current intermediate, ready to be
+// moved by ShuffleResident. Load counters are untouched: local computation
+// is free in the MPC model.
+func (c *Cluster) ComputeResident(f func(s *Server) *data.Relation) {
+	var wg sync.WaitGroup
+	wg.Add(c.P)
+	for i := range c.Servers {
+		go func(s *Server) {
+			defer wg.Done()
+			out := f(s)
+			s.Received = make(map[string]*data.Relation)
+			if out != nil {
+				s.Received[out.Name] = out
+			}
+		}(c.Servers[i])
+	}
+	wg.Wait()
 }
 
 // Compute runs f on every server concurrently (the local-computation phase)

@@ -310,3 +310,115 @@ func TestConcurrentClustersIndependent(t *testing.T) {
 		}
 	}
 }
+
+func TestShuffleResidentMovesFragmentsServerToServer(t *testing.T) {
+	db := singleRel(1000)
+	c := NewCluster(10)
+	// Round 1: mod-10 partition.
+	if err := c.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, int(tu[0]%10))
+	})); err != nil {
+		t.Fatal(err)
+	}
+	bitsAfterRound := c.Loads().TotalBits
+	// Shuffle the resident fragments into a different layout (div-100
+	// partition) without touching the database.
+	if err := c.ShuffleResident(RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, int(tu[0]/100))
+	}), "S"); err != nil {
+		t.Fatal(err)
+	}
+	// Every tuple was received twice now: loads accumulate across rounds.
+	if got := c.Loads().TotalBits; got != 2*bitsAfterRound {
+		t.Errorf("TotalBits after shuffle = %d, want %d", got, 2*bitsAfterRound)
+	}
+	// The new layout holds every tuple exactly once, by value range.
+	total := 0
+	for id, s := range c.Servers {
+		f := s.Fragment("S")
+		if f == nil {
+			t.Fatalf("server %d has no fragment after shuffle", id)
+		}
+		total += f.Size()
+		for _, v := range f.Column(0) {
+			if int(v/100) != id {
+				t.Fatalf("server %d holds %d after div-100 shuffle", id, v)
+			}
+		}
+	}
+	if total != 1000 {
+		t.Errorf("shuffled tuple count = %d, want 1000", total)
+	}
+}
+
+func TestShuffleResidentSkipsMissingNames(t *testing.T) {
+	c := NewCluster(4)
+	if err := c.ShuffleResident(RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, 0)
+	}), "nope"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Loads().TotalBits != 0 {
+		t.Error("shuffling a missing relation moved bits")
+	}
+}
+
+func TestComputeResidentReplacesFragments(t *testing.T) {
+	db := singleRel(100)
+	c := NewCluster(4)
+	if err := c.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, int(tu[0]%4))
+	})); err != nil {
+		t.Fatal(err)
+	}
+	c.ComputeResident(func(s *Server) *data.Relation {
+		in := s.Fragment("S")
+		if s.ID == 3 {
+			return nil // one server produces nothing
+		}
+		out := data.NewRelation("doubled", 1, in.Domain)
+		for _, v := range in.Column(0) {
+			if 2*v < in.Domain {
+				out.Add(2 * v)
+			}
+		}
+		return out
+	})
+	for id, s := range c.Servers {
+		if s.Fragment("S") != nil {
+			t.Errorf("server %d still holds the consumed input fragment", id)
+		}
+		if id == 3 {
+			if len(s.Received) != 0 {
+				t.Errorf("server 3 should be empty, holds %d fragments", len(s.Received))
+			}
+			continue
+		}
+		if s.Fragment("doubled") == nil {
+			t.Errorf("server %d missing its output fragment", id)
+		}
+	}
+	// Local computation is free in the model: loads unchanged.
+	if got := c.Loads().TotalTuples; got != 100 {
+		t.Errorf("TotalTuples = %d changed by local compute", got)
+	}
+}
+
+func TestRoundRelationsRoutesOnlyListed(t *testing.T) {
+	db := singleRel(100)
+	extra := data.NewRelation("T", 1, 1024)
+	extra.Add(1)
+	db.Put(extra)
+	c := NewCluster(4)
+	if err := c.RoundRelations(RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, 0)
+	}), db.MustGet("S")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Servers[0].Fragment("T") != nil {
+		t.Error("unlisted relation was routed")
+	}
+	if c.Servers[0].Fragment("S") == nil || c.Servers[0].Fragment("S").Size() != 100 {
+		t.Error("listed relation not fully routed")
+	}
+}

@@ -1,27 +1,25 @@
-// Package rounds implements multi-round MPC query evaluation — the
-// traditional one-join-per-round strategy the paper's introduction
-// contrasts with its one-round HyperCube algorithm ("the traditional
-// approach is to compute one join at a time leading to a number of
-// communication rounds at least as large as the depth of the query plan").
+// Package rounds plans multi-round MPC query evaluation — the traditional
+// one-join-per-round strategy the paper's introduction contrasts with its
+// one-round HyperCube algorithm ("the traditional approach is to compute
+// one join at a time leading to a number of communication rounds at least
+// as large as the depth of the query plan").
 //
-// A plan is a left-deep sequence of binary join steps. Each step is one
-// communication round: both sides are repartitioned by the join keys
-// (with §4.1-style heavy-hitter handling per key when skew-aware mode is
-// on), servers join locally, and the intermediate result feeds the next
-// round. Loads are tracked per round and summed per server, so the
-// multi-round cost is directly comparable to the one-round algorithms.
+// A logical plan is a left-deep sequence of binary join steps. The package
+// is a pure planner: Lower turns the logical plan into an exec.Pipeline —
+// one executor stage per step, each with its own virtual-server layout and
+// router (with §4.1-style heavy-hitter grids per join key when skew-aware
+// mode is on) — and exec.RunPipeline executes it on one persistent cluster,
+// keeping every intermediate resident on the servers between rounds. Loads
+// are tracked per round and summed per server, so the multi-round cost is
+// directly comparable to the one-round algorithms.
 package rounds
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"repro/internal/data"
-	"repro/internal/hashing"
-	"repro/internal/mpc"
+	"repro/internal/exec"
 	"repro/internal/query"
-	"repro/internal/stats"
 )
 
 // Step is one binary join in the plan: join Left and Right (base atom
@@ -89,6 +87,11 @@ func BuildPlan(q *query.Query) Plan {
 		if step == q.NumAtoms()-1 {
 			outName = "result"
 		}
+		// Intermediate names must not shadow base atoms: routers and
+		// resident shuffles identify stage inputs by relation name.
+		for q.AtomIndex(outName) >= 0 {
+			outName += "_"
+		}
 		steps = append(steps, Step{
 			Left: curName, Right: atom.Name, Output: outName,
 			LeftVars:  append([]int(nil), curVars...),
@@ -110,7 +113,7 @@ func containsInt(xs []int, v int) bool {
 	return false
 }
 
-// Config controls multi-round execution.
+// Config controls multi-round planning and execution.
 type Config struct {
 	P    int
 	Seed uint64
@@ -126,6 +129,9 @@ type RoundLoad struct {
 	MaxBits      int64
 	TotalBits    int64
 	Intermediate int // tuples produced
+	// ResidentTuples counts intermediate tuples that entered this round
+	// server-to-server, never leaving the cluster.
+	ResidentTuples int64
 }
 
 // Result reports a multi-round run.
@@ -139,356 +145,92 @@ type Result struct {
 	SumMaxBits      int64
 }
 
-// Run executes the plan over db. Base relations come from db; each step's
-// output becomes available to later steps under its Output name.
+// Run lowers the plan and executes it through exec.RunPipeline. Base
+// relations come from db; intermediates stay resident on the pipeline's
+// servers between rounds.
 func Run(plan Plan, db *data.Database, cfg Config) Result {
-	if cfg.P < 2 {
-		panic("rounds: need P >= 2")
+	return Lower(plan, db, cfg).Execute(db)
+}
+
+// singleAtom answers a zero-step plan: no communication is needed, the
+// base relation's columns are permuted into head order (a column-pointer
+// permutation — no row-major scan) and materialized once.
+func singleAtom(q *query.Query, db *data.Database) Result {
+	atom := q.Atoms[0]
+	rel := db.MustGet(atom.Name)
+	return Result{Output: headOrderTuples(q, rel, atom.Vars)}
+}
+
+// headOrderTuples materializes rel — whose columns follow the schema vars —
+// as head-ordered tuples. The permutation reorders column pointers; the
+// copy is one column-major pass into a single flat backing array.
+func headOrderTuples(q *query.Query, rel *data.Relation, vars []int) []data.Tuple {
+	k := q.NumVars()
+	n := rel.Size()
+	if n == 0 {
+		return nil
 	}
-	// Single-atom query: no communication needed, just reorder columns
-	// into head order.
-	if len(plan.Steps) == 0 {
-		atom := plan.Query.Atoms[0]
-		var res Result
-		db.MustGet(atom.Name).Each(func(_ int, t data.Tuple) bool {
-			nt := make(data.Tuple, plan.Query.NumVars())
-			for pos, v := range atom.Vars {
-				nt[v] = t[pos]
-			}
-			res.Output = append(res.Output, nt)
-			return true
+	cols := make([][]int64, k)
+	for pos, v := range vars {
+		cols[v] = rel.Column(pos)
+	}
+	flat := make([]int64, n*k)
+	for v, col := range cols {
+		for i, x := range col {
+			flat[i*k+v] = x
+		}
+	}
+	out := make([]data.Tuple, n)
+	for i := range out {
+		out[i] = flat[i*k : (i+1)*k : (i+1)*k]
+	}
+	return out
+}
+
+// PipelinePlan is the planner output: the logical plan lowered to an
+// executor pipeline, plus the cost prediction the engine compares against
+// one-round strategies. Plans are immutable and reusable across executions
+// (the engine's plan cache holds them).
+type PipelinePlan struct {
+	Logical Plan
+	// Pipe is the lowered pipeline; nil for zero-step (single-atom) plans,
+	// which need no communication at all.
+	Pipe *exec.Pipeline
+	// PredictedSumMaxBits is the planner's multi-round cost model: per
+	// round, the predicted maximum per-server load in bits (balanced hash
+	// load plus per-heavy-key grid or hotspot terms, with intermediate
+	// sizes estimated from base-relation statistics), summed over rounds.
+	PredictedSumMaxBits float64
+}
+
+// PlanPipeline builds the left-deep logical plan for q and lowers it over
+// db's statistics — the engine's entry point for multi-round planning.
+func PlanPipeline(q *query.Query, db *data.Database, cfg Config) *PipelinePlan {
+	return Lower(BuildPlan(q), db, cfg)
+}
+
+// Execute runs the pipeline over db and shapes the multi-round result,
+// permuting the final stage's columns into head order.
+func (pp *PipelinePlan) Execute(db *data.Database) Result {
+	q := pp.Logical.Query
+	if len(pp.Logical.Steps) == 0 {
+		return singleAtom(q, db)
+	}
+	pr := exec.RunPipeline(pp.Pipe, db, exec.Config{})
+	res := Result{
+		MaxBitsPerRound: pr.MaxBitsPerRound,
+		SumMaxBits:      pr.SumMaxBits,
+	}
+	for i, rl := range pr.Rounds {
+		res.Rounds = append(res.Rounds, RoundLoad{
+			Step:           pp.Logical.Steps[i],
+			MaxBits:        rl.MaxBits,
+			TotalBits:      rl.TotalBits,
+			Intermediate:   rl.Intermediate,
+			ResidentTuples: rl.ResidentTuples,
 		})
-		return res
 	}
-	// Working set: base relations plus intermediates, with their schemas.
-	rels := make(map[string]*data.Relation)
-	schemas := make(map[string][]int)
-	for _, a := range plan.Query.Atoms {
-		rels[a.Name] = db.MustGet(a.Name)
-		schemas[a.Name] = append([]int(nil), a.Vars...)
-	}
-	var res Result
-	for si, st := range plan.Steps {
-		left, right := rels[st.Left], rels[st.Right]
-		out, load := joinRound(st, left, right, cfg, uint64(si))
-		rels[st.Output] = out
-		schemas[st.Output] = st.OutVars
-		res.Rounds = append(res.Rounds, load)
-		if load.MaxBits > res.MaxBitsPerRound {
-			res.MaxBitsPerRound = load.MaxBits
-		}
-		res.SumMaxBits += load.MaxBits
-	}
-	final := rels[plan.Steps[len(plan.Steps)-1].Output]
-	// Reorder columns into head order.
-	lastVars := plan.Steps[len(plan.Steps)-1].OutVars
-	perm := make([]int, plan.Query.NumVars())
-	for col, v := range lastVars {
-		perm[v] = col
-	}
-	final.Each(func(_ int, t data.Tuple) bool {
-		nt := make(data.Tuple, len(perm))
-		for v, col := range perm {
-			nt[v] = t[col]
-		}
-		res.Output = append(res.Output, nt)
-		return true
-	})
+	last := pp.Logical.Steps[len(pp.Logical.Steps)-1]
+	res.Output = headOrderTuples(q, pr.Output, last.OutVars)
 	return res
-}
-
-// joinRound executes one step as a single communication round on a fresh
-// cluster of p servers (plus Θ(p) virtual servers for heavy keys in
-// skew-aware mode).
-func joinRound(st Step, left, right *data.Relation, cfg Config, roundSeed uint64) (*data.Relation, RoundLoad) {
-	leftKey := keyPositions(st.LeftVars, st.JoinVars)
-	rightKey := keyPositions(st.RightVars, st.JoinVars)
-	family := hashing.NewFamily(cfg.Seed*1315423911 + roundSeed + 1)
-
-	p := cfg.P
-	virtual := p
-	heavy := make(map[data.Key]*heavyPlan)
-	if cfg.SkewAware && len(st.JoinVars) > 0 {
-		fL := stats.Frequencies(left, leftKey)
-		fR := stats.Frequencies(right, rightKey)
-		thrL := float64(left.Size()) / float64(p)
-		thrR := float64(right.Size()) / float64(p)
-		seen := make(map[data.Key]bool)
-		var keys []data.Key
-		for k, c := range fL.Counts {
-			if float64(c) >= thrL || float64(fR.Counts[k]) >= thrR {
-				keys = append(keys, k)
-				seen[k] = true
-			}
-		}
-		for k, c := range fR.Counts {
-			if float64(c) >= thrR && !seen[k] {
-				keys = append(keys, k)
-			}
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
-		var sumK float64
-		for _, k := range keys {
-			sumK += math.Max(1, float64(fL.Counts[k])) * math.Max(1, float64(fR.Counts[k]))
-		}
-		for _, k := range keys {
-			kw := math.Max(1, float64(fL.Counts[k])) * math.Max(1, float64(fR.Counts[k]))
-			ph := int(math.Ceil(float64(p) * kw / sumK))
-			r1 := math.Max(1, float64(fL.Counts[k]))
-			r2 := math.Max(1, float64(fR.Counts[k]))
-			p1 := int(math.Round(math.Sqrt(float64(ph) * r1 / r2)))
-			if p1 < 1 {
-				p1 = 1
-			}
-			if p1 > ph {
-				p1 = ph
-			}
-			p2 := ph / p1
-			if p2 < 1 {
-				p2 = 1
-			}
-			heavy[k] = &heavyPlan{base: virtual, p1: p1, p2: p2}
-			virtual += p1 * p2
-		}
-	}
-
-	router := &stepRouter{
-		leftKey: leftKey, rightKey: rightKey,
-		cartesian: len(st.JoinVars) == 0,
-		heavy:     heavy, p: p, family: family,
-	}
-
-	// Stage the two inputs under canonical names.
-	roundDB := data.NewDatabase()
-	l := left.Clone()
-	l.Name = "L"
-	r := right.Clone()
-	r.Name = "R"
-	roundDB.Put(l)
-	roundDB.Put(r)
-
-	cluster := mpc.NewCluster(virtual)
-	if err := cluster.Round(roundDB, router); err != nil {
-		panic(fmt.Sprintf("rounds: %v", err))
-	}
-	// Local join at each server: index the right fragment by its key
-	// columns, probe with the left key columns, and gather output values
-	// straight from the column slices.
-	outArity := len(st.OutVars)
-	rightPosOf := make([]int, 0, outArity)
-	for _, v := range st.OutVars {
-		if !containsInt(st.LeftVars, v) {
-			for pos, rv := range st.RightVars {
-				if rv == v {
-					rightPosOf = append(rightPosOf, pos)
-				}
-			}
-		}
-	}
-	domain := left.Domain
-	if right.Domain > domain {
-		domain = right.Domain
-	}
-	outs := cluster.Compute(func(s *mpc.Server) []data.Tuple {
-		lf, rf := s.Fragment("L"), s.Fragment("R")
-		if lf == nil || rf == nil {
-			return nil
-		}
-		index := make(map[data.Key][]int, rf.Size())
-		rKeyCols := make([][]int64, len(rightKey))
-		for a, pos := range rightKey {
-			rKeyCols[a] = rf.Column(pos)
-		}
-		kbuf := make(data.Tuple, len(rightKey))
-		for i := 0; i < rf.Size(); i++ {
-			for a, col := range rKeyCols {
-				kbuf[a] = col[i]
-			}
-			k := data.KeyOf(kbuf)
-			index[k] = append(index[k], i)
-		}
-		lCols, rCols := lf.Columns(), rf.Columns()
-		lArity := lf.Arity
-		lkbuf := make(data.Tuple, len(leftKey))
-		var out []data.Tuple
-		for li := 0; li < lf.Size(); li++ {
-			for a, pos := range leftKey {
-				lkbuf[a] = lCols[pos][li]
-			}
-			for _, ri := range index[data.KeyOf(lkbuf)] {
-				nt := make(data.Tuple, 0, outArity)
-				for a := 0; a < lArity; a++ {
-					nt = append(nt, lCols[a][li])
-				}
-				for _, pos := range rightPosOf {
-					nt = append(nt, rCols[pos][ri])
-				}
-				out = append(out, nt)
-			}
-		}
-		return out
-	})
-	result := data.NewRelation(st.Output, outArity, domain)
-	for _, t := range outs {
-		result.Add(t...)
-	}
-	loads := cluster.Loads()
-	return result, RoundLoad{
-		Step: st, MaxBits: loads.MaxBits, TotalBits: loads.TotalBits,
-		Intermediate: result.Size(),
-	}
-}
-
-// heavyPlan is a per-heavy-key cartesian grid of virtual servers.
-type heavyPlan struct {
-	base, p1, p2 int
-}
-
-// Hash-family dimensions used by one join round.
-const dimKey, dimLeft, dimRight = 0, 1, 2
-
-// stepRouter routes one binary-join round: heavy keys to their cartesian
-// grids, cartesian steps over a p-server grid, everything else by hash
-// join on the key columns. The columnar entry point reads key columns in
-// place; its projection scratch makes it per-sender
-// (mpc.PerSenderRouter).
-type stepRouter struct {
-	leftKey, rightKey []int
-	cartesian         bool
-	heavy             map[data.Key]*heavyPlan
-	p                 int
-	family            *hashing.Family
-	proj              data.Tuple // key-projection scratch
-}
-
-// ForSender implements mpc.PerSenderRouter.
-func (r *stepRouter) ForSender() mpc.Router {
-	c := *r
-	c.proj = nil
-	return &c
-}
-
-func (r *stepRouter) keyScratch(n int) data.Tuple {
-	want := len(r.leftKey)
-	if len(r.rightKey) > want {
-		want = len(r.rightKey)
-	}
-	if r.proj == nil {
-		r.proj = make(data.Tuple, want)
-	}
-	return r.proj[:n]
-}
-
-// Destinations implements mpc.Router.
-func (r *stepRouter) Destinations(rel string, t data.Tuple, dst []int) []int {
-	isLeft := rel == "L"
-	kp := r.rightKey
-	if isLeft {
-		kp = r.leftKey
-	}
-	key := r.keyScratch(len(kp))
-	for i, pos := range kp {
-		key[i] = t[pos]
-	}
-	if hp := r.heavy[data.KeyOf(key)]; hp != nil {
-		return r.gridRoute(isLeft, hp.base, hp.p1, hp.p2, rowHash(t), dst)
-	}
-	if r.cartesian {
-		g1, g2 := r.cartesianGrid()
-		return r.gridRoute(isLeft, 0, g1, g2, rowHash(t), dst)
-	}
-	return append(dst, r.keyHash(key))
-}
-
-// DestinationsAt implements mpc.ColumnRouter: identical routing, reading
-// the key columns (and, on the grid paths, all columns for the row hash)
-// in place.
-func (r *stepRouter) DestinationsAt(rel *data.Relation, row int, dst []int) []int {
-	isLeft := rel.Name == "L"
-	cols := rel.Columns()
-	kp := r.rightKey
-	if isLeft {
-		kp = r.leftKey
-	}
-	key := r.keyScratch(len(kp))
-	for i, pos := range kp {
-		key[i] = cols[pos][row]
-	}
-	if hp := r.heavy[data.KeyOf(key)]; hp != nil {
-		return r.gridRoute(isLeft, hp.base, hp.p1, hp.p2, rowHashCols(cols, row), dst)
-	}
-	if r.cartesian {
-		g1, g2 := r.cartesianGrid()
-		return r.gridRoute(isLeft, 0, g1, g2, rowHashCols(cols, row), dst)
-	}
-	return append(dst, r.keyHash(key))
-}
-
-// cartesianGrid splits p into a g1 × g2 grid for key-less steps.
-func (r *stepRouter) cartesianGrid() (int, int) {
-	g1 := int(math.Max(1, math.Sqrt(float64(r.p))))
-	return g1, r.p / g1
-}
-
-// gridRoute places a left row in one grid row (replicated across columns)
-// and a right row in one grid column (replicated across rows).
-func (r *stepRouter) gridRoute(isLeft bool, base, p1, p2 int, rh int64, dst []int) []int {
-	if isLeft {
-		row := r.family.Hash(dimLeft, rh, p1)
-		for c := 0; c < p2; c++ {
-			dst = append(dst, base+row*p2+c)
-		}
-	} else {
-		col := r.family.Hash(dimRight, rh, p2)
-		for rr := 0; rr < p1; rr++ {
-			dst = append(dst, base+rr*p2+col)
-		}
-	}
-	return dst
-}
-
-// keyHash maps a join key to one of the p light servers.
-func (r *stepRouter) keyHash(key data.Tuple) int {
-	h := 0
-	for i, v := range key {
-		h = h*31 + r.family.Hash(dimKey+i, v, 1<<30)
-	}
-	if h < 0 {
-		h = -h
-	}
-	return h % r.p
-}
-
-// keyPositions maps join variables to their column positions in a schema.
-func keyPositions(schema, joinVars []int) []int {
-	var pos []int
-	for _, jv := range joinVars {
-		for i, v := range schema {
-			if v == jv {
-				pos = append(pos, i)
-			}
-		}
-	}
-	return pos
-}
-
-// rowHash folds a whole tuple into one value for the non-key dimension of
-// a cartesian grid.
-func rowHash(t data.Tuple) int64 {
-	h := int64(1469598103934665603)
-	for _, v := range t {
-		h = h ^ v
-		h *= 1099511628211
-	}
-	return h
-}
-
-// rowHashCols is rowHash over a columnar row.
-func rowHashCols(cols [][]int64, row int) int64 {
-	h := int64(1469598103934665603)
-	for _, col := range cols {
-		h = h ^ col[row]
-		h *= 1099511628211
-	}
-	return h
 }

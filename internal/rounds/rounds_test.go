@@ -195,3 +195,135 @@ func TestRunSingleAtomQuery(t *testing.T) {
 		t.Errorf("single atom should need 0 rounds, got %d", len(res.Rounds))
 	}
 }
+
+// TestPipelineIntermediatesStayResident is the residency gate: every round
+// after the first consumes its intermediate server-to-server (ResidentTuples
+// accounts it), and no intermediate ever appears in the caller's database.
+func TestPipelineIntermediatesStayResident(t *testing.T) {
+	q := query.Triangle()
+	db := dbFor(q, 300, 50, 5)
+	before := len(db.Relations)
+	for _, skewAware := range []bool{false, true} {
+		res := Run(BuildPlan(q), db, Config{P: 8, Seed: 2, SkewAware: skewAware})
+		if len(res.Rounds) != 2 {
+			t.Fatalf("rounds = %d, want 2", len(res.Rounds))
+		}
+		if res.Rounds[0].ResidentTuples != 0 {
+			t.Errorf("skewAware=%v: round 1 has resident input (%d tuples) — both inputs are base relations",
+				skewAware, res.Rounds[0].ResidentTuples)
+		}
+		if res.Rounds[0].Intermediate > 0 && res.Rounds[1].ResidentTuples != int64(res.Rounds[0].Intermediate) {
+			t.Errorf("skewAware=%v: round 2 shuffled %d resident tuples, want the full intermediate %d",
+				skewAware, res.Rounds[1].ResidentTuples, res.Rounds[0].Intermediate)
+		}
+	}
+	if len(db.Relations) != before {
+		t.Errorf("database gained relations during pipelined execution: %v", db.Names())
+	}
+	for _, name := range []string{"tmp1", "result"} {
+		if db.Get(name) != nil {
+			t.Errorf("intermediate %q round-tripped through the database", name)
+		}
+	}
+}
+
+// TestPipelinePlanReusable: a lowered plan executes repeatedly (and is what
+// the engine caches), producing identical answers each time.
+func TestPipelinePlanReusable(t *testing.T) {
+	q := query.Triangle()
+	db := dbFor(q, 250, 40, 9)
+	pp := PlanPipeline(q, db, Config{P: 8, Seed: 4, SkewAware: true})
+	want := join.Join(q, join.FromDatabase(db))
+	for i := 0; i < 3; i++ {
+		res := pp.Execute(db)
+		if !join.EqualTupleSets(res.Output, want) {
+			t.Fatalf("execution %d: %d vs %d tuples", i, len(res.Output), len(want))
+		}
+	}
+}
+
+// TestPredictedSumMaxBits: the cost prediction is positive and within a
+// reasonable factor of the realized SumMaxBits on a skew-free instance.
+func TestPredictedSumMaxBits(t *testing.T) {
+	q := query.Triangle()
+	db := data.NewDatabase()
+	for j, a := range q.Atoms {
+		db.Put(workload.Matching(a.Name, 2, 4096, 1<<20, int64(j+1)))
+	}
+	pp := PlanPipeline(q, db, Config{P: 64, Seed: 1, SkewAware: true})
+	if pp.PredictedSumMaxBits <= 0 {
+		t.Fatal("no cost prediction")
+	}
+	res := pp.Execute(db)
+	ratio := pp.PredictedSumMaxBits / float64(res.SumMaxBits)
+	if ratio < 0.1 || ratio > 10 {
+		t.Errorf("prediction %f vs realized %d (ratio %f) implausible",
+			pp.PredictedSumMaxBits, res.SumMaxBits, ratio)
+	}
+}
+
+// TestSingleAtomColumnarFastPath: the zero-step plan permutes columns into
+// head order without any communication round.
+func TestSingleAtomColumnarFastPath(t *testing.T) {
+	q := query.MustParse("q(a,b,c) = R(c,a,b)")
+	db := data.NewDatabase()
+	r := data.NewRelation("R", 3, 100)
+	r.Add(3, 1, 2) // R(c=3,a=1,b=2) → head (1,2,3)
+	r.Add(6, 4, 5)
+	db.Put(r)
+	res := Run(BuildPlan(q), db, Config{P: 4, Seed: 1})
+	if len(res.Output) != 2 || len(res.Rounds) != 0 {
+		t.Fatalf("output = %v, rounds = %d", res.Output, len(res.Rounds))
+	}
+	want := map[data.Key]bool{
+		data.KeyOf(data.Tuple{1, 2, 3}): true,
+		data.KeyOf(data.Tuple{4, 5, 6}): true,
+	}
+	for _, tu := range res.Output {
+		if !want[data.KeyOf(tu)] {
+			t.Errorf("unexpected head-order tuple %v", tu)
+		}
+	}
+}
+
+// TestSkewAwareNoGridBloatOnSparseIntermediates: when an intermediate's
+// size estimate collapses (matchings barely overlap), frequency-1 keys
+// must not be classified heavy — the virtual layout stays at p servers.
+func TestSkewAwareNoGridBloatOnSparseIntermediates(t *testing.T) {
+	q := query.Triangle()
+	db := data.NewDatabase()
+	for j, a := range q.Atoms {
+		db.Put(workload.Matching(a.Name, 2, 2000, 1<<20, int64(j+1)))
+	}
+	pp := PlanPipeline(q, db, Config{P: 64, Seed: 1, SkewAware: true})
+	for i, st := range pp.Pipe.Stages {
+		if st.Plan.Virtual != 64 {
+			t.Errorf("stage %d allocated %d virtual servers on skew-free matchings, want 64",
+				i, st.Plan.Virtual)
+		}
+	}
+	// A provably-empty chain (disjoint join columns) must not bloat either.
+	chain := query.MustParse("q(x,y,z,w) = A(x,y), B(y,z), C(z,w)")
+	cdb := data.NewDatabase()
+	a := data.NewRelation("A", 2, 1000)
+	b := data.NewRelation("B", 2, 1000)
+	c := data.NewRelation("C", 2, 1000)
+	for i := int64(0); i < 100; i++ {
+		a.Add(i, i)     // y in [0,100)
+		b.Add(500+i, i) // y in [500,600): disjoint from A's
+		c.Add(i, 900-i)
+	}
+	cdb.Put(a)
+	cdb.Put(b)
+	cdb.Put(c)
+	cpp := PlanPipeline(chain, cdb, Config{P: 16, Seed: 2, SkewAware: true})
+	for i, st := range cpp.Pipe.Stages {
+		if st.Plan.Virtual != 16 {
+			t.Errorf("chain stage %d allocated %d virtual servers, want 16", i, st.Plan.Virtual)
+		}
+	}
+	res := cpp.Execute(cdb)
+	if len(res.Output) != 0 {
+		t.Errorf("disjoint chain produced %d tuples", len(res.Output))
+	}
+}

@@ -205,7 +205,15 @@ func (gs *generalState) plan(cfg GeneralConfig) *GeneralPlan {
 // Execute runs the plan on the unified executor and assembles the
 // bin-combination result, including the per-combination load breakdown.
 func (gp *GeneralPlan) Execute(db *data.Database) GeneralResult {
-	er := exec.Run(gp.Phys, db, exec.Config{SkipCompute: gp.skipJoin})
+	return gp.ExecuteWith(db, exec.Config{})
+}
+
+// ExecuteWith is Execute with caller-supplied executor configuration (the
+// engine passes a pooled exec.Scratch for allocation-free load accounting
+// on cached-plan re-executions).
+func (gp *GeneralPlan) ExecuteWith(db *data.Database, ec exec.Config) GeneralResult {
+	ec.SkipCompute = ec.SkipCompute || gp.skipJoin
+	er := exec.Run(gp.Phys, db, ec)
 	res := GeneralResult{
 		Output:          er.Output,
 		MaxVirtualBits:  er.MaxVirtualBits,

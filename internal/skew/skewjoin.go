@@ -411,7 +411,15 @@ func (jp *JoinPlan) classOf(id int) hitterClass {
 // Execute runs the plan on the unified executor and assembles the
 // skew-join result, including the per-class load breakdown.
 func (jp *JoinPlan) Execute(db *data.Database) JoinResult {
-	er := exec.Run(jp.Phys, db, exec.Config{SkipCompute: jp.skipJoin})
+	return jp.ExecuteWith(db, exec.Config{})
+}
+
+// ExecuteWith is Execute with caller-supplied executor configuration (the
+// engine passes a pooled exec.Scratch for allocation-free load accounting
+// on cached-plan re-executions).
+func (jp *JoinPlan) ExecuteWith(db *data.Database, ec exec.Config) JoinResult {
+	ec.SkipCompute = ec.SkipCompute || jp.skipJoin
+	er := exec.Run(jp.Phys, db, ec)
 	res := JoinResult{
 		Output:          er.Output,
 		MaxVirtualBits:  er.MaxVirtualBits,

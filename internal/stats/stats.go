@@ -59,20 +59,30 @@ func (f *FreqMap) Count(projected data.Tuple) int64 {
 func Frequencies(r *data.Relation, attrs []int) *FreqMap {
 	sorted := append([]int(nil), attrs...)
 	sort.Ints(sorted)
-	f := &FreqMap{Attrs: sorted, Counts: make(map[data.Key]int64)}
+	return FrequenciesOrdered(r, sorted)
+}
+
+// FrequenciesOrdered is Frequencies without the canonical attribute
+// sorting: map keys project attrs in exactly the caller's order. Callers
+// whose map keys must line up with a router's projection order — the
+// multi-round planner probes per-step heavy maps with keys built in
+// join-variable order — use this; everyone else should prefer Frequencies
+// for canonical Attrs.
+func FrequenciesOrdered(r *data.Relation, attrs []int) *FreqMap {
+	f := &FreqMap{Attrs: append([]int(nil), attrs...), Counts: make(map[data.Key]int64)}
 	m := r.Size()
 	f.Total = int64(m)
-	if len(sorted) == 1 {
-		for _, v := range r.Column(sorted[0]) {
+	if len(attrs) == 1 {
+		for _, v := range r.Column(attrs[0]) {
 			f.Counts[data.Key1(v)]++
 		}
 		return f
 	}
-	cols := make([][]int64, len(sorted))
-	for i, a := range sorted {
+	cols := make([][]int64, len(attrs))
+	for i, a := range attrs {
 		cols[i] = r.Column(a)
 	}
-	proj := make(data.Tuple, len(sorted))
+	proj := make(data.Tuple, len(attrs))
 	for row := 0; row < m; row++ {
 		for i, col := range cols {
 			proj[i] = col[row]

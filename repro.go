@@ -36,6 +36,10 @@ type (
 	// PhysicalPlan is the unified executable form every strategy planner
 	// lowers to; exec.Run is the single executor they share.
 	PhysicalPlan = exec.PhysicalPlan
+	// Pipeline is the multi-round executable form: an ordered sequence of
+	// executor stages sharing one persistent cluster, with intermediates
+	// resident on the servers between rounds; exec.RunPipeline executes it.
+	Pipeline = exec.Pipeline
 	// Plan describes the algorithm the engine chose and its bound.
 	Plan = core.Plan
 	// Result is an executed plan with answers and realized loads.
@@ -69,6 +73,10 @@ const (
 	StrategyHyperCube      = core.HyperCube
 	StrategySkewJoin       = core.SkewJoin
 	StrategyBinCombination = core.BinCombination
+	// StrategyMultiRound is the one-join-per-round pipeline; the engine
+	// only chooses it on its own when Engine.ConsiderMultiRound is set and
+	// its predicted SumMaxBits undercuts the one-round strategies.
+	StrategyMultiRound = core.MultiRound
 )
 
 // ParseQuery parses "q(x,y,z) = S1(x,z), S2(y,z)" (":-" also accepted).
@@ -151,20 +159,31 @@ func VanillaJoin(db *Database, p int, seed uint64) ([]Tuple, int64) {
 }
 
 // Multi-round evaluation (the traditional one-join-per-round strategy the
-// paper's introduction contrasts with its one-round algorithms).
+// paper's introduction contrasts with its one-round algorithms). Plans are
+// lowered to a Pipeline of executor stages and run on one persistent
+// simulated cluster with intermediates resident on the servers.
 type (
 	// MultiRoundPlan is a left-deep sequence of binary join rounds.
 	MultiRoundPlan = rounds.Plan
-	// MultiRoundConfig configures multi-round execution.
+	// MultiRoundConfig configures multi-round planning and execution.
 	MultiRoundConfig = rounds.Config
 	// MultiRoundResult reports per-round and aggregate loads.
 	MultiRoundResult = rounds.Result
+	// MultiRoundPipelinePlan is a lowered, reusable multi-round plan with
+	// its cost prediction (what the engine caches and cost-compares).
+	MultiRoundPipelinePlan = rounds.PipelinePlan
 )
 
 // BuildMultiRoundPlan constructs a greedy left-deep plan for q.
 func BuildMultiRoundPlan(q *Query) MultiRoundPlan { return rounds.BuildPlan(q) }
 
-// RunMultiRound executes a multi-round plan on the simulator.
+// PlanMultiRound lowers the left-deep plan for q over db's statistics into
+// a reusable pipeline plan.
+func PlanMultiRound(q *Query, db *Database, cfg MultiRoundConfig) *MultiRoundPipelinePlan {
+	return rounds.PlanPipeline(q, db, cfg)
+}
+
+// RunMultiRound lowers and executes a multi-round plan on the simulator.
 func RunMultiRound(plan MultiRoundPlan, db *Database, cfg MultiRoundConfig) MultiRoundResult {
 	return rounds.Run(plan, db, cfg)
 }

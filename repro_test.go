@@ -93,3 +93,36 @@ func TestFacadeGenerators(t *testing.T) {
 		t.Error("DatabaseForQuery")
 	}
 }
+
+func TestFacadeMultiRoundPipeline(t *testing.T) {
+	q := TriangleQuery()
+	db := NewDatabase()
+	db.Put(MatchingRelation("S1", 2, 400, 100000, 1))
+	db.Put(MatchingRelation("S2", 2, 400, 100000, 2))
+	db.Put(MatchingRelation("S3", 2, 400, 100000, 3))
+
+	// Direct lowering + execution through the facade.
+	pp := PlanMultiRound(q, db, MultiRoundConfig{P: 8, Seed: 3, SkewAware: true})
+	if pp.PredictedSumMaxBits <= 0 {
+		t.Error("pipeline plan has no cost prediction")
+	}
+	res := pp.Execute(db)
+	if len(res.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(res.Rounds))
+	}
+
+	// Same answers as the legacy Run entry point and the engine's forced
+	// multi-round strategy.
+	legacy := RunMultiRound(BuildMultiRoundPlan(q), db, MultiRoundConfig{P: 8, Seed: 3})
+	if len(legacy.Output) != len(res.Output) {
+		t.Errorf("pipeline %d tuples vs legacy %d", len(res.Output), len(legacy.Output))
+	}
+	force := StrategyMultiRound
+	e := NewEngine(8, 3)
+	e.ForceStrategy = &force
+	er := e.Execute(q, db)
+	if er.Plan.Strategy != StrategyMultiRound || len(er.Output) != len(res.Output) {
+		t.Errorf("engine multi-round: strategy %v, %d tuples vs %d",
+			er.Plan.Strategy, len(er.Output), len(res.Output))
+	}
+}
