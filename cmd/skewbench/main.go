@@ -8,6 +8,7 @@
 //	skewbench [-scale quick|full] [-exp E1,E5,A2] [-markdown out.md]
 //	skewbench -routingbench BENCH_routing.json
 //	skewbench -roundsbench BENCH_rounds.json
+//	skewbench -commbench BENCH_comm.json
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 	mdFlag := flag.String("markdown", "", "also write results as markdown to this file")
 	routingFlag := flag.String("routingbench", "", "measure the routing baseline on the zipf join instance, write JSON here, and exit")
 	roundsFlag := flag.String("roundsbench", "", "measure the multi-round pipeline baseline (resident shuffle + end-to-end), write JSON here, and exit")
+	commFlag := flag.String("commbench", "", "measure the communication engine baseline (sharded vs channel), write JSON here, and exit")
 	flag.Parse()
 
 	if *routingFlag != "" {
@@ -38,6 +40,13 @@ func main() {
 	if *roundsFlag != "" {
 		if err := runRoundsBench(*roundsFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "skewbench: rounds bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *commFlag != "" {
+		if err := runCommBench(*commFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "skewbench: comm bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

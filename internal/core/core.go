@@ -102,6 +102,10 @@ type Engine struct {
 	// repeated executions of cached plans don't allocate load-accounting
 	// slices.
 	scratchPool sync.Pool
+	// clusters recycles mpc clusters across Execute calls (size-bucketed):
+	// cached-plan serving draws a warm cluster — servers and Received maps
+	// retained — instead of reallocating Θ(Virtual) of both per execution.
+	clusters exec.ClusterPool
 }
 
 // cacheEntry is one LRU node: the key (so eviction can unmap it) plus the
@@ -230,7 +234,7 @@ func (e *Engine) Execute(q *query.Query, db *data.Database) Result {
 	if sc == nil {
 		sc = new(exec.Scratch)
 	}
-	ec := exec.Config{Scratch: sc}
+	ec := exec.Config{Scratch: sc, Clusters: &e.clusters}
 	switch {
 	case cp.hc != nil:
 		hc := cp.hc.ExecuteWith(db, ec)
@@ -249,7 +253,7 @@ func (e *Engine) Execute(q *query.Query, db *data.Database) Result {
 		res.MaxLoadBits = g.MaxVirtualBits
 		res.PredictedBits = g.PredictedBits
 	case cp.mr != nil:
-		r := cp.mr.Execute(db)
+		r := cp.mr.ExecuteWith(db, ec)
 		res.Output = r.Output
 		// The multi-round analogue of the one-round max load is the summed
 		// per-round maxima: the most bits one server could have received
@@ -259,6 +263,12 @@ func (e *Engine) Execute(q *query.Query, db *data.Database) Result {
 			res.TotalBits += rl.TotalBits
 		}
 		res.PredictedBits = cp.mr.PredictedSumMaxBits
+	}
+	// Result.Output escapes to the caller: the scratch must release the
+	// buffer it aliases, or the next Execute reusing this scratch would
+	// overwrite answers the caller already holds.
+	if res.Output != nil {
+		sc.DetachOutput()
 	}
 	e.scratchPool.Put(sc)
 	return res

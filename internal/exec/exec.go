@@ -55,19 +55,32 @@ type Config struct {
 	// join outputs.
 	SkipCompute bool
 	// Scratch, when non-nil, supplies reusable buffers for Run's load
-	// accounting, so repeated executions of a cached plan stop allocating
-	// per-server slices every run. Result.PerServerBits then aliases the
-	// scratch buffer: it is valid until the next Run with the same Scratch.
+	// accounting and output concatenation, so repeated executions of a
+	// cached plan stop allocating per-server slices every run.
+	// Result.PerServerBits and Result.Output then alias the scratch
+	// buffers: they are valid until the next Run with the same Scratch
+	// (or until the owner calls DetachOutput to let an Output escape).
 	Scratch *Scratch
+	// Clusters, when non-nil, overrides the pool Run and RunPipeline draw
+	// their mpc.Cluster from; nil uses a process-wide shared pool. Engines
+	// own a pool per instance so cached-plan serving reuses warm clusters.
+	Clusters *ClusterPool
 }
 
-// Scratch holds Run's reusable load-accounting buffers. A Scratch may be
-// reused across any number of Run calls (plans of different sizes included)
-// but must not be shared by concurrent runs.
+// Scratch holds Run's reusable load-accounting and output buffers. A
+// Scratch may be reused across any number of Run calls (plans of different
+// sizes included) but must not be shared by concurrent runs.
 type Scratch struct {
 	perServer []int64
 	physical  []int64
+	output    []data.Tuple
 }
+
+// DetachOutput relinquishes the pooled output buffer: the owner is about
+// to hand a Result.Output aliasing it to code that outlives this Scratch's
+// next reuse, so the next Run must allocate a fresh one instead of
+// overwriting the escaped slice.
+func (s *Scratch) DetachOutput() { s.output = nil }
 
 // grow returns buf resized to n with every element zeroed, reusing the
 // backing array when capacity allows.
@@ -101,10 +114,10 @@ type Result struct {
 	PerServerBits []int64
 }
 
-// Run executes plan over db: it builds the cluster, runs the one
-// communication round, performs the local computation, and accounts loads.
-// Routing errors are internal bugs (planners validate their layouts), so
-// Run panics on them.
+// Run executes plan over db: it draws a pooled cluster sized to the plan,
+// runs the one communication round, performs the local computation,
+// accounts loads, and parks the cluster for reuse. Routing errors are
+// internal bugs (planners validate their layouts), so Run panics on them.
 func Run(plan *PhysicalPlan, db *data.Database, cfg Config) Result {
 	if plan.Virtual < 1 {
 		panic(fmt.Sprintf("exec: %s plan has %d virtual servers", plan.Strategy, plan.Virtual))
@@ -112,14 +125,27 @@ func Run(plan *PhysicalPlan, db *data.Database, cfg Config) Result {
 	if plan.Physical < 1 {
 		panic(fmt.Sprintf("exec: %s plan has %d physical servers", plan.Strategy, plan.Physical))
 	}
-	cluster := mpc.NewCluster(plan.Virtual)
+	pool := cfg.Clusters
+	if pool == nil {
+		pool = &sharedClusters
+	}
+	cluster := pool.Get(plan.Virtual)
 	if err := cluster.Round(db, plan.Router); err != nil {
 		panic(fmt.Sprintf("exec: %s routing failed: %v", plan.Strategy, err))
 	}
 	var res Result
 	if plan.Local != nil && !cfg.SkipCompute {
-		res.Output = cluster.Compute(plan.Local)
+		var buf []data.Tuple
+		if cfg.Scratch != nil {
+			buf = cfg.Scratch.output
+		}
+		res.Output = cluster.ComputeAppend(buf, plan.Local)
+		if cfg.Scratch != nil {
+			cfg.Scratch.output = res.Output
+		}
 		if plan.Dedup {
+			// Dedup compacts in place, so the deduped view still reuses
+			// (and is still owned by) the scratch output buffer.
 			res.Output = join.Dedup(res.Output)
 		}
 	}
@@ -144,5 +170,8 @@ func Run(plan *PhysicalPlan, db *data.Database, cfg Config) Result {
 			res.MaxPhysicalBits = b
 		}
 	}
+	// Everything the result needs has been copied or computed; the
+	// cluster can serve the next run.
+	pool.Put(cluster)
 	return res
 }

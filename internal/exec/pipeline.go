@@ -90,8 +90,10 @@ type PipelineResult struct {
 // last stage's output is gathered. cfg.SkipCompute skips the final stage's
 // local join only (intermediate stages must run to feed later rounds) —
 // loads are accounted either way; cfg.Scratch is unused (the pipeline's
-// accounting is internal). Routing errors are internal bugs (planners
-// validate their layouts), so RunPipeline panics on them.
+// accounting is internal) but cfg.Clusters supplies the cluster pool the
+// persistent cluster is drawn from and returned to. Routing errors are
+// internal bugs (planners validate their layouts), so RunPipeline panics
+// on them.
 func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) PipelineResult {
 	if len(pl.Stages) == 0 {
 		panic(fmt.Sprintf("exec: %s pipeline has no stages", pl.Strategy))
@@ -116,7 +118,11 @@ func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) PipelineResult {
 		}
 	}
 
-	cluster := mpc.NewCluster(maxVirtual)
+	pool := cfg.Clusters
+	if pool == nil {
+		pool = &sharedClusters
+	}
+	cluster := pool.Get(maxVirtual)
 	prev := make([]int64, maxVirtual)
 	var res PipelineResult
 	for i := range pl.Stages {
@@ -176,5 +182,7 @@ func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) PipelineResult {
 		}
 	}
 	res.Output = out
+	// The gather copied every fragment; the cluster can serve the next run.
+	pool.Put(cluster)
 	return res
 }

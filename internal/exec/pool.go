@@ -1,0 +1,70 @@
+package exec
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/mpc"
+)
+
+// ClusterPool recycles mpc.Clusters across executions. Building a cluster
+// costs Θ(Virtual) server and map allocations; an engine serving repeated
+// traffic off its plan cache pays that on every Execute unless clusters
+// are reused. The pool buckets clusters by virtual-server count rounded up
+// to a power of two, so a Get for any size in a bucket can reuse any
+// cluster parked there (mpc.Cluster.Resize re-targets it and resets its
+// state, retaining servers and map storage).
+//
+// The zero value is ready to use. Clusters obtained from Get are owned
+// exclusively until Put; the pool itself is safe for concurrent use.
+type ClusterPool struct {
+	buckets [64]sync.Pool
+}
+
+// clusterBucket returns the bucket index for n servers: the smallest b
+// with 1<<b >= n.
+func clusterBucket(n int) int {
+	return bits.Len(uint(n - 1))
+}
+
+// clusterPrealloc is the largest bucket Get fully preallocates; beyond it
+// (over a million virtual servers) clusters are sized exactly to avoid
+// absurd rounding overhead.
+const clusterPrealloc = 20
+
+// Get returns a cluster resized to exactly virtual servers with all
+// fragments and loads cleared — recycled when the bucket has one, freshly
+// built otherwise.
+func (cp *ClusterPool) Get(virtual int) *mpc.Cluster {
+	if virtual < 1 {
+		panic(fmt.Sprintf("exec: cluster size %d", virtual))
+	}
+	b := clusterBucket(virtual)
+	if c, _ := cp.buckets[b].Get().(*mpc.Cluster); c != nil {
+		return c.Resize(virtual)
+	}
+	capacity := virtual
+	if b <= clusterPrealloc {
+		// Build the bucket's full capacity up front so this cluster can
+		// serve any size in its bucket without regrowing.
+		capacity = 1 << b
+	}
+	return mpc.NewCluster(capacity).Resize(virtual)
+}
+
+// Put parks a cluster for reuse. The caller must not touch it afterwards.
+func (cp *ClusterPool) Put(c *mpc.Cluster) {
+	if c == nil {
+		return
+	}
+	// Release fragments before parking: a pooled cluster must not pin the
+	// run's delivered data (which can dwarf the cluster itself) until the
+	// next Get happens to clear it.
+	c.Reset()
+	cp.buckets[clusterBucket(c.Capacity())].Put(c)
+}
+
+// sharedClusters serves every Run/RunPipeline without an explicit
+// Config.Clusters pool.
+var sharedClusters ClusterPool

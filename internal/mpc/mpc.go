@@ -1,9 +1,15 @@
 // Package mpc simulates the Massively Parallel Communication model of
 // Beame–Koutris–Suciu: p servers connected by private channels, computing
 // in rounds of local computation interleaved with global communication.
-// Servers are goroutines; "private channels" are Go channels; the load of a
-// server is the number of bits it receives during the communication phase,
-// exactly as the model defines it.
+// The load of a server is the number of bits it receives during the
+// communication phase, exactly as the model defines it.
+//
+// The model charges only for bits received, so the simulator keeps its own
+// costs out of the way: the communication phase runs on a sharded
+// zero-channel delivery engine (see comm.go) whose goroutine count is
+// O(GOMAXPROCS) regardless of the virtual-server count, and clusters are
+// reusable (Resize) so executors can pool them instead of reallocating
+// Θ(p) servers per run.
 //
 // The one-round restriction is enforced structurally: a Router decides the
 // destinations of a tuple from the tuple alone plus global statistics fixed
@@ -12,7 +18,9 @@ package mpc
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/data"
 )
@@ -39,8 +47,9 @@ func (f RouterFunc) Destinations(rel string, t data.Tuple, dst []int) []int {
 // the relation's column strides directly, so the communication phase never
 // materializes a row view. Semantics are otherwise identical to
 // Destinations(rel.Name, rel.Tuple(row), dst) — the two entry points must
-// route every tuple to the same servers in the same order. Round prefers
-// this path; Routers without it are driven through a gathered scratch row.
+// route every tuple to the same servers in the same order. The delivery
+// engine prefers this path; Routers without it are driven through a
+// gathered scratch row.
 type ColumnRouter interface {
 	Router
 	DestinationsAt(rel *data.Relation, row int, dst []int) []int
@@ -48,7 +57,7 @@ type ColumnRouter interface {
 
 // PerSenderRouter is an optional Router extension for allocation-free
 // routing: a router that keeps reusable per-tuple scratch implements
-// ForSender, and Round hands each sender goroutine its own instance so
+// ForSender, and the delivery engine hands each worker its own instance so
 // Destinations never allocates and never races. Routers without mutable
 // scratch simply don't implement it.
 type PerSenderRouter interface {
@@ -58,7 +67,7 @@ type PerSenderRouter interface {
 	ForSender() Router
 }
 
-// forSender resolves the router instance a sender goroutine should use.
+// forSender resolves the router instance a worker goroutine should use.
 func forSender(r Router) Router {
 	if ps, ok := r.(PerSenderRouter); ok {
 		return ps.ForSender()
@@ -79,55 +88,94 @@ type Server struct {
 // empty but never nil after a round that routed that relation).
 func (s *Server) Fragment(name string) *data.Relation { return s.Received[name] }
 
-// Cluster is a set of p MPC servers.
+// CommEngine selects the communication-phase implementation.
+type CommEngine int
+
+const (
+	// ShardedComm is the default zero-channel engine: a bounded worker
+	// pool routes send parts into dense per-destination slab tables and
+	// publishes full slabs to per-receiver mailboxes, which a second
+	// bounded pass drains (see comm.go).
+	ShardedComm CommEngine = iota
+	// ChannelComm is the legacy engine — one goroutine per send part, one
+	// receiver goroutine and buffered channel per server — kept as a
+	// reference implementation for differential tests and the commbench
+	// baseline (see channels.go).
+	ChannelComm
+)
+
+// Cluster is a set of p MPC servers. A cluster is reusable: Resize
+// re-targets it to a different server count while retaining every server
+// (and its map storage) created under earlier sizes, which is what lets
+// executors pool clusters across runs instead of reallocating them.
 type Cluster struct {
 	P       int
 	Servers []*Server
-	// Senders is the number of concurrent input partitions (goroutines)
-	// used during routing; defaults to a small multiple of CPUs via
-	// DefaultSenders when zero.
+	// Senders is the number of input partitions each routed relation is
+	// split into (the "input servers" of the model holding uniform
+	// partitions); defaults to DefaultSenders when zero. It controls work
+	// granularity only — the goroutine count is bounded by GOMAXPROCS —
+	// and never affects where tuples are delivered.
 	Senders int
+	// Comm selects the communication engine; the zero value is the
+	// sharded zero-channel engine.
+	Comm CommEngine
+
+	// pool holds every server ever created for this cluster; Servers is
+	// pool[:P]. Servers keep their identity (and Received map buckets)
+	// across Resize/Reset so pooled clusters stop allocating at steady
+	// state.
+	pool []*Server
+	// comm is the sharded engine's reusable scratch (mailboxes, worker
+	// destination tables, slab free lists).
+	comm commState
 }
 
-// DefaultSenders is the routing fan-in used when Cluster.Senders is zero.
+// DefaultSenders is the per-relation partition count used when
+// Cluster.Senders is zero.
 const DefaultSenders = 8
 
 // NewCluster returns a cluster of p idle servers.
 func NewCluster(p int) *Cluster {
-	if p < 1 {
-		panic(fmt.Sprintf("mpc: p = %d", p))
-	}
-	c := &Cluster{P: p, Servers: make([]*Server, p)}
-	for i := range c.Servers {
-		c.Servers[i] = &Server{ID: i, Received: make(map[string]*data.Relation)}
-	}
+	c := &Cluster{}
+	c.Resize(p)
 	return c
 }
 
-// delivery is one routed tuple batch destined for a single server, shipped
-// as per-column slabs: cols[a] holds attribute a of every batched tuple.
-// Receivers append the slabs column-wise in one copy per attribute instead
-// of re-validating tuples value by value.
-type delivery struct {
-	rel    string
-	arity  int
-	domain int64
-	bits   int64 // bits per tuple
-	cols   [][]int64
-	count  int
+// Resize re-targets the cluster to exactly p servers and resets all
+// fragments and load counters, reusing the servers (and their Received
+// maps' storage) from every earlier size. It returns c for chaining.
+func (c *Cluster) Resize(p int) *Cluster {
+	if p < 1 {
+		panic(fmt.Sprintf("mpc: p = %d", p))
+	}
+	for len(c.pool) < p {
+		c.pool = append(c.pool, &Server{ID: len(c.pool), Received: make(map[string]*data.Relation)})
+	}
+	// Clear the full pool, not just the new view: servers parked beyond p
+	// must not pin fragments from a larger earlier run.
+	for _, s := range c.pool {
+		clear(s.Received)
+		s.BitsIn = 0
+		s.TuplesIn = 0
+	}
+	c.P = p
+	c.Servers = c.pool[:p]
+	return c
 }
 
+// Capacity returns the number of servers the cluster has ever allocated —
+// the largest p Resize can serve without growing.
+func (c *Cluster) Capacity() int { return len(c.pool) }
+
 // Round executes the communication phase: every tuple of every relation in
-// db is routed by router and delivered to its destination servers. The
-// input is split among sender goroutines (the "input servers" holding
-// uniform partitions of each relation), and each MPC server runs a receiver
-// goroutine draining its private channel. Loads accumulate across calls, so
-// a multi-step single-round algorithm (like the skew join's four logical
-// steps) may call Round repeatedly before Compute.
+// db is routed by router and delivered to its destination servers. Loads
+// accumulate across calls, so a multi-step single-round algorithm (like the
+// skew join's four logical steps) may call Round repeatedly before Compute.
 //
 // Round returns an error if the router emits a destination outside
 // [0, P); tuples with bad destinations are dropped and the first error is
-// reported after all goroutines drain.
+// reported after the phase drains.
 func (c *Cluster) Round(db *data.Database, router Router) error {
 	rels := make([]*data.Relation, 0, len(db.Relations))
 	for _, name := range db.Names() {
@@ -152,16 +200,17 @@ func (c *Cluster) RoundRelations(router Router, rels ...*data.Relation) error {
 		if chunk == 0 {
 			chunk = 1
 		}
-		for lo := 0; lo < m; lo += chunk {
-			hi := lo + chunk
-			if hi > m {
-				hi = m
-			}
-			parts = append(parts, sendPart{rel: rel, lo: lo, hi: hi})
-		}
+		parts = appendChunkedParts(parts, rel, chunk)
 	}
 	return c.communicate(parts, router)
 }
+
+// residentChunkTuples caps the rows one send part carries out of a resident
+// fragment. A skewed intermediate concentrated on one hot server used to
+// enter the next round as a single part routed by a single worker,
+// serializing the round; chunking splits it so the whole worker pool routes
+// it in parallel.
+const residentChunkTuples = 1024
 
 // ShuffleResident executes a communication phase whose senders are the
 // cluster's own servers: each server routes its resident fragment of every
@@ -170,7 +219,8 @@ func (c *Cluster) RoundRelations(router Router, rels ...*data.Relation) error {
 // pipeline moves an intermediate result into the next round's layout
 // without concatenating it at the coordinator and re-ingesting it as a
 // fresh database. Loads accumulate exactly as in Round (received bits are
-// the model's load, whatever server sent them).
+// the model's load, whatever server sent them). Fragments larger than the
+// chunking threshold are split into multiple send parts.
 func (c *Cluster) ShuffleResident(router Router, names ...string) error {
 	var parts []sendPart
 	for _, s := range c.Servers {
@@ -183,213 +233,119 @@ func (c *Cluster) ShuffleResident(router Router, names ...string) error {
 			// concurrently, so the outgoing fragment must no longer be
 			// reachable there.
 			delete(s.Received, name)
-			if frag.Size() > 0 {
-				parts = append(parts, sendPart{rel: frag, lo: 0, hi: frag.Size()})
-			}
+			parts = appendChunkedParts(parts, frag, residentChunkTuples)
 		}
 	}
 	return c.communicate(parts, router)
 }
 
-// sendPart is one sender goroutine's share of the communication phase: rows
-// [lo, hi) of one relation (an input-server partition in Round, a resident
-// server fragment in ShuffleResident).
+// sendPart is one unit of routing work: rows [lo, hi) of one relation (an
+// input-server partition in Round, a resident server fragment — or a chunk
+// of one — in ShuffleResident).
 type sendPart struct {
 	rel    *data.Relation
 	lo, hi int
 }
 
-// communicate runs the shared delivery machinery: one sender goroutine per
-// part routing its rows, one receiver goroutine per server draining its
-// private channel, column-slab batching in between.
+// appendChunkedParts appends rel split into send parts of at most chunk
+// rows each; empty relations contribute nothing.
+func appendChunkedParts(parts []sendPart, rel *data.Relation, chunk int) []sendPart {
+	if chunk < 1 {
+		chunk = 1
+	}
+	m := rel.Size()
+	for lo := 0; lo < m; lo += chunk {
+		hi := min(lo+chunk, m)
+		parts = append(parts, sendPart{rel: rel, lo: lo, hi: hi})
+	}
+	return parts
+}
+
+// communicate dispatches the communication phase to the selected engine.
 func (c *Cluster) communicate(parts []sendPart, router Router) error {
-	var errOnce sync.Once
-	var routeErr error
-	report := func(err error) {
-		errOnce.Do(func() { routeErr = err })
+	if len(parts) == 0 {
+		return nil
 	}
-	inboxes := make([]chan delivery, c.P)
-	for i := range inboxes {
-		// Small buffers keep memory proportional to the virtual-server
-		// count manageable (the §4.2 algorithm spawns Θ(p) servers per bin
-		// combination).
-		inboxes[i] = make(chan delivery, 8)
+	if c.Comm == ChannelComm {
+		return c.communicateChannels(parts, router)
 	}
+	return c.communicateSharded(parts, router)
+}
 
-	var recvWG sync.WaitGroup
-	recvWG.Add(c.P)
-	for i := 0; i < c.P; i++ {
-		go func(s *Server, in <-chan delivery) {
-			defer recvWG.Done()
-			for d := range in {
-				frag, ok := s.Received[d.rel]
-				if !ok {
-					frag = data.NewRelation(d.rel, d.arity, d.domain)
-					s.Received[d.rel] = frag
-				}
-				frag.AppendColumns(d.cols, d.count)
-				s.BitsIn += d.bits * int64(d.count)
-				s.TuplesIn += int64(d.count)
-			}
-		}(c.Servers[i], inboxes[i])
+// eachServer runs f(worker, server) over every server from a bounded pool
+// of min(GOMAXPROCS, P) goroutines claiming servers off a shared counter —
+// local computation and delivery must not spawn Θ(Virtual) goroutines the
+// way the channel engine did.
+func (c *Cluster) eachServer(f func(worker int, s *Server)) {
+	workers := min(runtime.GOMAXPROCS(0), c.P)
+	if workers <= 1 {
+		for _, s := range c.Servers {
+			f(0, s)
+		}
+		return
 	}
-
-	const batchTuples = 128
-	var sendWG sync.WaitGroup
-	for _, part := range parts {
-		sendWG.Add(1)
-		go func(rel *data.Relation, lo, hi int) {
-			defer sendWG.Done()
-			// Per-sender router instance (private scratch) and
-			// per-destination batches local to this sender.
-			r := forSender(router)
-			cr, columnar := r.(ColumnRouter)
-			cols := rel.Columns()
-			arity := rel.Arity
-			bufs := make(map[int]*delivery)
-			var dst []int
-			var seen map[int]struct{} // reused; only for wide fan-outs
-			scratch := make(data.Tuple, arity)
-			newSlabs := func() [][]int64 {
-				s := make([][]int64, arity)
-				for a := range s {
-					s[a] = make([]int64, 0, batchTuples)
-				}
-				return s
-			}
-			flush := func(server int) {
-				d := bufs[server]
-				if d == nil || d.count == 0 {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= c.P {
 					return
 				}
-				inboxes[server] <- *d
-				// The receiver now owns d.cols; start fresh slabs at
-				// full capacity so appends never regrow them.
-				d.cols = newSlabs()
-				d.count = 0
+				f(w, c.Servers[i])
 			}
-			for i := lo; i < hi; i++ {
-				if columnar {
-					dst = cr.DestinationsAt(rel, i, dst[:0])
-				} else {
-					dst = r.Destinations(rel.Name, rel.ReadTuple(i, scratch), dst[:0])
-				}
-				dst = dedupDestinations(dst, &seen)
-				for _, server := range dst {
-					if server < 0 || server >= c.P {
-						report(fmt.Errorf("mpc: destination %d out of range [0,%d)", server, c.P))
-						continue
-					}
-					d := bufs[server]
-					if d == nil {
-						d = &delivery{
-							rel: rel.Name, arity: arity, domain: rel.Domain,
-							bits: rel.BitsPerTuple(),
-							cols: newSlabs(),
-						}
-						bufs[server] = d
-					}
-					for a := 0; a < arity; a++ {
-						d.cols[a] = append(d.cols[a], cols[a][i])
-					}
-					d.count++
-					if d.count >= batchTuples {
-						flush(server)
-					}
-				}
-			}
-			for server := range bufs {
-				flush(server)
-			}
-		}(part.rel, part.lo, part.hi)
+		}(w)
 	}
-	sendWG.Wait()
-	for _, in := range inboxes {
-		close(in)
-	}
-	recvWG.Wait()
-	return routeErr
+	wg.Wait()
 }
 
-// dedupDestinations removes duplicate server IDs from dst in place,
-// preserving first-occurrence order (the model delivers duplicates once).
-// Small lists — the common case, routers rarely emit duplicates — use a
-// quadratic scan with zero allocations; wide fan-outs (broadcasts) fall
-// back to a set reused across tuples via *seen.
-func dedupDestinations(dst []int, seen *map[int]struct{}) []int {
-	const scanLimit = 32
-	if len(dst) <= scanLimit {
-		n := 0
-	outer:
-		for _, server := range dst {
-			for _, prev := range dst[:n] {
-				if prev == server {
-					continue outer
-				}
-			}
-			dst[n] = server
-			n++
-		}
-		return dst[:n]
-	}
-	if *seen == nil {
-		*seen = make(map[int]struct{}, len(dst))
-	} else {
-		clear(*seen)
-	}
-	n := 0
-	for _, server := range dst {
-		if _, dup := (*seen)[server]; dup {
-			continue
-		}
-		(*seen)[server] = struct{}{}
-		dst[n] = server
-		n++
-	}
-	return dst[:n]
-}
-
-// ComputeResident runs f on every server concurrently and installs the
-// returned relation as the server's sole resident fragment (under the
-// relation's own name); a nil return leaves the server empty. The round's
-// input fragments are dropped either way — between pipeline stages each
-// server holds exactly its share of the current intermediate, ready to be
-// moved by ShuffleResident. Load counters are untouched: local computation
-// is free in the MPC model.
+// ComputeResident runs f on every server and installs the returned relation
+// as the server's sole resident fragment (under the relation's own name); a
+// nil return leaves the server empty. The round's input fragments are
+// dropped either way — between pipeline stages each server holds exactly
+// its share of the current intermediate, ready to be moved by
+// ShuffleResident. Load counters are untouched: local computation is free
+// in the MPC model.
 func (c *Cluster) ComputeResident(f func(s *Server) *data.Relation) {
-	var wg sync.WaitGroup
-	wg.Add(c.P)
-	for i := range c.Servers {
-		go func(s *Server) {
-			defer wg.Done()
-			out := f(s)
-			s.Received = make(map[string]*data.Relation)
-			if out != nil {
-				s.Received[out.Name] = out
-			}
-		}(c.Servers[i])
-	}
-	wg.Wait()
+	c.eachServer(func(_ int, s *Server) {
+		out := f(s)
+		clear(s.Received)
+		if out != nil {
+			s.Received[out.Name] = out
+		}
+	})
 }
 
-// Compute runs f on every server concurrently (the local-computation phase)
-// and returns the concatenated outputs in server order.
+// Compute runs f on every server (the local-computation phase) and returns
+// the concatenated outputs in server order.
 func (c *Cluster) Compute(f func(s *Server) []data.Tuple) []data.Tuple {
+	return c.ComputeAppend(nil, f)
+}
+
+// ComputeAppend is Compute concatenating into buf: per-server output
+// lengths are summed first so the result is allocated (or buf's capacity
+// reused) exactly once. buf's contents are discarded; the returned slice
+// reuses buf's backing array when it is large enough.
+func (c *Cluster) ComputeAppend(buf []data.Tuple, f func(s *Server) []data.Tuple) []data.Tuple {
 	outs := make([][]data.Tuple, c.P)
-	var wg sync.WaitGroup
-	wg.Add(c.P)
-	for i := range c.Servers {
-		go func(i int) {
-			defer wg.Done()
-			outs[i] = f(c.Servers[i])
-		}(i)
-	}
-	wg.Wait()
-	var all []data.Tuple
+	c.eachServer(func(_ int, s *Server) {
+		outs[s.ID] = f(s)
+	})
+	total := 0
 	for _, o := range outs {
-		all = append(all, o...)
+		total += len(o)
 	}
-	return all
+	if cap(buf) < total {
+		buf = make([]data.Tuple, 0, total)
+	}
+	buf = buf[:0]
+	for _, o := range outs {
+		buf = append(buf, o...)
+	}
+	return buf
 }
 
 // LoadSummary aggregates per-server loads after one or more Round calls.
@@ -430,10 +386,12 @@ func (s LoadSummary) WithReplication(inputBits int64) LoadSummary {
 	return s
 }
 
-// Reset clears all fragments and load counters.
+// Reset clears all fragments and load counters. Received maps are retained
+// (cleared, not reallocated), so a pooled cluster reaches steady state
+// without per-run map churn.
 func (c *Cluster) Reset() {
 	for _, s := range c.Servers {
-		s.Received = make(map[string]*data.Relation)
+		clear(s.Received)
 		s.BitsIn = 0
 		s.TuplesIn = 0
 	}

@@ -212,11 +212,17 @@ func PlanPipeline(q *query.Query, db *data.Database, cfg Config) *PipelinePlan {
 // Execute runs the pipeline over db and shapes the multi-round result,
 // permuting the final stage's columns into head order.
 func (pp *PipelinePlan) Execute(db *data.Database) Result {
+	return pp.ExecuteWith(db, exec.Config{})
+}
+
+// ExecuteWith is Execute with caller-supplied executor configuration (the
+// engine passes its cluster pool so cached pipelines reuse warm clusters).
+func (pp *PipelinePlan) ExecuteWith(db *data.Database, ec exec.Config) Result {
 	q := pp.Logical.Query
 	if len(pp.Logical.Steps) == 0 {
 		return singleAtom(q, db)
 	}
-	pr := exec.RunPipeline(pp.Pipe, db, exec.Config{})
+	pr := exec.RunPipeline(pp.Pipe, db, ec)
 	res := Result{
 		MaxBitsPerRound: pr.MaxBitsPerRound,
 		SumMaxBits:      pr.SumMaxBits,
