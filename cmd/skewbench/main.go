@@ -9,6 +9,7 @@
 //	skewbench -routingbench BENCH_routing.json
 //	skewbench -roundsbench BENCH_rounds.json
 //	skewbench -commbench BENCH_comm.json
+//	skewbench -servebench BENCH_serve.json
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	routingFlag := flag.String("routingbench", "", "measure the routing baseline on the zipf join instance, write JSON here, and exit")
 	roundsFlag := flag.String("roundsbench", "", "measure the multi-round pipeline baseline (resident shuffle + end-to-end), write JSON here, and exit")
 	commFlag := flag.String("commbench", "", "measure the communication engine baseline (sharded vs channel), write JSON here, and exit")
+	serveFlag := flag.String("servebench", "", "measure the Session serving hit path (latency vs database size, incremental vs rescan fingerprints), write JSON here, and exit")
 	flag.Parse()
 
 	if *routingFlag != "" {
@@ -47,6 +49,13 @@ func main() {
 	if *commFlag != "" {
 		if err := runCommBench(*commFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "skewbench: comm bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveFlag != "" {
+		if err := runServeBench(*serveFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "skewbench: serve bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -6,12 +6,23 @@
 //
 // The package is a facade over the internal implementation:
 //
+//   - Session: the serving-grade entry point. Open(Config) validates an
+//     immutable configuration; Exec(ctx, q, db, opts...) evaluates with
+//     per-call functional options (WithStrategy, WithMultiRound,
+//     WithoutCache, WithP), honors context cancellation between
+//     communication rounds, and serves from a plan cache that databases
+//     may mutate under: Database.Apply applies batched tuple deltas while
+//     maintaining fingerprints and per-attribute statistics incrementally,
+//     and Config.ReplanDriftFactor arms adaptive re-planning when realized
+//     loads drift from the statistics a cached plan froze.
 //   - Engine (internal/core): plans and executes a query on p simulated
 //     servers, choosing between plain HyperCube (§3), the specialized skew
 //     join (§4.1), and the general bin-combination algorithm (§4.2) based
 //     on heavy-hitter statistics. Every strategy lowers to a PhysicalPlan
 //     run by the unified executor (internal/exec), and plans are cached
-//     across Execute calls on unchanged inputs.
+//     across Execute calls on unchanged inputs. NewEngine is the
+//     pre-Session API (panics on invalid input, mutable config fields);
+//     Session wraps it for serving.
 //   - Lower bounds (internal/bounds): the matching communication lower
 //     bounds of Theorems 3.5 and 4.7, in bits.
 //   - Packings (internal/packing): exact fractional edge packing polytope
@@ -20,15 +31,22 @@
 //     experiments use (uniform, matching, Zipf, planted heavy hitters,
 //     degree sequences).
 //
-// A minimal session:
+// A minimal serving session:
 //
 //	q := repro.MustParseQuery("C3(x,y,z) = S1(x,y), S2(y,z), S3(z,x)")
 //	db := repro.NewDatabase()
 //	db.Put(repro.UniformRelation("S1", 2, 10000, 1<<20, 1))
 //	db.Put(repro.UniformRelation("S2", 2, 10000, 1<<20, 2))
 //	db.Put(repro.UniformRelation("S3", 2, 10000, 1<<20, 3))
-//	res := repro.NewEngine(64, 0).Execute(q, db)
+//	s, err := repro.Open(repro.Config{P: 64, ReplanDriftFactor: 2})
+//	if err != nil { ... }
+//	res, err := s.Exec(ctx, q, db)
+//	if err != nil { ... }
 //	fmt.Println(len(res.Output), res.MaxLoadBits, res.Plan.Reason)
+//
+//	// Mutate under the live plan cache; statistics and fingerprints
+//	// update in O(delta).
+//	err = db.Apply(repro.NewDelta().Insert("S1", 7, 8).Delete("S2", 1, 2))
 //
 // See DESIGN.md for the planner/executor layering and system inventory;
 // `go test -bench .` regenerates the paper-versus-measured experiment

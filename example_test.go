@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -20,6 +21,67 @@ func Example_quickstart() {
 	// Output:
 	// strategy: hypercube
 	// shares: [1 1 16]
+}
+
+// The serving API: Open validates configuration, Exec takes a context and
+// per-call options, and the plan cache keys on database identity — so
+// Database.Apply deltas keep cached plans hot.
+func ExampleOpen() {
+	db := repro.NewDatabase()
+	db.Put(repro.MatchingRelation("S1", 2, 1000, 1<<20, 1))
+	db.Put(repro.MatchingRelation("S2", 2, 1000, 1<<20, 2))
+
+	s, err := repro.Open(repro.Config{P: 16, Seed: 42, ReplanDriftFactor: 2})
+	if err != nil {
+		panic(err)
+	}
+	q := repro.MustParseQuery("q(x,y,z) = S1(x,z), S2(y,z)")
+	res, err := s.Exec(context.Background(), q, db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("strategy:", res.Plan.Strategy)
+
+	// Mutate the database under the live plan cache: the next Exec still
+	// hits (content is not part of the serving cache key), and adaptive
+	// re-planning only kicks in when realized load drifts past the
+	// configured factor.
+	if err := db.Apply(repro.NewDelta().Insert("S1", 7, 7).Insert("S2", 8, 7)); err != nil {
+		panic(err)
+	}
+	res, err = s.Exec(context.Background(), q, db)
+	if err != nil {
+		panic(err)
+	}
+	st := s.CacheStats()
+	fmt.Println("hits:", st.Hits, "misses:", st.Misses, "replanned:", res.Replanned)
+	// Output:
+	// strategy: hypercube
+	// hits: 1 misses: 1 replanned: false
+}
+
+// Per-call options override the session configuration without mutating
+// shared state: force a strategy, change p, or bypass the plan cache.
+func ExampleSession_Exec_options() {
+	db := repro.NewDatabase()
+	db.Put(repro.MatchingRelation("S1", 2, 500, 1<<20, 1))
+	db.Put(repro.MatchingRelation("S2", 2, 500, 1<<20, 2))
+	s, err := repro.Open(repro.Config{P: 16, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	q := repro.MustParseQuery("q(x,y,z) = S1(x,z), S2(y,z)")
+
+	forced, err := s.Exec(context.Background(), q, db,
+		repro.WithStrategy(repro.StrategySkewJoin), repro.WithP(8), repro.WithoutCache())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("strategy:", forced.Plan.Strategy)
+	fmt.Println("cached plans:", s.CacheStats().Size)
+	// Output:
+	// strategy: skew-join
+	// cached plans: 0
 }
 
 // pk(C3) is the four-vertex set of Example 3.7.

@@ -154,6 +154,33 @@ func TestPlanCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestCacheStatsDoesNotLatchCapacity: reading CacheStats before the first
+// Execute must not freeze the pre-Session PlanCacheCapacity field — the
+// documented window is "set before the first Execute".
+func TestCacheStatsDoesNotLatchCapacity(t *testing.T) {
+	e := NewEngine(8, 1)
+	if cs := e.CacheStats(); cs.Capacity != DefaultPlanCacheCapacity {
+		t.Fatalf("fresh engine Capacity = %d", cs.Capacity)
+	}
+	e.PlanCacheCapacity = 2
+	if cs := e.CacheStats(); cs.Capacity != 2 {
+		t.Fatalf("Capacity = %d after setting the field, want 2 (latched too early)", cs.Capacity)
+	}
+	q := query.Join2()
+	mkdb := func(seed int64) *data.Database {
+		return db2(
+			workload.Matching("S1", 2, 50, 100000, seed),
+			workload.Matching("S2", 2, 50, 100000, seed+50),
+		)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		e.Execute(q, mkdb(seed))
+	}
+	if cs := e.CacheStats(); cs.Evictions != 1 || cs.Size != 2 {
+		t.Fatalf("capacity 2 not honored after early CacheStats: %+v", cs)
+	}
+}
+
 // TestPlanCacheUnboundedNegativeCapacity: a negative capacity disables
 // eviction entirely.
 func TestPlanCacheUnboundedNegativeCapacity(t *testing.T) {

@@ -9,6 +9,7 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 
@@ -62,35 +63,76 @@ func (s Strategy) String() string {
 // fingerprints cannot grow the engine without bound.
 const DefaultPlanCacheCapacity = 64
 
+// Config is the immutable engine configuration: everything the pre-Session
+// API exposed as mutable Engine fields, validated once at construction so
+// a served engine never reads a field another goroutine might be writing.
+type Config struct {
+	// P is the physical server count (≥ 2).
+	P int
+	// Seed pins every hash family the engine derives.
+	Seed uint64
+	// PlanCacheCapacity bounds the number of cached plans; 0 means
+	// DefaultPlanCacheCapacity, negative means unbounded.
+	PlanCacheCapacity int
+	// ConsiderMultiRound adds the multi-round pipeline to plan selection:
+	// when its predicted cost undercuts the chosen one-round strategy's,
+	// the engine plans, caches, and executes the pipeline instead.
+	ConsiderMultiRound bool
+	// DriftFactor enables adaptive re-planning for serving-mode executions
+	// (ExecOptions.Serving): when a run's realized max load exceeds
+	// DriftFactor × the plan's predicted bits and the database content has
+	// changed since the plan was built, the cached entry is marked stale
+	// and the next execution replans against current statistics
+	// (Result.Replanned reports it). 0 disables; values in (0, 1) are
+	// rejected — they would demand realized loads below the prediction.
+	DriftFactor float64
+	// ClusterPoolDepth bounds the engine's cluster pool per size bucket;
+	// 0 means exec.DefaultClusterPoolDepth.
+	ClusterPoolDepth int
+}
+
 // Engine evaluates conjunctive queries in one communication round on p
 // simulated servers.
 //
 // Execute caches physical plans keyed by (query canonical form, database
 // fingerprint, p, forced strategy): repeated calls on unchanged inputs —
 // the heavy repeated-traffic case — skip statistics collection, LP
-// solving, and heavy-hitter planning, paying only a linear fingerprint
-// scan before routing. The cache is a bounded LRU
-// (DefaultPlanCacheCapacity entries unless PlanCacheCapacity overrides
-// it); least-recently-used plans are evicted and counted in CacheStats.
-// Engines are safe for concurrent use.
+// solving, and heavy-hitter planning. The fingerprint itself is maintained
+// incrementally by the relations (data.Relation.ContentSum), so the
+// cache-hit path costs O(relations), not a database rescan. The cache is a
+// bounded LRU (DefaultPlanCacheCapacity entries unless the capacity is
+// overridden); least-recently-used plans are evicted and counted in
+// CacheStats. Engines are safe for concurrent use.
+//
+// The exported fields exist for pre-Session compatibility: they are read
+// at the start of each Execute, so mutating them while other goroutines
+// execute is a data race. New code should build engines with New(Config) —
+// engines so built ignore the mutable fields entirely — and pass per-call
+// overrides through ExecuteContext's ExecOptions (the repro.Session facade
+// does both).
 type Engine struct {
 	P    int
 	Seed uint64
-	// ForceStrategy overrides plan selection when non-nil.
+	// ForceStrategy overrides plan selection when non-nil. Pre-Session
+	// compatibility; prefer ExecOptions.Strategy.
 	ForceStrategy *Strategy
-	// DisablePlanCache replans on every Execute call.
+	// DisablePlanCache replans on every Execute call. Pre-Session
+	// compatibility; prefer ExecOptions.NoCache.
 	DisablePlanCache bool
 	// PlanCacheCapacity bounds the number of cached plans; 0 means
-	// DefaultPlanCacheCapacity, negative means unbounded. Read when an
-	// entry is inserted, so set it before the first Execute.
+	// DefaultPlanCacheCapacity, negative means unbounded. Pre-Session
+	// compatibility: it is latched the first time the engine needs it, so
+	// set it before the first Execute; engines built with New(Config) use
+	// Config.PlanCacheCapacity instead.
 	PlanCacheCapacity int
-	// ConsiderMultiRound adds the multi-round pipeline to plan selection:
-	// when its predicted cost (SumMaxBits — the busiest server's total bits
-	// across rounds) undercuts the chosen one-round strategy's
-	// PredictedBits, the engine plans, caches, and executes the pipeline
-	// instead. Off by default: the repository reproduces a one-round paper,
-	// so trading rounds for load is opt-in.
+	// ConsiderMultiRound adds the multi-round pipeline to plan selection
+	// (see Config.ConsiderMultiRound). Pre-Session compatibility; prefer
+	// Config or ExecOptions.MultiRound.
 	ConsiderMultiRound bool
+
+	// conf is the immutable configuration of engines built with New; nil
+	// for engines built with NewEngine, which read the exported fields.
+	conf *Config
 
 	mu        sync.Mutex
 	cache     map[planKey]*list.Element // key → element whose Value is *cacheEntry
@@ -98,6 +140,10 @@ type Engine struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	replans   uint64
+	// capacity is the latched effective cache bound (see capacityLocked).
+	capacity    int
+	capResolved bool
 	// scratchPool recycles exec.Scratch buffers across Execute calls so
 	// repeated executions of cached plans don't allocate load-accounting
 	// slices.
@@ -109,33 +155,49 @@ type Engine struct {
 }
 
 // cacheEntry is one LRU node: the key (so eviction can unmap it) plus the
-// cached plan bundle.
+// cached plan bundle and its staleness mark (set by drift detection).
 type cacheEntry struct {
-	key planKey
-	cp  *cachedPlan
+	key   planKey
+	cp    *cachedPlan
+	stale bool
 }
 
 // planKey identifies a cached plan: q.String() is a canonical rendering of
-// the query (names, variable order, atom order), fp fingerprints the
-// database content, seed pins the hash family, and forced pins the
-// strategy override in effect.
+// the query (names, variable order, atom order), p/seed pin the layout and
+// hash family, and forced pins the strategy override in effect.
+//
+// Two keying modes coexist. Content mode (serving=false, the pre-Session
+// Execute path) sets fp = stats.Fingerprint(db): any content change is a
+// different key, so a cached plan is provably built from the statistics of
+// the database it runs on. Serving mode (serving=true) sets fp = the
+// database's identity and schema = its schema fingerprint: content deltas
+// (Database.Apply) keep the key — a physical plan routes by column
+// position and stays *correct* for any content, merely load-suboptimal —
+// and drift detection decides when suboptimal has become bad enough to
+// replan. A schema change (relation replaced with a different shape) does
+// change the key, because positional routing would be wrong.
 type planKey struct {
 	query   string
 	fp      uint64
+	schema  uint64
 	p       int
 	seed    uint64
 	forced  Strategy // -1 when no override
-	mrAware bool     // ConsiderMultiRound changes plan selection
+	mrAware bool     // multi-round consideration changes plan selection
+	serving bool
 }
 
 // cachedPlan holds the logical plan plus the strategy-specific physical
-// plan, whichever strategy was chosen.
+// plan, whichever strategy was chosen, and the content fingerprint the
+// statistics were frozen at (drift detection replans only when the content
+// actually moved since).
 type cachedPlan struct {
-	plan Plan
-	hc   *hypercube.Plan
-	sj   *skew.JoinPlan
-	gen  *skew.GeneralPlan
-	mr   *rounds.PipelinePlan
+	plan      Plan
+	plannedFP uint64
+	hc        *hypercube.Plan
+	sj        *skew.JoinPlan
+	gen       *skew.GeneralPlan
+	mr        *rounds.PipelinePlan
 }
 
 // Plan describes the chosen algorithm and the bound analysis for one
@@ -163,14 +225,107 @@ type Result struct {
 	MaxLoadBits   int64 // max virtual-processor load (what the theorems bound)
 	TotalBits     int64
 	PredictedBits float64
+	// Replanned reports that this execution rebuilt a cached plan that
+	// drift detection had marked stale: the statistics the old plan froze
+	// had diverged from realized loads.
+	Replanned bool
 }
 
-// NewEngine returns an engine for p servers.
+// NewEngine returns an engine for p servers in pre-Session compatibility
+// mode: configuration is the exported mutable fields, to be set before the
+// engine is shared. New(Config) is the serving-grade constructor.
 func NewEngine(p int, seed uint64) *Engine {
 	if p < 2 {
 		panic("core: need p >= 2")
 	}
 	return &Engine{P: p, Seed: seed}
+}
+
+// New returns an engine built from an immutable Config, or an error for
+// invalid configuration (rather than the pre-Session constructor's panic).
+// Engines built here never read the exported compatibility fields.
+func New(cfg Config) (*Engine, error) {
+	if cfg.P < 2 {
+		return nil, fmt.Errorf("core: need p >= 2, got %d", cfg.P)
+	}
+	if cfg.DriftFactor != 0 && cfg.DriftFactor < 1 {
+		return nil, fmt.Errorf("core: drift factor %g is below 1: realized loads would always count as drifted", cfg.DriftFactor)
+	}
+	if cfg.ClusterPoolDepth < 0 {
+		return nil, fmt.Errorf("core: negative cluster pool depth %d", cfg.ClusterPoolDepth)
+	}
+	e := &Engine{P: cfg.P, Seed: cfg.Seed, conf: &cfg}
+	e.capacity = effectiveCapacity(cfg.PlanCacheCapacity)
+	e.capResolved = true
+	e.clusters.Depth = cfg.ClusterPoolDepth
+	return e, nil
+}
+
+// ExecOptions are per-call overrides for ExecuteContext. The zero value
+// means "use the engine's configuration".
+type ExecOptions struct {
+	// Strategy forces plan selection when non-nil.
+	Strategy *Strategy
+	// MultiRound overrides the engine's ConsiderMultiRound when non-nil.
+	MultiRound *bool
+	// NoCache bypasses the plan cache for this call (plan and discard).
+	NoCache bool
+	// P overrides the engine's server count when > 0.
+	P int
+	// Serving keys the plan cache by database identity + schema instead of
+	// content, so cached plans survive Database.Apply deltas; pair it with
+	// a DriftFactor so drifted plans get rebuilt. See planKey.
+	Serving bool
+	// DriftFactor overrides the engine's drift threshold when > 0 (only
+	// meaningful with Serving).
+	DriftFactor float64
+}
+
+// settings is the resolved effective configuration of one execution.
+type settings struct {
+	p       int
+	seed    uint64
+	forced  *Strategy
+	mr      bool
+	noCache bool
+	serving bool
+	drift   float64
+}
+
+// settings resolves the engine configuration (immutable Config if present,
+// the pre-Session mutable fields otherwise) plus the per-call overrides.
+func (e *Engine) settings(opts ExecOptions) settings {
+	s := settings{p: e.P, seed: e.Seed}
+	if e.conf != nil {
+		s.mr = e.conf.ConsiderMultiRound
+		s.drift = e.conf.DriftFactor
+	} else {
+		s.forced = e.ForceStrategy
+		s.mr = e.ConsiderMultiRound
+		s.noCache = e.DisablePlanCache
+	}
+	if opts.Strategy != nil {
+		s.forced = opts.Strategy
+	}
+	if opts.MultiRound != nil {
+		s.mr = *opts.MultiRound
+	}
+	if opts.NoCache {
+		s.noCache = true
+	}
+	if opts.P > 0 {
+		s.p = opts.P
+	}
+	s.serving = opts.Serving
+	if opts.DriftFactor > 0 {
+		s.drift = opts.DriftFactor
+	}
+	if !s.serving {
+		// Content-keyed entries can never drift: any content change is a
+		// new key already.
+		s.drift = 0
+	}
+	return s
 }
 
 // PlanQuery analyzes statistics and picks the algorithm, including the
@@ -179,15 +334,15 @@ func NewEngine(p int, seed uint64) *Engine {
 // prediction; Execute's plan cache avoids the duplicate work on the hot
 // path.
 func (e *Engine) PlanQuery(q *query.Query, db *data.Database) Plan {
-	return e.buildPlan(q, db).plan
+	return e.buildPlan(q, db, e.settings(ExecOptions{})).plan
 }
 
 // logicalPlan runs the one-round strategy selection of §3/§4.
-func (e *Engine) logicalPlan(q *query.Query, db *data.Database) Plan {
+func (e *Engine) logicalPlan(q *query.Query, db *data.Database, s settings) Plan {
 	if err := q.Validate(); err != nil {
 		panic(fmt.Sprintf("core: invalid query: %v", err))
 	}
-	dbStats := stats.CollectDB(db, e.P)
+	dbStats := stats.CollectDB(db, s.p)
 	hasSkew := false
 	for _, a := range q.Atoms {
 		rs := dbStats.Relations[a.Name]
@@ -200,11 +355,11 @@ func (e *Engine) logicalPlan(q *query.Query, db *data.Database) Plan {
 			}
 		}
 	}
-	lower, desc := bounds.BestLower(q, db, e.P, 0)
+	lower, desc := bounds.BestLower(q, db, s.p, 0)
 	plan := Plan{LowerBoundBits: lower, HasSkew: hasSkew}
 	switch {
-	case e.ForceStrategy != nil:
-		plan.Strategy = *e.ForceStrategy
+	case s.forced != nil:
+		plan.Strategy = *s.forced
 		plan.Reason = "forced: " + plan.Strategy.String()
 	case !hasSkew:
 		plan.Strategy = HyperCube
@@ -222,9 +377,52 @@ func (e *Engine) logicalPlan(q *query.Query, db *data.Database) Plan {
 // Execute plans and runs the query through the unified executor, returning
 // answers and realized loads. Plans are cached: a repeat call with the
 // same query, database content, and p reuses the cached physical plan.
+// This is the pre-Session entry point: it panics on invalid input and
+// cannot be canceled; ExecuteContext is the serving-grade form.
 func (e *Engine) Execute(q *query.Query, db *data.Database) Result {
-	cp := e.planFor(q, db)
-	res := Result{Plan: cp.plan}
+	res, err := e.ExecuteContext(context.Background(), q, db, ExecOptions{})
+	if err != nil {
+		// The pre-Session API surfaced invalid input as panics; keep that
+		// contract for existing callers. (A background context never
+		// cancels, so validation errors are the only kind possible here.)
+		panic(err.Error())
+	}
+	return res
+}
+
+// ExecuteContext plans and runs the query with per-call options, a
+// cancelable context, and errors instead of panics for invalid input. The
+// context is checked before planning, before the communication round, and
+// between the rounds of a multi-round pipeline; a canceled execution
+// returns ctx.Err().
+//
+// With opts.Serving set, the plan cache keys on database identity + schema
+// (cached plans survive Database.Apply deltas), and a configured drift
+// factor arms adaptive re-planning: an execution whose realized max load
+// exceeds driftFactor × the plan's prediction, on content that changed
+// since the plan was built, marks the entry stale; the next call replans
+// against current statistics and reports Result.Replanned.
+func (e *Engine) ExecuteContext(ctx context.Context, q *query.Query, db *data.Database, opts ExecOptions) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := e.settings(opts)
+	if s.p < 2 {
+		return Result{}, fmt.Errorf("core: need p >= 2, got %d", s.p)
+	}
+	if err := q.Validate(); err != nil {
+		return Result{}, fmt.Errorf("core: invalid query: %v", err)
+	}
+	for _, a := range q.Atoms {
+		if db.Get(a.Name) == nil {
+			return Result{}, fmt.Errorf("core: database missing relation %s", a.Name)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	cp, key, replanned := e.planFor(q, db, s)
+	res := Result{Plan: cp.plan, Replanned: replanned}
 	// Callers own the Result; don't let them mutate the cached plan
 	// through the shared backing array.
 	res.Plan.Shares = append([]int(nil), cp.plan.Shares...)
@@ -234,35 +432,48 @@ func (e *Engine) Execute(q *query.Query, db *data.Database) Result {
 	if sc == nil {
 		sc = new(exec.Scratch)
 	}
-	ec := exec.Config{Scratch: sc, Clusters: &e.clusters}
+	ec := exec.Config{Scratch: sc, Clusters: &e.clusters, Ctx: ctx}
+	var execErr error
 	switch {
 	case cp.hc != nil:
-		hc := cp.hc.ExecuteWith(db, ec)
-		res.Output = hc.Output
-		res.MaxLoadBits = hc.Loads.MaxBits
-		res.TotalBits = hc.Loads.TotalBits
-		res.PredictedBits = hc.PredictedBits
-	case cp.sj != nil:
-		sj := cp.sj.ExecuteWith(db, ec)
-		res.Output = sj.Output
-		res.MaxLoadBits = sj.MaxVirtualBits
-		res.PredictedBits = sj.PredictedBits
-	case cp.gen != nil:
-		g := cp.gen.ExecuteWith(db, ec)
-		res.Output = g.Output
-		res.MaxLoadBits = g.MaxVirtualBits
-		res.PredictedBits = g.PredictedBits
-	case cp.mr != nil:
-		r := cp.mr.ExecuteWith(db, ec)
-		res.Output = r.Output
-		// The multi-round analogue of the one-round max load is the summed
-		// per-round maxima: the most bits one server could have received
-		// across the whole computation.
-		res.MaxLoadBits = r.SumMaxBits
-		for _, rl := range r.Rounds {
-			res.TotalBits += rl.TotalBits
+		hc, err := cp.hc.ExecuteWith(db, ec)
+		if execErr = err; err == nil {
+			res.Output = hc.Output
+			res.MaxLoadBits = hc.Loads.MaxBits
+			res.TotalBits = hc.Loads.TotalBits
+			res.PredictedBits = hc.PredictedBits
 		}
-		res.PredictedBits = cp.mr.PredictedSumMaxBits
+	case cp.sj != nil:
+		sj, err := cp.sj.ExecuteWith(db, ec)
+		if execErr = err; err == nil {
+			res.Output = sj.Output
+			res.MaxLoadBits = sj.MaxVirtualBits
+			res.PredictedBits = sj.PredictedBits
+		}
+	case cp.gen != nil:
+		g, err := cp.gen.ExecuteWith(db, ec)
+		if execErr = err; err == nil {
+			res.Output = g.Output
+			res.MaxLoadBits = g.MaxVirtualBits
+			res.PredictedBits = g.PredictedBits
+		}
+	case cp.mr != nil:
+		r, err := cp.mr.ExecuteWith(db, ec)
+		if execErr = err; err == nil {
+			res.Output = r.Output
+			// The multi-round analogue of the one-round max load is the
+			// summed per-round maxima: the most bits one server could have
+			// received across the whole computation.
+			res.MaxLoadBits = r.SumMaxBits
+			for _, rl := range r.Rounds {
+				res.TotalBits += rl.TotalBits
+			}
+			res.PredictedBits = cp.mr.PredictedSumMaxBits
+		}
+	}
+	if execErr != nil {
+		e.scratchPool.Put(sc)
+		return Result{}, execErr
 	}
 	// Result.Output escapes to the caller: the scratch must release the
 	// buffer it aliases, or the next Execute reusing this scratch would
@@ -271,82 +482,119 @@ func (e *Engine) Execute(q *query.Query, db *data.Database) Result {
 		sc.DetachOutput()
 	}
 	e.scratchPool.Put(sc)
-	return res
+	// Adaptive re-planning: realized load drifted beyond the prediction on
+	// content that moved since the statistics were frozen → replan next
+	// call. (Equal content cannot replan: rebuilt statistics would be
+	// identical, so marking would only thrash the cache.)
+	if s.drift > 0 && !s.noCache {
+		pred := res.Plan.PredictedBits
+		if pred > 0 && float64(res.MaxLoadBits) > s.drift*pred {
+			if fp := stats.Fingerprint(db); fp != cp.plannedFP {
+				e.markStale(key)
+			}
+		}
+	}
+	return res, nil
+}
+
+// markStale marks the cached entry for key (if still cached) so the next
+// execution rebuilds it against current statistics.
+func (e *Engine) markStale(key planKey) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.cache[key]; ok {
+		el.Value.(*cacheEntry).stale = true
+	}
 }
 
 // planFor returns the cached plan bundle for (q, db), building and caching
-// it on a miss. Hits refresh the entry's LRU position; inserts beyond the
-// capacity evict from the cold end.
-func (e *Engine) planFor(q *query.Query, db *data.Database) *cachedPlan {
-	if e.DisablePlanCache {
-		return e.buildPlan(q, db)
+// it on a miss. Hits refresh the entry's LRU position; a hit on a
+// drift-stale entry rebuilds it (reported as replanned); inserts beyond
+// the capacity evict from the cold end.
+func (e *Engine) planFor(q *query.Query, db *data.Database, s settings) (*cachedPlan, planKey, bool) {
+	if s.noCache {
+		return e.buildPlan(q, db, s), planKey{}, false
 	}
-	key := planKey{query: q.String(), fp: stats.Fingerprint(db), p: e.P, seed: e.Seed, forced: -1, mrAware: e.ConsiderMultiRound}
-	if e.ForceStrategy != nil {
-		key.forced = *e.ForceStrategy
+	key := planKey{query: q.String(), p: s.p, seed: s.seed, forced: -1, mrAware: s.mr, serving: s.serving}
+	if s.forced != nil {
+		key.forced = *s.forced
 	}
+	if s.serving {
+		key.fp = db.ID()
+		key.schema = stats.SchemaFingerprint(db)
+	} else {
+		key.fp = stats.Fingerprint(db)
+	}
+	replanned := false
 	e.mu.Lock()
 	if el, ok := e.cache[key]; ok {
-		e.hits++
-		e.lru.MoveToFront(el)
-		cp := el.Value.(*cacheEntry).cp
-		e.mu.Unlock()
-		return cp
+		ent := el.Value.(*cacheEntry)
+		if !ent.stale {
+			e.hits++
+			e.lru.MoveToFront(el)
+			cp := ent.cp
+			e.mu.Unlock()
+			return cp, key, false
+		}
+		// Drift marked this entry stale: drop it and replan against the
+		// database's current statistics.
+		e.lru.Remove(el)
+		delete(e.cache, key)
+		e.replans++
+		replanned = true
 	}
 	e.mu.Unlock()
 	// Plan outside the lock: planning is the expensive part, and a
 	// duplicate build for a racing miss is just redundant work.
-	cp := e.buildPlan(q, db)
+	cp := e.buildPlan(q, db, s)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.misses++
 	if el, ok := e.cache[key]; ok {
 		// A racing miss already inserted this key; keep the live entry.
 		e.lru.MoveToFront(el)
-		return el.Value.(*cacheEntry).cp
+		return el.Value.(*cacheEntry).cp, key, replanned
 	}
 	if e.cache == nil {
 		e.cache = make(map[planKey]*list.Element)
 	}
 	e.cache[key] = e.lru.PushFront(&cacheEntry{key: key, cp: cp})
-	capacity := e.PlanCacheCapacity
-	if capacity == 0 {
-		capacity = DefaultPlanCacheCapacity
-	}
+	capacity := e.capacityLocked()
 	for capacity > 0 && e.lru.Len() > capacity {
 		cold := e.lru.Back()
 		e.lru.Remove(cold)
 		delete(e.cache, cold.Value.(*cacheEntry).key)
 		e.evictions++
 	}
-	return cp
+	return cp, key, replanned
 }
 
 // buildPlan runs the logical planner, lowers the chosen strategy to its
-// physical plan, and — when ConsiderMultiRound is on — cost-compares the
-// one-round choice against a multi-round pipeline (predicted SumMaxBits vs
-// the one-round PredictedBits), switching to the pipeline when cheaper.
-func (e *Engine) buildPlan(q *query.Query, db *data.Database) *cachedPlan {
-	cp := &cachedPlan{plan: e.logicalPlan(q, db)}
+// physical plan, and — when multi-round consideration is on — cost-compares
+// the one-round choice against a multi-round pipeline (predicted SumMaxBits
+// vs the one-round PredictedBits), switching to the pipeline when cheaper.
+func (e *Engine) buildPlan(q *query.Query, db *data.Database, s settings) *cachedPlan {
+	cp := &cachedPlan{plan: e.logicalPlan(q, db, s)}
+	cp.plannedFP = stats.Fingerprint(db)
 	cp.plan.Rounds = 1
 	switch cp.plan.Strategy {
 	case HyperCube:
-		cp.hc = hypercube.BuildPlan(q, db, hypercube.Config{P: e.P, Seed: e.Seed})
+		cp.hc = hypercube.BuildPlan(q, db, hypercube.Config{P: s.p, Seed: s.seed})
 		cp.plan.Shares = cp.hc.Shares
 		cp.plan.PredictedBits = cp.hc.PredictedBits
 	case SkewJoin:
-		cp.sj = skew.PlanJoin(q, db, skew.JoinConfig{P: e.P, Seed: e.Seed})
+		cp.sj = skew.PlanJoin(q, db, skew.JoinConfig{P: s.p, Seed: s.seed})
 		cp.plan.PredictedBits = cp.sj.PredictedBits
 	case BinCombination:
-		cp.gen = skew.PlanGeneral(q, db, skew.GeneralConfig{P: e.P, Seed: e.Seed})
+		cp.gen = skew.PlanGeneral(q, db, skew.GeneralConfig{P: s.p, Seed: s.seed})
 		cp.plan.PredictedBits = cp.gen.PredictedBits
 	case MultiRound:
-		cp.mr = e.planMultiRound(q, db)
+		cp.mr = planMultiRound(q, db, s)
 		cp.plan.PredictedBits = cp.mr.PredictedSumMaxBits
 		cp.plan.Rounds = len(cp.mr.Logical.Steps)
 	}
-	if e.ConsiderMultiRound && e.ForceStrategy == nil && cp.mr == nil && q.NumAtoms() >= 2 {
-		mr := e.planMultiRound(q, db)
+	if s.mr && s.forced == nil && cp.mr == nil && q.NumAtoms() >= 2 {
+		mr := planMultiRound(q, db, s)
 		one := cp.plan.PredictedBits
 		if one > 0 && mr.PredictedSumMaxBits < one {
 			cp.plan.Reason = fmt.Sprintf(
@@ -368,8 +616,38 @@ func (e *Engine) buildPlan(q *query.Query, db *data.Database) *cachedPlan {
 }
 
 // planMultiRound lowers the skew-aware multi-round pipeline for q.
-func (e *Engine) planMultiRound(q *query.Query, db *data.Database) *rounds.PipelinePlan {
-	return rounds.PlanPipeline(q, db, rounds.Config{P: e.P, Seed: e.Seed, SkewAware: true})
+func planMultiRound(q *query.Query, db *data.Database, s settings) *rounds.PipelinePlan {
+	return rounds.PlanPipeline(q, db, rounds.Config{P: s.p, Seed: s.seed, SkewAware: true})
+}
+
+// effectiveCapacity maps the configured capacity to the effective bound.
+func effectiveCapacity(configured int) int {
+	if configured == 0 {
+		return DefaultPlanCacheCapacity
+	}
+	return configured
+}
+
+// capacityLocked returns the effective cache capacity, latching the
+// pre-Session mutable field the first time an insert needs it so the
+// bound can never change mid-serving. Callers hold e.mu.
+func (e *Engine) capacityLocked() int {
+	if !e.capResolved {
+		e.capacity = effectiveCapacity(e.PlanCacheCapacity)
+		e.capResolved = true
+	}
+	return e.capacity
+}
+
+// capacityPeekLocked is capacityLocked without the latch: CacheStats must
+// report the effective bound without freezing a pre-Session engine's
+// PlanCacheCapacity before its documented set-before-first-Execute window
+// closes. Callers hold e.mu.
+func (e *Engine) capacityPeekLocked() int {
+	if e.capResolved {
+		return e.capacity
+	}
+	return effectiveCapacity(e.PlanCacheCapacity)
 }
 
 // CacheStats reports the plan cache counters and occupancy.
@@ -377,25 +655,31 @@ type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
-	Size      int // live entries
-	Capacity  int // effective bound (≤ 0 means unbounded)
+	// Replans counts drift-triggered rebuilds of stale entries (a replan
+	// also counts as a miss: it plans).
+	Replans  uint64
+	Size     int // live entries
+	Capacity int // effective bound (≤ 0 means unbounded)
 }
 
 // CacheStats returns the plan cache counters.
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	capacity := e.PlanCacheCapacity
-	if capacity == 0 {
-		capacity = DefaultPlanCacheCapacity
-	}
 	return CacheStats{
 		Hits:      e.hits,
 		Misses:    e.misses,
 		Evictions: e.evictions,
+		Replans:   e.replans,
 		Size:      len(e.cache),
-		Capacity:  capacity,
+		Capacity:  e.capacityPeekLocked(),
 	}
+}
+
+// PoolStats reports the engine's cluster pool occupancy — the warm
+// clusters cached-plan serving draws from and the memory they pin.
+func (e *Engine) PoolStats() exec.PoolStats {
+	return e.clusters.Stats()
 }
 
 // ClearPlanCache drops all cached plans and resets the counters.
@@ -404,7 +688,7 @@ func (e *Engine) ClearPlanCache() {
 	defer e.mu.Unlock()
 	e.cache = nil
 	e.lru.Init()
-	e.hits, e.misses, e.evictions = 0, 0, 0
+	e.hits, e.misses, e.evictions, e.replans = 0, 0, 0, 0
 }
 
 // isJoin2Shaped recognizes q(x,y,z) = S1(x,z), S2(y,z) up to renaming:

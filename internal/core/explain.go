@@ -22,7 +22,7 @@ func (e *Engine) Explain(q *query.Query, db *data.Database) string {
 	// Plan once: the cost table reuses the chosen strategy's lowered plan
 	// (and the multi-round pipeline, if the comparison built one) instead
 	// of re-planning it.
-	cp := e.buildPlan(q, db)
+	cp := e.buildPlan(q, db, e.settings(ExecOptions{}))
 	plan := cp.plan
 	var b strings.Builder
 	fmt.Fprintf(&b, "query:    %s\n", q)
@@ -73,7 +73,7 @@ func (e *Engine) Explain(q *query.Query, db *data.Database) string {
 		writeCost(MultiRound, cp.mr.PredictedSumMaxBits,
 			fmt.Sprintf("(SumMaxBits, %d rounds)", len(cp.mr.Logical.Steps)))
 	case q.NumAtoms() >= 2:
-		mr := e.planMultiRound(q, db)
+		mr := planMultiRound(q, db, e.settings(ExecOptions{}))
 		writeCost(MultiRound, mr.PredictedSumMaxBits,
 			fmt.Sprintf("(SumMaxBits, %d rounds)", len(mr.Logical.Steps)))
 	default:

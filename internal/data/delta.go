@@ -1,0 +1,114 @@
+package data
+
+import "fmt"
+
+// Delta is a batched database mutation: an ordered list of tuple inserts
+// and deletes across any relations of one database, applied atomically by
+// Database.Apply. The zero value is an empty delta; Insert/Delete return
+// the receiver for chaining.
+type Delta struct {
+	ops []deltaOp
+}
+
+type deltaOp struct {
+	rel    string
+	vals   []int64
+	insert bool
+}
+
+// Insert records the insertion of one tuple into the named relation.
+// The values are copied, so callers may reuse a scratch tuple (the
+// ReadTuple idiom) across calls.
+func (d *Delta) Insert(rel string, vals ...int64) *Delta {
+	d.ops = append(d.ops, deltaOp{rel: rel, vals: append([]int64(nil), vals...), insert: true})
+	return d
+}
+
+// Delete records the deletion of one tuple from the named relation. The
+// values are copied, like Insert's.
+func (d *Delta) Delete(rel string, vals ...int64) *Delta {
+	d.ops = append(d.ops, deltaOp{rel: rel, vals: append([]int64(nil), vals...)})
+	return d
+}
+
+// Len returns the number of recorded operations.
+func (d *Delta) Len() int { return len(d.ops) }
+
+// Apply mutates the database by the delta, atomically: either every
+// operation applies, or none does and an error describes the first invalid
+// one (unknown relation, arity or domain mismatch, deleting an absent
+// tuple, inserting a duplicate — relations are duplicate-free). Operations
+// apply in the order they were recorded, so a delta may delete a tuple it
+// inserted earlier.
+//
+// Apply maintains each touched relation's serving state incrementally: the
+// content-hash sum behind stats.Fingerprint (a reversible per-tuple fold),
+// the per-attribute value frequencies, and the tuple index. The first Apply
+// touching a relation builds that state with one scan; every later Apply
+// costs O(delta), and fingerprinting the database afterwards costs
+// O(relations) — the database mutates under live plan caches without any
+// per-execution rescan.
+//
+// Apply holds the database's write lock: it excludes executions holding
+// RLock (repro.Session's Exec does) and other Apply calls.
+func (db *Database) Apply(d *Delta) error {
+	if d == nil || len(d.ops) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Shape-check every operation and enable maintenance on every touched
+	// relation before mutating anything.
+	for i := range d.ops {
+		op := &d.ops[i]
+		r := db.Relations[op.rel]
+		if r == nil {
+			return fmt.Errorf("data: Apply: unknown relation %q", op.rel)
+		}
+		if len(op.vals) != r.Arity {
+			return fmt.Errorf("data: Apply: %s: tuple arity %d, want %d", op.rel, len(op.vals), r.Arity)
+		}
+		if op.insert {
+			for _, v := range op.vals {
+				if v < 0 || v >= r.Domain {
+					return fmt.Errorf("data: Apply: %s: value %d outside domain [0,%d)", op.rel, v, r.Domain)
+				}
+			}
+		}
+		if err := r.enableStats(); err != nil {
+			return err
+		}
+	}
+	// Dry-run membership so the whole delta rejects before any mutation:
+	// overlay records the pending presence of keys this delta touches.
+	overlay := make(map[string]map[Key]bool)
+	for _, op := range d.ops {
+		r := db.Relations[op.rel]
+		k := KeyOf(op.vals)
+		ov := overlay[op.rel]
+		present, pending := ov[k]
+		if !pending {
+			_, present = r.index[k]
+		}
+		if op.insert && present {
+			return fmt.Errorf("data: Apply: %s: duplicate insert of %v", op.rel, Tuple(op.vals))
+		}
+		if !op.insert && !present {
+			return fmt.Errorf("data: Apply: %s: delete of absent tuple %v", op.rel, Tuple(op.vals))
+		}
+		if ov == nil {
+			ov = make(map[Key]bool)
+			overlay[op.rel] = ov
+		}
+		ov[k] = op.insert
+	}
+	for _, op := range d.ops {
+		r := db.Relations[op.rel]
+		if op.insert {
+			r.Add(op.vals...)
+		} else {
+			r.removeRow(r.index[KeyOf(op.vals)])
+		}
+	}
+	return nil
+}

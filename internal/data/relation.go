@@ -13,6 +13,8 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Tuple is one row of a relation; len(Tuple) is the relation's arity.
@@ -128,16 +130,196 @@ func BitsPerValue(domain int64) int {
 	return bits.Len64(uint64(domain - 1))
 }
 
+// fnvOffset and fnvPrime are the 64-bit FNV-1a parameters of the per-tuple
+// content hash (shared with stats.Fingerprint — the two must agree so the
+// maintained content sum reproduces the scanned fingerprint exactly).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// mix64 is the splitmix64 finalizer, duplicated from internal/hashing
+// (which imports this package, so the dependency cannot point the other
+// way). The constants must match hashing.Mix64 bit for bit: the maintained
+// content sums below must equal the sums stats.Fingerprint historically
+// computed by scanning.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Maintained-state flag bits (Relation.track).
+const (
+	// trackContent: contentSum mirrors the commutative fold of per-tuple
+	// hashes, so fingerprints stop scanning this relation.
+	trackContent uint32 = 1 << iota
+	// trackStats: attrFreq (per-attribute value frequencies) and index
+	// (tuple → row) are maintained, enabling O(delta) Database.Apply and
+	// O(distinct) single-attribute statistics.
+	trackStats
+)
+
 // Relation is a named multiset-free relation instance S_j ⊆ [domain]^arity,
 // stored column-wise: cols[a][i] is attribute a of tuple i. Duplicate
 // insertion is the caller's responsibility to avoid (generators never
 // produce duplicates; AddUnique enforces it when needed).
+//
+// A relation lazily maintains serving state — a reversible content-hash sum
+// (ContentSum), per-attribute value frequencies, and a tuple index — once a
+// fingerprint or a Database.Apply first touches it. Maintenance must not be
+// enabled concurrently with mutation: the serving path orders them through
+// the Database lock (Apply writes under Lock, executions read under RLock).
 type Relation struct {
 	Name   string
 	Arity  int
 	Domain int64
 	cols   [][]int64
 	rows   int
+
+	// track holds the maintained-state flag bits; mutators check it with
+	// one atomic load so untracked relations (server fragments, join
+	// outputs — the communication hot path) pay nothing else.
+	track atomic.Uint32
+	// trackMu guards lazy initialization of the maintained state.
+	trackMu    sync.Mutex
+	contentSum uint64
+	attrFreq   []map[int64]int64
+	index      map[Key]int
+}
+
+// rowHash is the per-tuple content hash Fingerprint folds: FNV-1a over the
+// row's values, avalanched. Summing it over rows (mod 2^64) is reversible,
+// which is what makes delta maintenance O(delta).
+func (r *Relation) rowHash(i int) uint64 {
+	th := fnvOffset
+	for _, col := range r.cols {
+		th = (th ^ uint64(col[i])) * fnvPrime
+	}
+	return mix64(th)
+}
+
+// ContentSum returns the commutative fold (sum mod 2^64) of the avalanched
+// per-tuple hashes — the per-relation term of stats.Fingerprint. The first
+// call scans the relation and enables incremental maintenance: subsequent
+// mutations update the sum per tuple, so fingerprinting a served database
+// costs O(relations), not O(tuples). Concurrent ContentSum calls are safe;
+// callers must not mutate the relation concurrently (the serving path
+// excludes that via the Database lock).
+func (r *Relation) ContentSum() uint64 {
+	if r.track.Load()&trackContent != 0 {
+		return r.contentSum
+	}
+	r.trackMu.Lock()
+	defer r.trackMu.Unlock()
+	if r.track.Load()&trackContent != 0 {
+		return r.contentSum
+	}
+	var sum uint64
+	for i := 0; i < r.rows; i++ {
+		sum += r.rowHash(i)
+	}
+	r.contentSum = sum
+	r.track.Store(r.track.Load() | trackContent)
+	return sum
+}
+
+// enableStats builds the per-attribute frequency maps and the tuple index
+// (and the content sum, sharing the same scan), enabling O(delta) Apply and
+// O(distinct) single-attribute statistics. It errors on a duplicate tuple:
+// delta semantics (delete one occurrence, reject duplicate inserts) need
+// duplicate-free relations, which every generator in this repository
+// produces.
+func (r *Relation) enableStats() error {
+	if r.track.Load()&trackStats != 0 {
+		return nil
+	}
+	r.trackMu.Lock()
+	defer r.trackMu.Unlock()
+	if r.track.Load()&trackStats != 0 {
+		return nil
+	}
+	freq := make([]map[int64]int64, r.Arity)
+	for a := range freq {
+		freq[a] = make(map[int64]int64)
+	}
+	index := make(map[Key]int, r.rows)
+	var sum uint64
+	for i := 0; i < r.rows; i++ {
+		k := r.KeyAt(i)
+		if _, dup := index[k]; dup {
+			return fmt.Errorf("data: %s: duplicate tuple %v: deltas require duplicate-free relations", r.Name, k.Tuple())
+		}
+		index[k] = i
+		for a, col := range r.cols {
+			freq[a][col[i]]++
+		}
+		sum += r.rowHash(i)
+	}
+	r.attrFreq, r.index = freq, index
+	r.contentSum = sum
+	r.track.Store(r.track.Load() | trackContent | trackStats)
+	return nil
+}
+
+// AttrCounts returns the maintained frequency map of attribute a (value →
+// count), or nil when serving statistics are not being maintained for this
+// relation. The map is live internal state: read-only, and only valid while
+// the relation is not mutated.
+func (r *Relation) AttrCounts(a int) map[int64]int64 {
+	if r.track.Load()&trackStats == 0 {
+		return nil
+	}
+	return r.attrFreq[a]
+}
+
+// noteAppended folds row i (just appended) into the maintained state.
+func (r *Relation) noteAppended(i int) {
+	t := r.track.Load()
+	if t&trackContent != 0 {
+		r.contentSum += r.rowHash(i)
+	}
+	if t&trackStats != 0 {
+		for a, col := range r.cols {
+			r.attrFreq[a][col[i]]++
+		}
+		r.index[r.KeyAt(i)] = i
+	}
+}
+
+// removeRow deletes row i by swapping in the last row (tuple order carries
+// no meaning anywhere: routing is per-tuple and fingerprints are
+// order-independent), maintaining whatever serving state is enabled.
+func (r *Relation) removeRow(i int) {
+	t := r.track.Load()
+	if t&trackContent != 0 {
+		r.contentSum -= r.rowHash(i)
+	}
+	if t&trackStats != 0 {
+		for a, col := range r.cols {
+			v := col[i]
+			if n := r.attrFreq[a][v] - 1; n == 0 {
+				delete(r.attrFreq[a], v)
+			} else {
+				r.attrFreq[a][v] = n
+			}
+		}
+		delete(r.index, r.KeyAt(i))
+	}
+	last := r.rows - 1
+	if i != last {
+		for a := range r.cols {
+			r.cols[a][i] = r.cols[a][last]
+		}
+		if t&trackStats != 0 {
+			r.index[r.KeyAt(i)] = i
+		}
+	}
+	for a := range r.cols {
+		r.cols[a] = r.cols[a][:last]
+	}
+	r.rows = last
 }
 
 // NewRelation returns an empty relation.
@@ -160,6 +342,9 @@ func (r *Relation) Add(vals ...int64) {
 		r.cols[a] = append(r.cols[a], v)
 	}
 	r.rows++
+	if r.track.Load() != 0 {
+		r.noteAppended(r.rows - 1)
+	}
 }
 
 // AppendColumns bulk-appends count rows given column-wise (cols[a] holds
@@ -174,6 +359,11 @@ func (r *Relation) AppendColumns(cols [][]int64, count int) {
 		r.cols[a] = append(r.cols[a], cols[a][:count]...)
 	}
 	r.rows += count
+	if r.track.Load() != 0 {
+		for i := r.rows - count; i < r.rows; i++ {
+			r.noteAppended(i)
+		}
+	}
 }
 
 // AppendRow appends row i of src, which must have the same arity.
@@ -186,6 +376,9 @@ func (r *Relation) AppendRow(src *Relation, i int) {
 		r.cols[a] = append(r.cols[a], src.cols[a][i])
 	}
 	r.rows++
+	if r.track.Load() != 0 {
+		r.noteAppended(r.rows - 1)
+	}
 }
 
 // Size returns m, the number of tuples.
@@ -290,6 +483,13 @@ func (r *Relation) Sort() {
 		}
 		r.cols[a] = sorted
 	}
+	// The content sum and frequency maps are permutation-invariant; only the
+	// tuple index maps rows and must be rebuilt.
+	if r.track.Load()&trackStats != 0 {
+		for i := 0; i < r.rows; i++ {
+			r.index[r.KeyAt(i)] = i
+		}
+	}
 }
 
 // ContainsDuplicates reports whether any tuple occurs twice.
@@ -306,14 +506,44 @@ func (r *Relation) ContainsDuplicates() bool {
 }
 
 // Database is a set of relations keyed by relation (atom) name.
+//
+// A database serving mutable traffic is synchronized through its own
+// reader/writer lock: Apply mutates under the write lock, and executions
+// that must observe a consistent snapshot hold RLock/RUnlock around their
+// run (repro.Session does). Construction-time mutation (Put, generator
+// Adds) needs no locking — it happens before the database is shared.
 type Database struct {
 	Relations map[string]*Relation
+
+	mu sync.RWMutex
+	id atomic.Uint64
 }
+
+// dbIDs hands out process-unique database identities.
+var dbIDs atomic.Uint64
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
 	return &Database{Relations: make(map[string]*Relation)}
 }
+
+// ID returns a process-unique identity for this database, assigned on first
+// use. Serving-mode plan caches key on it (plus the schema) instead of the
+// content fingerprint, so cached plans survive Apply deltas.
+func (db *Database) ID() uint64 {
+	if id := db.id.Load(); id != 0 {
+		return id
+	}
+	db.id.CompareAndSwap(0, dbIDs.Add(1))
+	return db.id.Load()
+}
+
+// RLock takes the database's serving lock for a read (an execution that
+// must not observe a half-applied delta). Apply excludes readers.
+func (db *Database) RLock() { db.mu.RLock() }
+
+// RUnlock releases RLock.
+func (db *Database) RUnlock() { db.mu.RUnlock() }
 
 // Put stores a relation under its own name.
 func (db *Database) Put(r *Relation) { db.Relations[r.Name] = r }

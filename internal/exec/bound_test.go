@@ -1,0 +1,149 @@
+package exec
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/mpc"
+)
+
+// TestClusterPoolBounded: a burst of Puts beyond the per-bucket depth
+// discards clusters instead of pinning them, and Stats reports it.
+func TestClusterPoolBounded(t *testing.T) {
+	cp := ClusterPool{Depth: 2}
+	burst := make([]*mpc.Cluster, 6)
+	for i := range burst {
+		burst[i] = cp.Get(8)
+	}
+	for _, c := range burst {
+		cp.Put(c)
+	}
+	st := cp.Stats()
+	if st.Parked != 2 {
+		t.Fatalf("parked = %d, want depth 2", st.Parked)
+	}
+	if st.Discards != 4 {
+		t.Fatalf("discards = %d, want 4", st.Discards)
+	}
+	if st.Gets != 6 || st.Puts != 6 || st.Reuses != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ParkedServers != 16 {
+		t.Fatalf("parked servers = %d, want 2×8", st.ParkedServers)
+	}
+	// The two parked clusters serve the next two Gets.
+	a, b := cp.Get(8), cp.Get(8)
+	if st := cp.Stats(); st.Reuses != 2 || st.Parked != 0 {
+		t.Fatalf("after reuse: %+v", st)
+	}
+	cp.Put(a)
+	cp.Put(b)
+
+	// Different buckets have independent depths.
+	big := make([]*mpc.Cluster, 3)
+	for i := range big {
+		big[i] = cp.Get(100)
+	}
+	for _, c := range big {
+		cp.Put(c)
+	}
+	if st := cp.Stats(); st.Parked != 4 { // 2 in bucket-8, 2 in bucket-128
+		t.Fatalf("parked = %d, want 4 across buckets", st.Parked)
+	}
+}
+
+func TestClusterPoolDefaultDepth(t *testing.T) {
+	var cp ClusterPool
+	clusters := make([]*mpc.Cluster, DefaultClusterPoolDepth+3)
+	for i := range clusters {
+		clusters[i] = cp.Get(4)
+	}
+	for _, c := range clusters {
+		cp.Put(c)
+	}
+	if st := cp.Stats(); st.Parked != DefaultClusterPoolDepth || st.Discards != 3 {
+		t.Fatalf("stats = %+v, want %d parked / 3 discards", st, DefaultClusterPoolDepth)
+	}
+}
+
+// TestRunCanceledContext: a canceled context aborts before routing and
+// returns ctx.Err(); a live context runs normally.
+func TestRunCanceledContext(t *testing.T) {
+	db := testDB()
+	plan := &PhysicalPlan{Strategy: "test", Virtual: 4, Physical: 2, Router: modRouter(4)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(plan, db, Config{Ctx: ctx}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := Run(plan, db, Config{Ctx: context.Background()}); err != nil {
+		t.Fatalf("live context errored: %v", err)
+	}
+}
+
+// TestRunPipelineCanceledBetweenRounds: cancellation fired after stage 1
+// stops the pipeline at the next round boundary, returns ctx.Err(), and
+// still releases the cluster back to the pool.
+func TestRunPipelineCanceledBetweenRounds(t *testing.T) {
+	db := testDB()
+	var cp ClusterPool
+	ctx, cancel := context.WithCancel(context.Background())
+	stage := func(out string, cancelAfter bool) Stage {
+		return Stage{
+			Plan: &PhysicalPlan{Strategy: "test", Virtual: 4, Physical: 2, Router: modRouter(4)},
+			Base: []string{"S"},
+			LocalFragment: func(s *mpc.Server) *data.Relation {
+				if cancelAfter {
+					cancel()
+				}
+				f := s.Fragment("S")
+				if f == nil || f.Size() == 0 {
+					return nil
+				}
+				out := data.NewRelation(out, f.Arity, f.Domain)
+				out.AppendColumns(f.Columns(), f.Size())
+				return out
+			},
+			OutName: out, OutArity: 2, OutDomain: 100,
+		}
+	}
+	pl := &Pipeline{
+		Strategy: "test",
+		Physical: 2,
+		Stages:   []Stage{stage("i1", true), stage("i2", false)},
+	}
+	_, err := RunPipeline(pl, db, Config{Clusters: &cp, Ctx: ctx})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := cp.Stats(); st.Puts != st.Gets {
+		t.Fatalf("canceled pipeline leaked a cluster: %+v", st)
+	}
+	// Without cancellation the same pipeline completes.
+	pl2 := &Pipeline{Strategy: "test", Physical: 2, Stages: []Stage{stage("i1", false), stage("i2", false)}}
+	if _, err := RunPipeline(pl2, db, Config{Clusters: &cp}); err != nil {
+		t.Fatalf("uncanceled pipeline errored: %v", err)
+	}
+}
+
+// TestRunRelationsScoped: a plan naming its relations routes only those —
+// an unrelated relation in the database adds no load.
+func TestRunRelationsScoped(t *testing.T) {
+	db := testDB()
+	filler := data.NewRelation("Filler", 2, 100)
+	for i := int64(0); i < 64; i++ {
+		filler.Add(i, i)
+	}
+	db.Put(filler)
+	scoped := &PhysicalPlan{Strategy: "test", Virtual: 4, Physical: 2, Router: modRouter(4), Relations: []string{"S"}}
+	r1, err := Run(scoped, db, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := testDB()
+	r2, _ := Run(&PhysicalPlan{Strategy: "test", Virtual: 4, Physical: 2, Router: modRouter(4)}, clean, Config{})
+	if r1.Loads.TotalBits != r2.Loads.TotalBits || r1.MaxVirtualBits != r2.MaxVirtualBits {
+		t.Fatalf("scoped run loads %+v differ from filler-free %+v", r1.Loads, r2.Loads)
+	}
+}

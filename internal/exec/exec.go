@@ -11,6 +11,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/data"
@@ -35,6 +36,13 @@ type PhysicalPlan struct {
 	Physical int
 	// Router decides tuple destinations over virtual IDs in [0, Virtual).
 	Router mpc.Router
+	// Relations, when non-empty, names the database relations this plan
+	// routes; Run then scans only those instead of the whole database.
+	// Routers skip foreign relations anyway, so the restriction never
+	// changes the result — it keeps a served query's cost independent of
+	// unrelated relations living in the same database. Empty means route
+	// everything (legacy load-measurement plans).
+	Relations []string
 	// Local is the per-server local computation; nil means the plan only
 	// routes (load-measurement plans).
 	Local func(s *mpc.Server) []data.Tuple
@@ -65,6 +73,20 @@ type Config struct {
 	// their mpc.Cluster from; nil uses a process-wide shared pool. Engines
 	// own a pool per instance so cached-plan serving reuses warm clusters.
 	Clusters *ClusterPool
+	// Ctx, when non-nil, cancels the execution: Run checks it before the
+	// communication round, and RunPipeline additionally between rounds, so
+	// a long multi-round pipeline aborts at the next round boundary. A
+	// canceled execution returns ctx.Err() with a zero result; the cluster
+	// is still returned to the pool.
+	Ctx context.Context
+}
+
+// ctxErr returns the configured context's cancellation error, if any.
+func (cfg *Config) ctxErr() error {
+	if cfg.Ctx == nil {
+		return nil
+	}
+	return cfg.Ctx.Err()
 }
 
 // Scratch holds Run's reusable load-accounting and output buffers. A
@@ -117,21 +139,39 @@ type Result struct {
 // Run executes plan over db: it draws a pooled cluster sized to the plan,
 // runs the one communication round, performs the local computation,
 // accounts loads, and parks the cluster for reuse. Routing errors are
-// internal bugs (planners validate their layouts), so Run panics on them.
-func Run(plan *PhysicalPlan, db *data.Database, cfg Config) Result {
+// internal bugs (planners validate their layouts), so Run panics on them;
+// the only error Run returns is cfg.Ctx's cancellation.
+func Run(plan *PhysicalPlan, db *data.Database, cfg Config) (Result, error) {
 	if plan.Virtual < 1 {
 		panic(fmt.Sprintf("exec: %s plan has %d virtual servers", plan.Strategy, plan.Virtual))
 	}
 	if plan.Physical < 1 {
 		panic(fmt.Sprintf("exec: %s plan has %d physical servers", plan.Strategy, plan.Physical))
 	}
+	if err := cfg.ctxErr(); err != nil {
+		return Result{}, err
+	}
 	pool := cfg.Clusters
 	if pool == nil {
 		pool = &sharedClusters
 	}
 	cluster := pool.Get(plan.Virtual)
-	if err := cluster.Round(db, plan.Router); err != nil {
+	var err error
+	if len(plan.Relations) > 0 {
+		rels := make([]*data.Relation, len(plan.Relations))
+		for i, name := range plan.Relations {
+			rels[i] = db.MustGet(name)
+		}
+		err = cluster.RoundRelations(plan.Router, rels...)
+	} else {
+		err = cluster.Round(db, plan.Router)
+	}
+	if err != nil {
 		panic(fmt.Sprintf("exec: %s routing failed: %v", plan.Strategy, err))
+	}
+	if err := cfg.ctxErr(); err != nil {
+		pool.Put(cluster)
+		return Result{}, err
 	}
 	var res Result
 	if plan.Local != nil && !cfg.SkipCompute {
@@ -173,5 +213,5 @@ func Run(plan *PhysicalPlan, db *data.Database, cfg Config) Result {
 	// Everything the result needs has been copied or computed; the
 	// cluster can serve the next run.
 	pool.Put(cluster)
-	return res
+	return res, nil
 }

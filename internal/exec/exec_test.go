@@ -40,7 +40,7 @@ func TestRunRoutesComputesAndAccounts(t *testing.T) {
 			return out
 		},
 	}
-	res := Run(plan, db, Config{})
+	res, _ := Run(plan, db, Config{})
 	if len(res.Output) != 8 {
 		t.Errorf("output = %d tuples, want 8", len(res.Output))
 	}
@@ -82,7 +82,7 @@ func TestRunSkipCompute(t *testing.T) {
 			return nil
 		},
 	}
-	res := Run(plan, db, Config{SkipCompute: true})
+	res, _ := Run(plan, db, Config{SkipCompute: true})
 	if called {
 		t.Error("local compute ran despite SkipCompute")
 	}
@@ -115,7 +115,7 @@ func TestRunDedup(t *testing.T) {
 		},
 		Dedup: true,
 	}
-	res := Run(plan, db, Config{})
+	res, _ := Run(plan, db, Config{})
 	if len(res.Output) != 8 {
 		t.Errorf("deduped output = %d tuples, want 8", len(res.Output))
 	}
@@ -148,10 +148,10 @@ func TestRunScratchReuse(t *testing.T) {
 		Router:   modRouter(4),
 	}
 	sc := new(Scratch)
-	r1 := Run(plan, db, Config{Scratch: sc})
+	r1, _ := Run(plan, db, Config{Scratch: sc})
 	first := &r1.PerServerBits[0]
 	want := append([]int64(nil), r1.PerServerBits...)
-	r2 := Run(plan, db, Config{Scratch: sc})
+	r2, _ := Run(plan, db, Config{Scratch: sc})
 	if &r2.PerServerBits[0] != first {
 		t.Error("scratch-backed PerServerBits was reallocated on the second run")
 	}
@@ -162,7 +162,7 @@ func TestRunScratchReuse(t *testing.T) {
 	}
 	// A smaller plan reuses the same backing array, zeroed.
 	small := &PhysicalPlan{Strategy: "test", Virtual: 2, Physical: 2, Router: modRouter(2)}
-	r3 := Run(small, db, Config{Scratch: sc})
+	r3, _ := Run(small, db, Config{Scratch: sc})
 	if len(r3.PerServerBits) != 2 {
 		t.Fatalf("PerServerBits = %d entries, want 2", len(r3.PerServerBits))
 	}
@@ -205,7 +205,7 @@ func TestRunPipelineResidentIntermediates(t *testing.T) {
 	}
 	pl.Stages[0].Base = []string{"S"}
 	pl.Stages[1].Resident = []string{"t1"}
-	res := RunPipeline(pl, db, Config{})
+	res, _ := RunPipeline(pl, db, Config{})
 	// Both stages increment column 0: output is (i+2, (i+1)%16).
 	if res.Output.Size() != 8 {
 		t.Fatalf("output = %d tuples, want 8", res.Output.Size())
@@ -251,7 +251,7 @@ func TestRunPipelineEmptyOutputTyped(t *testing.T) {
 	st.Base = []string{"S"}
 	st.LocalFragment = func(s *mpc.Server) *data.Relation { return nil }
 	pl := &Pipeline{Strategy: "test", Physical: 2, Stages: []Stage{st}}
-	res := RunPipeline(pl, db, Config{})
+	res, _ := RunPipeline(pl, db, Config{})
 	if res.Output == nil || res.Output.Size() != 0 || res.Output.Arity != 2 {
 		t.Errorf("empty pipeline output not typed: %+v", res.Output)
 	}

@@ -93,8 +93,10 @@ type PipelineResult struct {
 // accounting is internal) but cfg.Clusters supplies the cluster pool the
 // persistent cluster is drawn from and returned to. Routing errors are
 // internal bugs (planners validate their layouts), so RunPipeline panics
-// on them.
-func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) PipelineResult {
+// on them; the only error it returns is cfg.Ctx's cancellation, checked
+// before every round, so a long pipeline aborts at the next round boundary
+// (the cluster is released either way).
+func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) (PipelineResult, error) {
 	if len(pl.Stages) == 0 {
 		panic(fmt.Sprintf("exec: %s pipeline has no stages", pl.Strategy))
 	}
@@ -122,11 +124,18 @@ func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) PipelineResult {
 	if pool == nil {
 		pool = &sharedClusters
 	}
+	if err := cfg.ctxErr(); err != nil {
+		return PipelineResult{}, err
+	}
 	cluster := pool.Get(maxVirtual)
 	prev := make([]int64, maxVirtual)
 	var res PipelineResult
 	for i := range pl.Stages {
 		st := &pl.Stages[i]
+		if err := cfg.ctxErr(); err != nil {
+			pool.Put(cluster)
+			return PipelineResult{}, err
+		}
 		for id, sv := range cluster.Servers {
 			prev[id] = sv.BitsIn
 		}
@@ -184,5 +193,5 @@ func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) PipelineResult {
 	res.Output = out
 	// The gather copied every fragment; the cluster can serve the next run.
 	pool.Put(cluster)
-	return res
+	return res, nil
 }

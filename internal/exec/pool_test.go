@@ -71,7 +71,7 @@ func TestRunReusesPooledCluster(t *testing.T) {
 	plan := &PhysicalPlan{Strategy: "test", Virtual: 4, Physical: 2, Router: modRouter(4)}
 	var cp ClusterPool
 	cfg := Config{Clusters: &cp}
-	r1 := Run(plan, db, cfg)
+	r1, _ := Run(plan, db, cfg)
 	seen := make(map[*mpc.Cluster]bool)
 	reused := false
 	for i := 0; i < 64 && !reused; i++ {
@@ -81,7 +81,7 @@ func TestRunReusesPooledCluster(t *testing.T) {
 		}
 		seen[probe] = true
 		cp.Put(probe)
-		r := Run(plan, db, cfg)
+		r, _ := Run(plan, db, cfg)
 		if r.Loads != r1.Loads || r.MaxVirtualBits != r1.MaxVirtualBits {
 			t.Fatalf("loads drifted across pooled reuse: %+v vs %+v", r.Loads, r1.Loads)
 		}
@@ -110,12 +110,12 @@ func TestRunOutputScratch(t *testing.T) {
 		},
 	}
 	sc := new(Scratch)
-	r1 := Run(plan, db, Config{Scratch: sc})
+	r1, _ := Run(plan, db, Config{Scratch: sc})
 	if len(r1.Output) != 8 {
 		t.Fatalf("output = %d tuples", len(r1.Output))
 	}
 	first := &r1.Output[0]
-	r2 := Run(plan, db, Config{Scratch: sc})
+	r2, _ := Run(plan, db, Config{Scratch: sc})
 	if &r2.Output[0] != first {
 		t.Error("output buffer was reallocated despite the scratch")
 	}
@@ -124,7 +124,7 @@ func TestRunOutputScratch(t *testing.T) {
 	escaped := r2.Output
 	snapshot := append([]data.Tuple(nil), escaped...)
 	sc.DetachOutput()
-	r3 := Run(plan, db, Config{Scratch: sc})
+	r3, _ := Run(plan, db, Config{Scratch: sc})
 	if len(r3.Output) != 8 {
 		t.Fatalf("post-detach output = %d tuples", len(r3.Output))
 	}

@@ -285,11 +285,12 @@ func BuildPlan(q *query.Query, db *data.Database, cfg Config) *Plan {
 		}
 	}
 	pl.Phys = &exec.PhysicalPlan{
-		Strategy: "hypercube",
-		Virtual:  cfg.P,
-		Physical: cfg.P,
-		Router:   NewRouter(q, pl.Shares, hashing.NewFamily(cfg.Seed)),
-		Local:    local,
+		Strategy:  "hypercube",
+		Virtual:   cfg.P,
+		Physical:  cfg.P,
+		Router:    NewRouter(q, pl.Shares, hashing.NewFamily(cfg.Seed)),
+		Relations: q.AtomNames(),
+		Local:     local,
 		// The share product is validated above, so HC routing cannot emit
 		// out-of-range destinations; exec.Run treats any error as a bug.
 		PredictedBits: pl.PredictedBits,
@@ -301,16 +302,21 @@ func BuildPlan(q *query.Query, db *data.Database, cfg Config) *Plan {
 // HyperCube-specific result. Result slices are copies: plans are reused
 // across executions, so callers must not be able to mutate them.
 func (pl *Plan) Execute(db *data.Database) Result {
-	return pl.ExecuteWith(db, exec.Config{})
+	res, _ := pl.ExecuteWith(db, exec.Config{}) // no ctx in the config: never errors
+	return res
 }
 
 // ExecuteWith is Execute with caller-supplied executor configuration —
 // the engine passes a pooled exec.Scratch so repeated executions of a
 // cached plan stop allocating load-accounting slices. The plan's own
-// SkipJoin setting still governs whether the local join runs.
-func (pl *Plan) ExecuteWith(db *data.Database, ec exec.Config) Result {
+// SkipJoin setting still governs whether the local join runs. The only
+// error is ec.Ctx's cancellation.
+func (pl *Plan) ExecuteWith(db *data.Database, ec exec.Config) (Result, error) {
 	ec.SkipCompute = ec.SkipCompute || pl.skipJoin
-	er := exec.Run(pl.Phys, db, ec)
+	er, err := exec.Run(pl.Phys, db, ec)
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{
 		Shares:        append([]int(nil), pl.Shares...),
 		Exponents:     append([]float64(nil), pl.Exponents...),
@@ -318,7 +324,7 @@ func (pl *Plan) ExecuteWith(db *data.Database, ec exec.Config) Result {
 		PredictedBits: pl.PredictedBits,
 		Output:        er.Output,
 		Loads:         er.Loads,
-	}
+	}, nil
 }
 
 // Run executes the one-round HC algorithm for q over db on cfg.P simulated

@@ -43,6 +43,17 @@ func (q *Query) NumVars() int { return len(q.Vars) }
 // NumAtoms returns ℓ, the number of atoms.
 func (q *Query) NumAtoms() int { return len(q.Atoms) }
 
+// AtomNames returns the relation name of every atom, in body order
+// (distinct — the query model has no self-joins). Planners use it to
+// scope physical plans to exactly the relations they route.
+func (q *Query) AtomNames() []string {
+	names := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		names[i] = a.Name
+	}
+	return names
+}
+
 // TotalArity returns a = Σ_j a_j.
 func (q *Query) TotalArity() int {
 	total := 0

@@ -212,17 +212,23 @@ func PlanPipeline(q *query.Query, db *data.Database, cfg Config) *PipelinePlan {
 // Execute runs the pipeline over db and shapes the multi-round result,
 // permuting the final stage's columns into head order.
 func (pp *PipelinePlan) Execute(db *data.Database) Result {
-	return pp.ExecuteWith(db, exec.Config{})
+	res, _ := pp.ExecuteWith(db, exec.Config{}) // no ctx in the config: never errors
+	return res
 }
 
 // ExecuteWith is Execute with caller-supplied executor configuration (the
-// engine passes its cluster pool so cached pipelines reuse warm clusters).
-func (pp *PipelinePlan) ExecuteWith(db *data.Database, ec exec.Config) Result {
+// engine passes its cluster pool so cached pipelines reuse warm clusters,
+// and its context so a long pipeline aborts between rounds). The only
+// error is ec.Ctx's cancellation.
+func (pp *PipelinePlan) ExecuteWith(db *data.Database, ec exec.Config) (Result, error) {
 	q := pp.Logical.Query
 	if len(pp.Logical.Steps) == 0 {
-		return singleAtom(q, db)
+		return singleAtom(q, db), nil
 	}
-	pr := exec.RunPipeline(pp.Pipe, db, ec)
+	pr, err := exec.RunPipeline(pp.Pipe, db, ec)
+	if err != nil {
+		return Result{}, err
+	}
 	res := Result{
 		MaxBitsPerRound: pr.MaxBitsPerRound,
 		SumMaxBits:      pr.SumMaxBits,
@@ -238,5 +244,5 @@ func (pp *PipelinePlan) ExecuteWith(db *data.Database, ec exec.Config) Result {
 	}
 	last := pp.Logical.Steps[len(pp.Logical.Steps)-1]
 	res.Output = headOrderTuples(q, pr.Output, last.OutVars)
-	return res
+	return res, nil
 }

@@ -182,9 +182,10 @@ func (gs *generalState) plan(cfg GeneralConfig) *GeneralPlan {
 	}
 	q := gs.q
 	gp.Phys = &exec.PhysicalPlan{
-		Strategy: "bin-combination",
-		Virtual:  virtual,
-		Physical: gs.p,
+		Strategy:  "bin-combination",
+		Virtual:   virtual,
+		Physical:  gs.p,
+		Relations: q.AtomNames(),
 		Router: &generalRouter{
 			varPos:    gs.varPos,
 			plans:     plans,
@@ -205,15 +206,19 @@ func (gs *generalState) plan(cfg GeneralConfig) *GeneralPlan {
 // Execute runs the plan on the unified executor and assembles the
 // bin-combination result, including the per-combination load breakdown.
 func (gp *GeneralPlan) Execute(db *data.Database) GeneralResult {
-	return gp.ExecuteWith(db, exec.Config{})
+	res, _ := gp.ExecuteWith(db, exec.Config{}) // no ctx in the config: never errors
+	return res
 }
 
 // ExecuteWith is Execute with caller-supplied executor configuration (the
 // engine passes a pooled exec.Scratch for allocation-free load accounting
-// on cached-plan re-executions).
-func (gp *GeneralPlan) ExecuteWith(db *data.Database, ec exec.Config) GeneralResult {
+// on cached-plan re-executions). The only error is ec.Ctx's cancellation.
+func (gp *GeneralPlan) ExecuteWith(db *data.Database, ec exec.Config) (GeneralResult, error) {
 	ec.SkipCompute = ec.SkipCompute || gp.skipJoin
-	er := exec.Run(gp.Phys, db, ec)
+	er, err := exec.Run(gp.Phys, db, ec)
+	if err != nil {
+		return GeneralResult{}, err
+	}
 	res := GeneralResult{
 		Output:          er.Output,
 		MaxVirtualBits:  er.MaxVirtualBits,
@@ -237,7 +242,7 @@ func (gp *GeneralPlan) ExecuteWith(db *data.Database, ec exec.Config) GeneralRes
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // generalRouter routes tuples to every bin combination's subgrid. It

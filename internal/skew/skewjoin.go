@@ -307,6 +307,9 @@ func PlanJoin(q *query.Query, db *data.Database, cfg JoinConfig) *JoinPlan {
 		Virtual:  virtual,
 		Physical: cfg.P,
 		Router:   router,
+		// Route only the join's two relations: serving latency must not
+		// scale with unrelated relations sharing the database.
+		Relations: q.AtomNames(),
 		Local: func(s *mpc.Server) []data.Tuple {
 			return join.Join(q, s.Received)
 		},
@@ -411,15 +414,19 @@ func (jp *JoinPlan) classOf(id int) hitterClass {
 // Execute runs the plan on the unified executor and assembles the
 // skew-join result, including the per-class load breakdown.
 func (jp *JoinPlan) Execute(db *data.Database) JoinResult {
-	return jp.ExecuteWith(db, exec.Config{})
+	res, _ := jp.ExecuteWith(db, exec.Config{}) // no ctx in the config: never errors
+	return res
 }
 
 // ExecuteWith is Execute with caller-supplied executor configuration (the
 // engine passes a pooled exec.Scratch for allocation-free load accounting
-// on cached-plan re-executions).
-func (jp *JoinPlan) ExecuteWith(db *data.Database, ec exec.Config) JoinResult {
+// on cached-plan re-executions). The only error is ec.Ctx's cancellation.
+func (jp *JoinPlan) ExecuteWith(db *data.Database, ec exec.Config) (JoinResult, error) {
 	ec.SkipCompute = ec.SkipCompute || jp.skipJoin
-	er := exec.Run(jp.Phys, db, ec)
+	er, err := exec.Run(jp.Phys, db, ec)
+	if err != nil {
+		return JoinResult{}, err
+	}
 	res := JoinResult{
 		Output:          er.Output,
 		MaxVirtualBits:  er.MaxVirtualBits,
@@ -447,7 +454,7 @@ func (jp *JoinPlan) ExecuteWith(db *data.Database, ec exec.Config) JoinResult {
 			*slot = bits
 		}
 	}
-	return res
+	return res, nil
 }
 
 // VanillaHashJoin runs the baseline standard hash join on z (shares

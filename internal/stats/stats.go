@@ -73,6 +73,15 @@ func FrequenciesOrdered(r *data.Relation, attrs []int) *FreqMap {
 	m := r.Size()
 	f.Total = int64(m)
 	if len(attrs) == 1 {
+		// Mutating workloads maintain per-attribute frequencies on the
+		// relation (enabled by Database.Apply); replanning then reads them
+		// in O(distinct values) instead of rescanning the column.
+		if counts := r.AttrCounts(attrs[0]); counts != nil {
+			for v, c := range counts {
+				f.Counts[data.Key1(v)] = c
+			}
+			return f
+		}
 		for _, v := range r.Column(attrs[0]) {
 			f.Counts[data.Key1(v)]++
 		}
@@ -254,8 +263,12 @@ func (rs *RelationStats) FreqSorted(attrs []int, projected data.Tuple) int64 {
 }
 
 // Cardinality returns the number of distinct values in one column of r —
-// a single-column scan over the columnar storage.
+// O(1) off the maintained per-attribute frequencies when the relation is
+// serving deltas, a single-column scan otherwise.
 func Cardinality(r *data.Relation, attr int) int64 {
+	if counts := r.AttrCounts(attr); counts != nil {
+		return int64(len(counts))
+	}
 	seen := make(map[int64]struct{}, r.Size())
 	for _, v := range r.Column(attr) {
 		seen[v] = struct{}{}
@@ -321,13 +334,19 @@ const (
 	fnvPrime  uint64 = 1099511628211
 )
 
-// Fingerprint returns a cheap content hash of db: one linear scan, no
-// statistics collection. Two databases with the same relations (names,
-// shapes, and tuple multisets — insertion order is ignored) fingerprint
-// identically, so any plan built for one is valid for the other. The
-// engine's plan cache keys on this together with the query's canonical
-// form and p; a fingerprint scan costs O(Σ m_j) while replanning costs
-// heavy-hitter collection over every attribute subset plus LP solving.
+// Fingerprint returns a cheap content hash of db. Two databases with the
+// same relations (names, shapes, and tuple multisets — insertion order is
+// ignored) fingerprint identically, so any plan built for one is valid for
+// the other. The engine's plan cache keys on this together with the query's
+// canonical form and p.
+//
+// The per-relation content term is a commutative (and therefore reversible)
+// fold of avalanched per-tuple hashes, maintained incrementally by the
+// relation itself (data.Relation.ContentSum): the first fingerprint of a
+// relation scans it once, and every fingerprint after that — including
+// after Database.Apply deltas — costs O(relations), not O(tuples).
+// FingerprintRescan is the reference scanning implementation the
+// maintained sums are property-tested against; the two always agree.
 func Fingerprint(db *data.Database) uint64 {
 	h := fnvOffset
 	for _, name := range db.Names() {
@@ -338,11 +357,26 @@ func Fingerprint(db *data.Database) uint64 {
 		h = (h ^ uint64(r.Arity)) * fnvPrime
 		h = (h ^ uint64(r.Domain)) * fnvPrime
 		h = (h ^ uint64(r.Size())) * fnvPrime
-		// Commutative fold of avalanched per-tuple hashes: insertion order
-		// does not affect any plan (routing is per-tuple), so it must not
-		// affect the fingerprint either. Reads column slices directly — no
-		// row materialization — and produces the same hash as the
-		// row-major implementation did.
+		h = (h ^ r.ContentSum()) * fnvPrime
+	}
+	return h
+}
+
+// FingerprintRescan recomputes the fingerprint from scratch with a full
+// scan, ignoring maintained content sums. It is the reference for the
+// incremental maintenance (tests assert Fingerprint == FingerprintRescan
+// after arbitrary delta sequences) and the baseline the serving benchmark
+// measures the old per-Execute rescan cost with.
+func FingerprintRescan(db *data.Database) uint64 {
+	h := fnvOffset
+	for _, name := range db.Names() {
+		r := db.Relations[name]
+		for i := 0; i < len(name); i++ {
+			h = (h ^ uint64(name[i])) * fnvPrime
+		}
+		h = (h ^ uint64(r.Arity)) * fnvPrime
+		h = (h ^ uint64(r.Domain)) * fnvPrime
+		h = (h ^ uint64(r.Size())) * fnvPrime
 		var content uint64
 		cols := r.Columns()
 		m := r.Size()
@@ -354,6 +388,24 @@ func Fingerprint(db *data.Database) uint64 {
 			content += hashing.Mix64(th)
 		}
 		h = (h ^ content) * fnvPrime
+	}
+	return h
+}
+
+// SchemaFingerprint hashes only the database's shape — relation names,
+// arities, and domains — ignoring content. Serving-mode plan caches key on
+// it (with the database identity): a cached physical plan routes by column
+// positions, so it stays *correct* across content deltas but becomes
+// invalid if a relation's schema changes under it.
+func SchemaFingerprint(db *data.Database) uint64 {
+	h := fnvOffset
+	for _, name := range db.Names() {
+		r := db.Relations[name]
+		for i := 0; i < len(name); i++ {
+			h = (h ^ uint64(name[i])) * fnvPrime
+		}
+		h = (h ^ uint64(r.Arity)) * fnvPrime
+		h = (h ^ uint64(r.Domain)) * fnvPrime
 	}
 	return h
 }

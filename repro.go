@@ -28,10 +28,14 @@ type (
 	Tuple = data.Tuple
 	// Relation is a named relation instance over an integer domain.
 	Relation = data.Relation
-	// Database is a set of relations keyed by name.
+	// Database is a set of relations keyed by name. Serving workloads
+	// mutate it with Apply (batched Delta of inserts/deletes), which
+	// maintains fingerprints and per-attribute statistics incrementally.
 	Database = data.Database
 	// Engine evaluates queries in one MPC round on p simulated servers,
 	// caching physical plans across Execute calls on unchanged inputs.
+	// This is the pre-Session API: configuration is mutable fields, and
+	// invalid input panics. Serving code should Open a Session instead.
 	Engine = core.Engine
 	// PhysicalPlan is the unified executable form every strategy planner
 	// lowers to; exec.Run is the single executor they share.
@@ -109,7 +113,9 @@ func NewRelation(name string, arity int, domain int64) *Relation {
 	return data.NewRelation(name, arity, domain)
 }
 
-// NewEngine returns an engine for p servers; seed fixes all hashing.
+// NewEngine returns an engine for p servers; seed fixes all hashing. It
+// panics on p < 2 — Open is the error-returning, serving-grade entry
+// point.
 func NewEngine(p int, seed uint64) *Engine { return core.NewEngine(p, seed) }
 
 // Workload generators (deterministic in their seed, duplicate-free).
@@ -148,8 +154,16 @@ func RunGeneralSkew(q *Query, db *Database, cfg GeneralSkewConfig) GeneralSkewRe
 }
 
 // DatabaseFingerprint returns the content hash the engine's plan cache
-// keys on: equal fingerprints mean any cached plan remains valid.
-func DatabaseFingerprint(db *Database) uint64 { return stats.Fingerprint(db) }
+// keys on: equal fingerprints mean any cached plan remains valid. The
+// hash is maintained incrementally by the relations (first call scans,
+// Database.Apply updates per delta), so it costs O(relations) once warm.
+// It holds the database's read lock, so it is safe to call concurrently
+// with Apply.
+func DatabaseFingerprint(db *Database) uint64 {
+	db.RLock()
+	defer db.RUnlock()
+	return stats.Fingerprint(db)
+}
 
 // VanillaJoin runs the baseline standard hash join on z for relations
 // "S1","S2" (the algorithm that degrades to Ω(m) under skew), returning

@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/exec"
+)
+
+// Config is the immutable configuration of a Session. The zero value is
+// not usable: P must be at least 2.
+type Config struct {
+	// P is the physical server count queries execute on (≥ 2). Individual
+	// calls may override it with WithP.
+	P int
+	// Seed pins every hash family the session derives; equal seeds make
+	// runs reproducible.
+	Seed uint64
+	// PlanCacheCapacity bounds the plan cache: 0 means the default (64),
+	// negative means unbounded.
+	PlanCacheCapacity int
+	// ConsiderMultiRound adds multi-round pipelines to plan selection;
+	// WithMultiRound overrides it per call.
+	ConsiderMultiRound bool
+	// ReplanDriftFactor arms adaptive re-planning: when an execution's
+	// realized max load exceeds ReplanDriftFactor × the plan's predicted
+	// bits and the database content has changed since the plan was built
+	// (Database.Apply), the cached plan is marked stale and the next Exec
+	// replans against current statistics, reporting Result.Replanned.
+	// 0 disables re-planning; values in (0, 1) are rejected by Open.
+	ReplanDriftFactor float64
+	// ClusterPoolDepth bounds the session's warm-cluster pool per size
+	// bucket (0 means the default, 4); see PoolStats.
+	ClusterPoolDepth int
+}
+
+// Session is the serving-grade entry point: an Engine behind an immutable
+// configuration, per-call functional options, context cancellation, and a
+// plan cache that databases may mutate under (Database.Apply) with
+// adaptive re-planning when realized loads drift from the statistics plans
+// were frozen at. Sessions are safe for concurrent use.
+//
+// Unlike the pre-Session Engine API, a Session never panics on invalid
+// input: Open and Exec return errors.
+type Session struct {
+	eng *core.Engine
+}
+
+// Open validates cfg and returns a Session.
+func Open(cfg Config) (*Session, error) {
+	eng, err := core.New(core.Config{
+		P:                  cfg.P,
+		Seed:               cfg.Seed,
+		PlanCacheCapacity:  cfg.PlanCacheCapacity,
+		ConsiderMultiRound: cfg.ConsiderMultiRound,
+		DriftFactor:        cfg.ReplanDriftFactor,
+		ClusterPoolDepth:   cfg.ClusterPoolDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{eng: eng}, nil
+}
+
+// ExecOption is a per-call option for Session.Exec.
+type ExecOption struct {
+	apply func(*core.ExecOptions)
+}
+
+// WithStrategy forces the plan to use the given strategy instead of
+// letting statistics pick one.
+func WithStrategy(s Strategy) ExecOption {
+	return ExecOption{func(o *core.ExecOptions) {
+		forced := s
+		o.Strategy = &forced
+	}}
+}
+
+// WithMultiRound overrides the session's ConsiderMultiRound for this call:
+// whether multi-round pipelines compete with the one-round strategies on
+// predicted cost.
+func WithMultiRound(on bool) ExecOption {
+	return ExecOption{func(o *core.ExecOptions) {
+		mr := on
+		o.MultiRound = &mr
+	}}
+}
+
+// WithoutCache bypasses the plan cache for this call: plan, execute,
+// discard. Diagnostics and one-off queries use it to avoid polluting the
+// serving cache.
+func WithoutCache() ExecOption {
+	return ExecOption{func(o *core.ExecOptions) { o.NoCache = true }}
+}
+
+// WithP overrides the session's server count for this call (≥ 2). Plans
+// are cached per p, so alternating p values coexist in the cache.
+func WithP(p int) ExecOption {
+	return ExecOption{func(o *core.ExecOptions) { o.P = p }}
+}
+
+// Exec plans and executes q over db, honoring ctx: cancellation is checked
+// before planning, before the communication round, and between the rounds
+// of a multi-round pipeline, returning ctx.Err() if it fires.
+//
+// Exec serves from the session's plan cache keyed by (query, database
+// identity and schema, p, options that change plan selection) — database
+// *content* is deliberately not part of the key, so plans survive
+// Database.Apply deltas: a physical plan routes tuples by column position
+// and stays correct for any content, merely tuned for the statistics it
+// was planned with. Config.ReplanDriftFactor decides when "merely tuned"
+// has drifted into "replan it".
+//
+// Exec holds db's read lock for the duration of the run, so it serializes
+// against Database.Apply (and nothing else): concurrent Execs proceed in
+// parallel.
+func (s *Session) Exec(ctx context.Context, q *Query, db *Database, opts ...ExecOption) (Result, error) {
+	o := core.ExecOptions{Serving: true}
+	for _, opt := range opts {
+		if opt.apply != nil {
+			opt.apply(&o)
+		}
+	}
+	db.RLock()
+	defer db.RUnlock()
+	return s.eng.ExecuteContext(ctx, q, db, o)
+}
+
+// Explain renders the engine's plan analysis for q over db (strategy
+// choice, per-strategy predicted costs, bounds).
+func (s *Session) Explain(q *Query, db *Database) string {
+	db.RLock()
+	defer db.RUnlock()
+	return s.eng.Explain(q, db)
+}
+
+// CacheStats reports the session's plan-cache counters, including
+// drift-triggered Replans.
+func (s *Session) CacheStats() CacheStats { return s.eng.CacheStats() }
+
+// PoolStats reports the session's warm-cluster pool occupancy — how many
+// clusters are parked for reuse and the memory they pin.
+func (s *Session) PoolStats() PoolStats { return s.eng.PoolStats() }
+
+// ClearPlanCache drops every cached plan and resets the cache counters.
+func (s *Session) ClearPlanCache() { s.eng.ClearPlanCache() }
+
+// Serving-API types re-exported from the internal packages.
+type (
+	// CacheStats reports plan-cache counters and occupancy.
+	CacheStats = core.CacheStats
+	// PoolStats reports cluster-pool traffic and occupancy.
+	PoolStats = exec.PoolStats
+	// Delta is a batched database mutation applied by Database.Apply; the
+	// maintained statistics make the apply (and every fingerprint after
+	// it) cost O(delta), not O(database).
+	Delta = data.Delta
+)
+
+// NewDelta returns an empty delta for chaining:
+// NewDelta().Insert("S1", 1, 2).Delete("S2", 3, 4).
+func NewDelta() *Delta { return new(data.Delta) }
