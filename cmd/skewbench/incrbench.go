@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro"
+	"repro/internal/data"
+)
+
+// IncrBench is the committed BENCH_incr.json baseline for incremental
+// standing-query evaluation: StandingQuery.Advance after a small delta
+// versus a full cache-hit Session.Exec on the same database. A cache-hit
+// Exec re-routes the query's relations in full every call; an advance
+// routes only the delta's tuples through the same frozen router into
+// resident per-server state, so its cost scales with |delta| and stays
+// flat as the database (and any filler sharing it) grows.
+type IncrBench struct {
+	Instance string    `json:"instance"`
+	GoArch   string    `json:"goarch"`
+	NumCPU   int       `json:"num_cpu"`
+	Rows     []IncrRow `json:"rows"`
+}
+
+// IncrRow is one (database size, delta size) point.
+type IncrRow struct {
+	// FillerTuples is the size of the unrelated relation sharing the
+	// database; the queried relations stay fixed.
+	FillerTuples int `json:"filler_tuples"`
+	// DeltaOps is the operation count of the delta each advance folds in
+	// (half matched insert quads deriving answers, half their deletes, so
+	// the database is unchanged across iterations).
+	DeltaOps int `json:"delta_ops"`
+	// ApplyAdvanceNs is one Database.Apply of the delta plus the
+	// StandingQuery.Advance folding it into the materialized result.
+	ApplyAdvanceNs float64 `json:"apply_advance_ns"`
+	// ExecHitNs is a full cache-hit Session.Exec on the same database —
+	// the cost of answering by re-execution instead.
+	ExecHitNs float64 `json:"exec_hit_ns"`
+	// Speedup is ExecHitNs / ApplyAdvanceNs.
+	Speedup float64 `json:"speedup"`
+}
+
+// incrDelta builds an n-op delta over the queried relations that nets to
+// zero: matched S1/S2 insert pairs on fresh join values (each deriving one
+// answer) followed by their deletes (retracting it), so repeated applies
+// leave the database unchanged while every op routes and joins for real.
+func incrDelta(n int) *repro.Delta {
+	d := repro.NewDelta()
+	// Fresh values above the generated data's typical range, below the
+	// declared domain (1<<20).
+	base := int64(1<<20 - 4*int64(n) - 7)
+	ops := 0
+	for i := int64(0); ops+4 <= n; i++ {
+		a, b, z := base+4*i, base+4*i+1, base+4*i+2
+		d.Insert("S1", a, z).Insert("S2", b, z)
+		d.Delete("S1", a, z).Delete("S2", b, z)
+		ops += 4
+	}
+	for i := int64(0); ops < n; i++ {
+		v := base - 8 - 2*i
+		d.Insert("S1", v, v).Delete("S1", v, v)
+		ops += 2
+	}
+	return d
+}
+
+// runIncrBench measures advance-versus-reexecute across database and delta
+// sizes and writes the JSON baseline.
+func runIncrBench(path string) error {
+	const (
+		p     = 16
+		qrels = 2000
+	)
+	fillers := []int{0, 50_000, 200_000, 800_000}
+	deltas := []int{2, 64, 1000}
+	out := IncrBench{
+		Instance: fmt.Sprintf("join2 matchings m=%d p=%d seed=1; net-zero deltas on the queried relations; filler relation of growing size sharing the database", qrels, p),
+		GoArch:   runtime.GOARCH,
+		NumCPU:   runtime.NumCPU(),
+	}
+	q := repro.MustParseQuery("q(x,y,z) = S1(x,z), S2(y,z)")
+	ctx := context.Background()
+
+	for _, fill := range fillers {
+		db := repro.NewDatabase()
+		db.Put(repro.MatchingRelation("S1", 2, qrels, 1<<20, 1))
+		db.Put(repro.MatchingRelation("S2", 2, qrels, 1<<20, 2))
+		filler := data.NewRelation("F", 2, 1<<30)
+		for i := 0; i < fill; i++ {
+			filler.Add(int64(i), int64(i)+1)
+		}
+		db.Put(filler)
+
+		s, err := repro.Open(repro.Config{P: p, Seed: 1})
+		if err != nil {
+			return err
+		}
+		// Warm: plan cached, clusters pooled, content sums maintained.
+		for i := 0; i < 2; i++ {
+			if _, err := s.Exec(ctx, q, db); err != nil {
+				return err
+			}
+		}
+		hit := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(ctx, q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		h, err := s.Standing(ctx, q, db)
+		if err != nil {
+			return err
+		}
+		for _, n := range deltas {
+			d := incrDelta(n)
+			adv := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := db.Apply(d); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := h.Advance(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if st := h.Stats(); st.Reseeds != 0 {
+				return fmt.Errorf("incr bench advances reseeded (%d): measurements are not incremental", st.Reseeds)
+			}
+			row := IncrRow{
+				FillerTuples:   fill,
+				DeltaOps:       n,
+				ApplyAdvanceNs: float64(adv.NsPerOp()),
+				ExecHitNs:      float64(hit.NsPerOp()),
+			}
+			row.Speedup = row.ExecHitNs / row.ApplyAdvanceNs
+			out.Rows = append(out.Rows, row)
+		}
+		h.Close()
+	}
+
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("incr baseline written to %s\n%s", path, blob)
+	return nil
+}

@@ -10,6 +10,7 @@
 //	skewbench -roundsbench BENCH_rounds.json
 //	skewbench -commbench BENCH_comm.json
 //	skewbench -servebench BENCH_serve.json
+//	skewbench -incrbench BENCH_incr.json
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	roundsFlag := flag.String("roundsbench", "", "measure the multi-round pipeline baseline (resident shuffle + end-to-end), write JSON here, and exit")
 	commFlag := flag.String("commbench", "", "measure the communication engine baseline (sharded vs channel), write JSON here, and exit")
 	serveFlag := flag.String("servebench", "", "measure the Session serving hit path (latency vs database size, incremental vs rescan fingerprints), write JSON here, and exit")
+	incrFlag := flag.String("incrbench", "", "measure standing-query advances (delta routing) vs full cache-hit Exec across delta and database sizes, write JSON here, and exit")
 	flag.Parse()
 
 	if *routingFlag != "" {
@@ -56,6 +58,13 @@ func main() {
 	if *serveFlag != "" {
 		if err := runServeBench(*serveFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "skewbench: serve bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *incrFlag != "" {
+		if err := runIncrBench(*incrFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "skewbench: incr bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

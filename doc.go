@@ -14,7 +14,13 @@
 //     may mutate under: Database.Apply applies batched tuple deltas while
 //     maintaining fingerprints and per-attribute statistics incrementally,
 //     and Config.ReplanDriftFactor arms adaptive re-planning when realized
-//     loads drift from the statistics a cached plan froze.
+//     loads drift from the statistics a cached plan froze. Standing(ctx,
+//     q, db, opts...) registers an incremental view over a mutable
+//     database: after the seeding execution, each Advance routes only the
+//     applied delta tuples — not the database — through the frozen
+//     physical plan's router into resident per-server state, maintaining
+//     the materialized result (including exact delete retraction via
+//     derivation counting) and emitting a ResultDelta.
 //   - Engine (internal/core): plans and executes a query on p simulated
 //     servers, choosing between plain HyperCube (§3), the specialized skew
 //     join (§4.1), and the general bin-combination algorithm (§4.2) based

@@ -84,6 +84,55 @@ func ExampleSession_Exec_options() {
 	// cached plans: 0
 }
 
+// A standing query advances by routing only the applied delta tuples
+// through the frozen plan into resident per-server state — inserts derive
+// new answers, deletes retract exactly.
+func ExampleSession_Standing() {
+	db := repro.NewDatabase()
+	db.Put(repro.MatchingRelation("S1", 2, 1000, 1<<20, 1))
+	db.Put(repro.MatchingRelation("S2", 2, 1000, 1<<20, 2))
+	s, err := repro.Open(repro.Config{P: 16, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	q := repro.MustParseQuery("q(x,y,z) = S1(x,z), S2(y,z)")
+
+	h, err := s.Standing(context.Background(), q, db)
+	if err != nil {
+		panic(err)
+	}
+	defer h.Close()
+	before := len(h.Result())
+
+	// Two matched inserts on a fresh in-domain join value create one new answer.
+	z := int64(1<<20 - 1)
+	if err := db.Apply(repro.NewDelta().Insert("S1", 7, z).Insert("S2", 8, z)); err != nil {
+		panic(err)
+	}
+	rd, err := h.Advance(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("added:", len(rd.Added), "removed:", len(rd.Removed))
+	fmt.Println("result grew by:", len(h.Result())-before)
+
+	// Deleting one side retracts the answer it derived.
+	if err := db.Apply(repro.NewDelta().Delete("S1", 7, z)); err != nil {
+		panic(err)
+	}
+	rd, err = h.Advance(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("added:", len(rd.Added), "removed:", len(rd.Removed))
+	fmt.Println("reseeds:", h.Stats().Reseeds)
+	// Output:
+	// added: 1 removed: 0
+	// result grew by: 1
+	// added: 0 removed: 1
+	// reseeds: 0
+}
+
 // pk(C3) is the four-vertex set of Example 3.7.
 func ExamplePackingVertices() {
 	vs := repro.PackingVertices(repro.TriangleQuery())

@@ -89,6 +89,10 @@ type Config struct {
 	// ClusterPoolDepth bounds the engine's cluster pool per size bucket;
 	// 0 means exec.DefaultClusterPoolDepth.
 	ClusterPoolDepth int
+	// ResidentChunkTuples caps the rows one send part carries out of a
+	// resident fragment when pipelines shuffle intermediates
+	// server-to-server; 0 means mpc.DefaultResidentChunkTuples.
+	ResidentChunkTuples int
 }
 
 // Engine evaluates conjunctive queries in one communication round on p
@@ -152,6 +156,12 @@ type Engine struct {
 	// cached-plan serving draws a warm cluster — servers and Received maps
 	// retained — instead of reallocating Θ(Virtual) of both per execution.
 	clusters exec.ClusterPool
+	// standing registers the engine's live standing-query handles so plan
+	// invalidation (drift-triggered markStale, ClearPlanCache) can flag the
+	// handles whose resident state was built from the invalidated plan.
+	// Guarded by mu; the flag itself is an atomic on the handle, so no
+	// handle lock is ever taken under mu.
+	standing map[*StandingQuery]struct{}
 }
 
 // cacheEntry is one LRU node: the key (so eviction can unmap it) plus the
@@ -254,6 +264,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.ClusterPoolDepth < 0 {
 		return nil, fmt.Errorf("core: negative cluster pool depth %d", cfg.ClusterPoolDepth)
 	}
+	if cfg.ResidentChunkTuples < 0 {
+		return nil, fmt.Errorf("core: negative resident chunk %d", cfg.ResidentChunkTuples)
+	}
 	e := &Engine{P: cfg.P, Seed: cfg.Seed, conf: &cfg}
 	e.capacity = effectiveCapacity(cfg.PlanCacheCapacity)
 	e.capResolved = true
@@ -283,13 +296,14 @@ type ExecOptions struct {
 
 // settings is the resolved effective configuration of one execution.
 type settings struct {
-	p       int
-	seed    uint64
-	forced  *Strategy
-	mr      bool
-	noCache bool
-	serving bool
-	drift   float64
+	p             int
+	seed          uint64
+	forced        *Strategy
+	mr            bool
+	noCache       bool
+	serving       bool
+	drift         float64
+	residentChunk int
 }
 
 // settings resolves the engine configuration (immutable Config if present,
@@ -299,6 +313,7 @@ func (e *Engine) settings(opts ExecOptions) settings {
 	if e.conf != nil {
 		s.mr = e.conf.ConsiderMultiRound
 		s.drift = e.conf.DriftFactor
+		s.residentChunk = e.conf.ResidentChunkTuples
 	} else {
 		s.forced = e.ForceStrategy
 		s.mr = e.ConsiderMultiRound
@@ -432,7 +447,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Query, db *data.Da
 	if sc == nil {
 		sc = new(exec.Scratch)
 	}
-	ec := exec.Config{Scratch: sc, Clusters: &e.clusters, Ctx: ctx}
+	ec := exec.Config{Scratch: sc, Clusters: &e.clusters, Ctx: ctx, ResidentChunkTuples: s.residentChunk}
 	var execErr error
 	switch {
 	case cp.hc != nil:
@@ -498,12 +513,18 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Query, db *data.Da
 }
 
 // markStale marks the cached entry for key (if still cached) so the next
-// execution rebuilds it against current statistics.
+// execution rebuilds it against current statistics, and flags every
+// standing query built from that plan so its next Advance reseeds.
 func (e *Engine) markStale(key planKey) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if el, ok := e.cache[key]; ok {
 		el.Value.(*cacheEntry).stale = true
+	}
+	for sq := range e.standing {
+		if sq.key == key {
+			sq.stale.Store(true)
+		}
 	}
 }
 
@@ -682,13 +703,18 @@ func (e *Engine) PoolStats() exec.PoolStats {
 	return e.clusters.Stats()
 }
 
-// ClearPlanCache drops all cached plans and resets the counters.
+// ClearPlanCache drops all cached plans and resets the counters. Live
+// standing queries are flagged stale: their resident state was seeded from
+// a now-dropped plan, so their next Advance replans and reseeds.
 func (e *Engine) ClearPlanCache() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cache = nil
 	e.lru.Init()
 	e.hits, e.misses, e.evictions, e.replans = 0, 0, 0, 0
+	for sq := range e.standing {
+		sq.stale.Store(true)
+	}
 }
 
 // isJoin2Shaped recognizes q(x,y,z) = S1(x,z), S2(y,z) up to renaming:

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/data"
+	"repro/internal/exec"
+	"repro/internal/mpc"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// ResultDelta is the net effect of one Advance on a standing query's
+// materialized result: the answers that became live and the answers that
+// were retracted, in unspecified order. Version is the database version
+// the standing result now reflects. Slices are owned by the caller.
+type ResultDelta struct {
+	Added   []data.Tuple
+	Removed []data.Tuple
+	Version uint64
+}
+
+// StandingStats reports a standing query's cumulative maintenance work.
+type StandingStats struct {
+	// Advances counts Advance calls; Reseeds of them rebuilt resident
+	// state from scratch (plan invalidation, schema change, new heavy
+	// hitter, or a multi-round fallback refresh — which re-executes every
+	// Advance and also counts here).
+	Advances uint64
+	Reseeds  uint64
+	// AppliedOps counts delta operations consumed (including operations on
+	// relations outside the query, which are skipped for free).
+	AppliedOps uint64
+	// RoutedTuples/RoutedBits count delta tuples delivered to virtual
+	// servers by incremental maintenance — the standing analogue of the
+	// model's received load.
+	RoutedTuples int64
+	RoutedBits   int64
+	// ResidentTuples is the per-server resident state currently held
+	// (zero in multi-round fallback mode).
+	ResidentTuples int64
+	// Pending is the number of captured-but-unadvanced deltas.
+	Pending int
+}
+
+// StandingQuery is an incrementally maintained query registration: opened
+// by Engine.Standing, it holds the seeded per-server resident state of a
+// cached plan and consumes the owning database's delta stream. Each
+// Advance routes exactly the tuples applied since the previous Advance
+// through the plan's frozen router, updates the resident fragments and the
+// counted output, and returns the net ResultDelta.
+//
+// Maintenance is incremental for single-round plans (hypercube, skew join,
+// bin combinations). Multi-round pipelines conservatively fall back to a
+// full re-execution per Advance behind the same API.
+//
+// A StandingQuery is safe for concurrent use; Advance/Result/Stats/Close
+// serialize on an internal mutex, and delta capture runs under the
+// database's write lock independently of that mutex.
+type StandingQuery struct {
+	e    *Engine
+	q    *query.Query
+	db   *data.Database
+	s    settings
+	opts ExecOptions
+
+	// key is the plan-cache key the resident state was seeded from,
+	// guarded by e.mu (markStale matches handles by key while holding it;
+	// reseeds republish through e.setStandingKey).
+	key planKey
+
+	// stale is flagged (without any lock) by plan invalidation —
+	// drift-triggered markStale, ClearPlanCache — and by Close.
+	stale atomic.Bool
+
+	mu             sync.Mutex
+	st             *exec.Standing // nil in multi-round fallback mode
+	fallback       *mpc.Counted   // fallback mode's current counted result
+	watch          *stats.HeavyWatch
+	schema         uint64
+	appliedVersion uint64
+	closed         bool
+	unwatch        func()
+	stats          StandingStats
+
+	// queueMu guards pending, the capture queue the Watch callback feeds
+	// under the database's write lock. Lock order: db.mu → queueMu (the
+	// callback) and h.mu → db.RLock → queueMu (Advance); queueMu is always
+	// innermost and nothing is ever acquired while holding it.
+	queueMu sync.Mutex
+	pending []pendingDelta
+}
+
+type pendingDelta struct {
+	version uint64
+	d       *data.Delta
+}
+
+// Standing opens a standing query for q over db: it plans (or reuses the
+// cached serving-mode plan), executes the communication and local phases
+// once to seed resident per-server state, and subscribes to db's delta
+// stream. opts are resolved exactly as in ExecuteContext, except that
+// Serving is forced on (standing state only makes sense across content
+// deltas) and NoCache is ignored — the handle's identity with the plan
+// cache is what lets drift-triggered replans flag it for reseeding.
+//
+// The caller must not be holding db's lock. Close the handle when done or
+// its capture queue grows with every Apply.
+func (e *Engine) Standing(ctx context.Context, q *query.Query, db *data.Database, opts ExecOptions) (*StandingQuery, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.Serving = true
+	opts.NoCache = false
+	s := e.settings(opts)
+	if s.p < 2 {
+		return nil, fmt.Errorf("core: need p >= 2, got %d", s.p)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid query: %v", err)
+	}
+	for _, a := range q.Atoms {
+		if db.Get(a.Name) == nil {
+			return nil, fmt.Errorf("core: database missing relation %s", a.Name)
+		}
+	}
+	h := &StandingQuery{e: e, q: q, db: db, s: s, opts: opts}
+	// Subscribe before seeding: anything applied between subscription and
+	// the seed's read lock is captured with version ≤ the seed version and
+	// dropped by the gate, so no delta can fall between seed and stream.
+	h.unwatch = db.Watch(func(version uint64, d *data.Delta) {
+		h.queueMu.Lock()
+		h.pending = append(h.pending, pendingDelta{version: version, d: d})
+		h.queueMu.Unlock()
+	})
+	db.RLock()
+	err := h.seedLocked(ctx)
+	db.RUnlock()
+	if err != nil {
+		h.unwatch()
+		return nil, err
+	}
+	e.registerStanding(h)
+	return h, nil
+}
+
+// seedLocked (re)builds the handle's plan and resident state against the
+// database's current content. Callers hold h.mu (or own h exclusively)
+// and db's read lock.
+func (h *StandingQuery) seedLocked(ctx context.Context) error {
+	cp, key, _ := h.e.planFor(h.q, h.db, h.s)
+	var phys *exec.PhysicalPlan
+	switch {
+	case cp.hc != nil:
+		phys = cp.hc.Phys
+	case cp.sj != nil:
+		phys = cp.sj.Phys
+	case cp.gen != nil:
+		phys = cp.gen.Phys
+	}
+	if phys != nil {
+		st, err := exec.NewStanding(phys, h.q, h.db, exec.Config{
+			Clusters:            &h.e.clusters,
+			Ctx:                 ctx,
+			ResidentChunkTuples: h.s.residentChunk,
+		})
+		if err != nil {
+			return err
+		}
+		h.st, h.fallback = st, nil
+	} else {
+		res, err := h.e.ExecuteContext(ctx, h.q, h.db, h.opts)
+		if err != nil {
+			return err
+		}
+		c := mpc.NewCounted()
+		for _, t := range res.Output {
+			c.Add(t, 1)
+		}
+		h.st, h.fallback = nil, c
+	}
+	h.watch = stats.NewHeavyWatch(h.db, h.q.AtomNames(), h.s.p)
+	h.schema = stats.SchemaFingerprint(h.db)
+	h.appliedVersion = h.db.VersionLocked()
+	h.stale.Store(false)
+	h.e.setStandingKey(h, key)
+	return nil
+}
+
+// counted returns the current counted result, whichever mode holds it.
+func (h *StandingQuery) counted() *mpc.Counted {
+	if h.st != nil {
+		return h.st.Counted()
+	}
+	return h.fallback
+}
+
+// Advance consumes every delta applied to the database since the previous
+// Advance (or the seed) and returns the net result delta. With incremental
+// state it routes only the delta tuples; it falls back to a full reseed —
+// replan, re-route, rebuild resident state, diff old vs new result — when
+// the plan was invalidated (drift replan, ClearPlanCache), the database
+// schema changed, a delta introduced a new heavy hitter past the plan's
+// §4.1 threshold (routing it light would void the load guarantee), or the
+// capture stream is torn. Multi-round fallback handles re-execute fully on
+// every non-empty Advance.
+//
+// Advance with nothing pending and a valid plan is a no-op returning an
+// empty delta.
+func (h *StandingQuery) Advance(ctx context.Context) (ResultDelta, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ResultDelta{}, fmt.Errorf("core: standing query is closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return ResultDelta{}, err
+	}
+
+	// Fast path: nothing captured, plan still valid.
+	h.queueMu.Lock()
+	quiet := len(h.pending) == 0
+	h.queueMu.Unlock()
+	if quiet && !h.stale.Load() {
+		return ResultDelta{Version: h.appliedVersion}, nil
+	}
+
+	h.db.RLock()
+	defer h.db.RUnlock()
+	// Under the read lock no Apply is in flight, so the queue holds every
+	// delta up to the version we observe.
+	version := h.db.VersionLocked()
+	h.queueMu.Lock()
+	pending := h.pending
+	h.pending = nil
+	h.queueMu.Unlock()
+	// Gate: drop anything the seed already saw.
+	live := pending[:0]
+	for _, pd := range pending {
+		if pd.version > h.appliedVersion {
+			live = append(live, pd)
+		}
+	}
+	h.stats.Advances++
+	for _, pd := range live {
+		h.stats.AppliedOps += uint64(pd.d.Len())
+	}
+
+	reseed := h.stale.Load()
+	if !reseed && h.schema != stats.SchemaFingerprint(h.db) {
+		reseed = true
+	}
+	if !reseed && len(live) > 0 && live[0].version != h.appliedVersion+1 {
+		// A torn capture stream (should be impossible) is a correctness
+		// hazard; rebuild rather than guess.
+		reseed = true
+	}
+	if !reseed && h.st != nil {
+		// Pre-pass: a new heavy hitter invalidates the plan's frozen
+		// routing before any op is applied, so resident state is never
+		// half-advanced when we decide to reseed.
+		for _, pd := range live {
+			pd.d.EachOp(func(rel string, vals []int64, insert bool) {
+				if insert && h.watch.NewHeavy(h.db, rel, vals) {
+					reseed = true
+				}
+			})
+			if reseed {
+				break
+			}
+		}
+	}
+
+	if !reseed && h.st != nil {
+		// Incremental path: route exactly the delta tuples.
+		before := h.st.Load()
+		var opErr error
+		for _, pd := range live {
+			pd.d.EachOp(func(rel string, vals []int64, insert bool) {
+				if opErr != nil {
+					return
+				}
+				opErr = h.st.ApplyOp(rel, vals, insert)
+			})
+			if opErr != nil {
+				break
+			}
+		}
+		if opErr == nil {
+			after := h.st.Load()
+			h.stats.RoutedTuples += after.RoutedTuples - before.RoutedTuples
+			h.stats.RoutedBits += after.RoutedBits - before.RoutedBits
+			added, removed := h.st.Flush()
+			h.appliedVersion = version
+			return ResultDelta{Added: added, Removed: removed, Version: version}, nil
+		}
+		// Resident state is inconsistent; fall through to a reseed.
+		reseed = true
+	}
+	if !reseed && h.st == nil {
+		// Multi-round fallback: re-execute in full with the cached plan
+		// and diff — correctness behind the same API, none of the
+		// incremental savings. (ExecuteContext's own drift detection can
+		// still flag the plan, in which case the next Advance replans.)
+		res, err := h.e.ExecuteContext(ctx, h.q, h.db, h.opts)
+		if err != nil {
+			h.stale.Store(true)
+			return ResultDelta{}, err
+		}
+		c := mpc.NewCounted()
+		for _, t := range res.Output {
+			c.Add(t, 1)
+		}
+		added, removed := diffCounted(h.fallback, c)
+		h.fallback = c
+		h.appliedVersion = version
+		h.stats.Reseeds++
+		return ResultDelta{Added: added, Removed: removed, Version: version}, nil
+	}
+
+	// Reseed: replan against current statistics, rebuild resident state
+	// once, and report the diff of the materialized results. markStale
+	// forces planFor to rebuild even when the cache entry was still live
+	// (new-heavy-hitter reseeds are invisible to drift detection).
+	h.e.markStale(h.key)
+	old := h.counted()
+	if err := h.seedLocked(ctx); err != nil {
+		// Seeding failed (cancellation): state is unchanged; the deltas
+		// are lost from the queue but appliedVersion still gates a later
+		// reseed, which re-reads the database in full.
+		h.stale.Store(true)
+		return ResultDelta{}, err
+	}
+	h.stats.Reseeds++
+	added, removed := diffCounted(old, h.counted())
+	return ResultDelta{Added: added, Removed: removed, Version: h.appliedVersion}, nil
+}
+
+// Result returns the standing query's materialized result: the distinct
+// answers currently live. The returned slice is a stable snapshot (rows
+// are never mutated in place by later advances) but rows are shared with
+// internal state — treat them as read-only.
+func (h *StandingQuery) Result() []data.Tuple {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]data.Tuple(nil), h.counted().Tuples()...)
+}
+
+// Stats returns the handle's cumulative counters.
+func (h *StandingQuery) Stats() StandingStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.stats
+	if h.st != nil {
+		st.ResidentTuples = h.st.Load().ResidentTuples
+	}
+	h.queueMu.Lock()
+	st.Pending = len(h.pending)
+	h.queueMu.Unlock()
+	return st
+}
+
+// Close unsubscribes from the delta stream and releases the resident
+// state. Advance and Result error after Close; Close is idempotent.
+func (h *StandingQuery) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	h.unwatch()
+	h.e.unregisterStanding(h)
+	h.st, h.fallback = nil, mpc.NewCounted()
+	h.queueMu.Lock()
+	h.pending = nil
+	h.queueMu.Unlock()
+}
+
+// diffCounted returns the liveness diff old → new: tuples live only in new
+// (added) and only in old (removed). Rows are the counted fragments' own
+// copies, safe to hand to callers.
+func diffCounted(old, new *mpc.Counted) (added, removed []data.Tuple) {
+	for _, t := range new.Tuples() {
+		if old.Count(data.KeyOf(t)) == 0 {
+			added = append(added, t)
+		}
+	}
+	for _, t := range old.Tuples() {
+		if new.Count(data.KeyOf(t)) == 0 {
+			removed = append(removed, t)
+		}
+	}
+	return added, removed
+}
+
+// registerStanding adds h to the engine's invalidation registry.
+func (e *Engine) registerStanding(h *StandingQuery) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.standing == nil {
+		e.standing = make(map[*StandingQuery]struct{})
+	}
+	e.standing[h] = struct{}{}
+}
+
+// unregisterStanding removes h from the invalidation registry.
+func (e *Engine) unregisterStanding(h *StandingQuery) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.standing, h)
+}
+
+// setStandingKey republishes the plan-cache key h's state was seeded from;
+// markStale matches handles by key under e.mu.
+func (e *Engine) setStandingKey(h *StandingQuery, key planKey) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h.key = key
+}

@@ -34,6 +34,18 @@ func (d *Delta) Delete(rel string, vals ...int64) *Delta {
 // Len returns the number of recorded operations.
 func (d *Delta) Len() int { return len(d.ops) }
 
+// EachOp calls f on every recorded operation, in the order they were
+// recorded. The vals slice is the delta's own storage: recorded operations
+// are immutable (Insert/Delete only append), so callers may retain vals
+// without copying, but must not modify it. Standing queries use this to
+// re-route exactly the tuples a Database.Apply touched.
+func (d *Delta) EachOp(f func(rel string, vals []int64, insert bool)) {
+	for i := range d.ops {
+		op := &d.ops[i]
+		f(op.rel, op.vals, op.insert)
+	}
+}
+
 // Apply mutates the database by the delta, atomically: either every
 // operation applies, or none does and an error describes the first invalid
 // one (unknown relation, arity or domain mismatch, deleting an absent
@@ -109,6 +121,10 @@ func (db *Database) Apply(d *Delta) error {
 		} else {
 			r.removeRow(r.index[KeyOf(op.vals)])
 		}
+	}
+	db.version++
+	for _, w := range db.watchers {
+		w(db.version, d)
 	}
 	return nil
 }

@@ -517,6 +517,13 @@ type Database struct {
 
 	mu sync.RWMutex
 	id atomic.Uint64
+
+	// version counts successful Apply calls; watchers receive it with each
+	// applied delta so consumers (standing queries) can order and deduplicate
+	// the capture stream against state they rebuilt from a snapshot.
+	version  uint64
+	watchers map[int]func(version uint64, d *Delta)
+	nextW    int
 }
 
 // dbIDs hands out process-unique database identities.
@@ -544,6 +551,46 @@ func (db *Database) RLock() { db.mu.RLock() }
 
 // RUnlock releases RLock.
 func (db *Database) RUnlock() { db.mu.RUnlock() }
+
+// Version returns the number of successful Apply calls so far. Callers
+// that need a version consistent with the content they observe read it
+// under RLock; the bare read here is for diagnostics.
+func (db *Database) Version() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.version
+}
+
+// VersionLocked is Version for callers already holding RLock. Go's RWMutex
+// read lock is not recursive — re-acquiring it while a writer waits
+// deadlocks — so lock-holding callers (a standing query reading a
+// consistent snapshot) must use this form.
+func (db *Database) VersionLocked() uint64 { return db.version }
+
+// Watch registers w to be called after every successful Apply, under the
+// database's write lock (so notifications are totally ordered and the
+// delta's effects are fully visible when w runs). w receives the post-apply
+// version and the applied delta; it must be fast and must not call back
+// into the database. The returned function unregisters the watcher.
+//
+// This is the delta-capture hook standing queries subscribe to: instead of
+// re-reading the database, they replay exactly the operations that changed
+// it.
+func (db *Database) Watch(w func(version uint64, d *Delta)) (unwatch func()) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.watchers == nil {
+		db.watchers = make(map[int]func(uint64, *Delta))
+	}
+	id := db.nextW
+	db.nextW++
+	db.watchers[id] = w
+	return func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		delete(db.watchers, id)
+	}
+}
 
 // Put stores a relation under its own name.
 func (db *Database) Put(r *Relation) { db.Relations[r.Name] = r }

@@ -79,6 +79,11 @@ type Config struct {
 	// canceled execution returns ctx.Err() with a zero result; the cluster
 	// is still returned to the pool.
 	Ctx context.Context
+	// ResidentChunkTuples caps the rows one send part carries out of a
+	// resident fragment when a pipeline shuffles intermediates
+	// server-to-server; 0 means mpc.DefaultResidentChunkTuples. See
+	// BenchmarkResidentChunk for the tradeoff the default balances.
+	ResidentChunkTuples int
 }
 
 // ctxErr returns the configured context's cancellation error, if any.
@@ -156,6 +161,7 @@ func Run(plan *PhysicalPlan, db *data.Database, cfg Config) (Result, error) {
 		pool = &sharedClusters
 	}
 	cluster := pool.Get(plan.Virtual)
+	cluster.ResidentChunk = cfg.ResidentChunkTuples
 	var err error
 	if len(plan.Relations) > 0 {
 		rels := make([]*data.Relation, len(plan.Relations))

@@ -128,6 +128,7 @@ func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) (PipelineResult, e
 		return PipelineResult{}, err
 	}
 	cluster := pool.Get(maxVirtual)
+	cluster.ResidentChunk = cfg.ResidentChunkTuples
 	prev := make([]int64, maxVirtual)
 	var res PipelineResult
 	for i := range pl.Stages {

@@ -257,7 +257,7 @@ func TestAppendChunkedParts(t *testing.T) {
 // then shuffles it back out: the hot fragment is larger than the chunking
 // threshold, and the redistribution must still be exact.
 func TestShuffleResidentChunksHotFragment(t *testing.T) {
-	m := 3*residentChunkTuples + 17
+	m := 3*DefaultResidentChunkTuples + 17
 	domain := int64(1)
 	for domain < int64(m) {
 		domain *= 2

@@ -120,6 +120,11 @@ type Cluster struct {
 	// Comm selects the communication engine; the zero value is the
 	// sharded zero-channel engine.
 	Comm CommEngine
+	// ResidentChunk caps the rows one send part carries out of a resident
+	// fragment in ShuffleResident; defaults to DefaultResidentChunkTuples
+	// when zero. Like Senders it controls work granularity only, never
+	// where tuples are delivered.
+	ResidentChunk int
 
 	// pool holds every server ever created for this cluster; Servers is
 	// pool[:P]. Servers keep their identity (and Received map buckets)
@@ -205,12 +210,15 @@ func (c *Cluster) RoundRelations(router Router, rels ...*data.Relation) error {
 	return c.communicate(parts, router)
 }
 
-// residentChunkTuples caps the rows one send part carries out of a resident
-// fragment. A skewed intermediate concentrated on one hot server used to
-// enter the next round as a single part routed by a single worker,
-// serializing the round; chunking splits it so the whole worker pool routes
-// it in parallel.
-const residentChunkTuples = 1024
+// DefaultResidentChunkTuples caps the rows one send part carries out of a
+// resident fragment when Cluster.ResidentChunk is zero. A skewed
+// intermediate concentrated on one hot server used to enter the next round
+// as a single part routed by a single worker, serializing the round;
+// chunking splits it so the whole worker pool routes it in parallel. The
+// default sits at the flat bottom of BenchmarkResidentChunk's sweep: small
+// enough that one hot fragment fans out across the worker pool, large
+// enough that per-part overhead stays negligible.
+const DefaultResidentChunkTuples = 1024
 
 // ShuffleResident executes a communication phase whose senders are the
 // cluster's own servers: each server routes its resident fragment of every
@@ -222,6 +230,10 @@ const residentChunkTuples = 1024
 // the model's load, whatever server sent them). Fragments larger than the
 // chunking threshold are split into multiple send parts.
 func (c *Cluster) ShuffleResident(router Router, names ...string) error {
+	chunk := c.ResidentChunk
+	if chunk <= 0 {
+		chunk = DefaultResidentChunkTuples
+	}
 	var parts []sendPart
 	for _, s := range c.Servers {
 		for _, name := range names {
@@ -233,7 +245,7 @@ func (c *Cluster) ShuffleResident(router Router, names ...string) error {
 			// concurrently, so the outgoing fragment must no longer be
 			// reachable there.
 			delete(s.Received, name)
-			parts = appendChunkedParts(parts, frag, residentChunkTuples)
+			parts = appendChunkedParts(parts, frag, chunk)
 		}
 	}
 	return c.communicate(parts, router)

@@ -1,0 +1,273 @@
+// Standing-query storage: the per-server resident state an incremental
+// (delta-routed) evaluation maintains between advances.
+//
+// A one-round plan's communication phase partitions every base relation
+// across virtual servers; the local phase joins each server's fragments.
+// A standing query freezes that layout and keeps, per virtual server, the
+// base-side fragments as hash indexes keyed exactly the way the local
+// join will probe them (Resident), plus one global counted output fragment
+// (Counted) whose per-tuple derivation counts make deletes retract exactly:
+// an output tuple is live while its count is positive, and routing a
+// delete through the same deterministic router removes precisely the
+// derivations its insert created.
+package mpc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// SenderRouter resolves the router instance one goroutine should use for
+// routing: the private-scratch instance for PerSenderRouter
+// implementations, the router itself otherwise. Standing queries route
+// delta tuples outside a communication phase (single-threaded, one tuple
+// at a time) and need the same per-goroutine discipline the phase workers
+// get internally.
+func SenderRouter(r Router) Router { return forSender(r) }
+
+// ResidentIndex names one hash index a standing query maintains: the
+// fragment of relation Rel indexed by the (ascending) attribute positions
+// Pos. An empty Pos indexes the whole fragment under the zero key — the
+// probe shares no bound variables (disconnected queries).
+type ResidentIndex struct {
+	Rel string
+	Pos []int
+}
+
+// ResidentLayout is the set of indexes every server of one standing query
+// maintains, deduplicated: two probes of the same relation on the same
+// position set share an index. Build it once per standing query with
+// AddIndex and share it (read-only) across all servers.
+type ResidentLayout struct {
+	Kinds []ResidentIndex
+	// byRel maps a relation name to the kind IDs maintained over it.
+	byRel map[string][]int
+}
+
+// AddIndex interns the index (rel, pos) and returns its kind ID. pos is
+// copied and sorted ascending (the canonical probe order).
+func (l *ResidentLayout) AddIndex(rel string, pos []int) int {
+	sorted := append([]int(nil), pos...)
+	sort.Ints(sorted)
+	for id, k := range l.Kinds {
+		if k.Rel != rel || len(k.Pos) != len(sorted) {
+			continue
+		}
+		same := true
+		for i := range sorted {
+			if k.Pos[i] != sorted[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return id
+		}
+	}
+	if l.byRel == nil {
+		l.byRel = make(map[string][]int)
+	}
+	id := len(l.Kinds)
+	l.Kinds = append(l.Kinds, ResidentIndex{Rel: rel, Pos: sorted})
+	l.byRel[rel] = append(l.byRel[rel], id)
+	return id
+}
+
+// KindsOf returns the kind IDs maintained over rel (nil when the relation
+// has no index — it is not part of the standing query).
+func (l *ResidentLayout) KindsOf(rel string) []int { return l.byRel[rel] }
+
+// Resident is one virtual server's resident base-side state: for every
+// index kind of the layout, a hash map from probe key to the fragment
+// tuples matching it. Tuples are stored by value (copied on insert), so
+// resident state never aliases a mutating relation.
+type Resident struct {
+	layout *ResidentLayout
+	idx    []map[data.Key][]data.Tuple
+	// n counts stored tuples (each once, however many indexes cover it),
+	// maintained on Insert/Delete so Tuples is O(1) — Advance reads it on
+	// every call and must stay O(delta).
+	n int64
+}
+
+// NewResident returns an empty per-server store for the layout.
+func NewResident(layout *ResidentLayout) *Resident {
+	return &Resident{layout: layout, idx: make([]map[data.Key][]data.Tuple, len(layout.Kinds))}
+}
+
+// keyFor projects t onto the kind's positions.
+func keyFor(k *ResidentIndex, t data.Tuple) data.Key {
+	switch len(k.Pos) {
+	case 0:
+		return data.Key{}
+	case 1:
+		return data.Key1(t[k.Pos[0]])
+	}
+	proj := make(data.Tuple, len(k.Pos))
+	for i, p := range k.Pos {
+		proj[i] = t[p]
+	}
+	return data.KeyOf(proj)
+}
+
+// Insert adds one tuple of rel to every index maintained over it. The
+// tuple is copied once; all indexes share the copy.
+func (r *Resident) Insert(rel string, t data.Tuple) {
+	kinds := r.layout.byRel[rel]
+	if len(kinds) == 0 {
+		return
+	}
+	r.n++
+	cp := append(data.Tuple(nil), t...)
+	for _, id := range kinds {
+		if r.idx[id] == nil {
+			r.idx[id] = make(map[data.Key][]data.Tuple)
+		}
+		k := keyFor(&r.layout.Kinds[id], cp)
+		r.idx[id][k] = append(r.idx[id][k], cp)
+	}
+}
+
+// Delete removes one occurrence of t from every index maintained over rel,
+// reporting whether it was present (fragments are duplicate-free, so the
+// occurrence is unique). A false return means the resident state is
+// inconsistent with the op stream — the caller should rebuild from
+// scratch.
+func (r *Resident) Delete(rel string, t data.Tuple) bool {
+	kinds := r.layout.byRel[rel]
+	if len(kinds) == 0 {
+		return true
+	}
+	found := false
+	for _, id := range kinds {
+		m := r.idx[id]
+		if m == nil {
+			continue
+		}
+		k := keyFor(&r.layout.Kinds[id], t)
+		bucket := m[k]
+		for i, bt := range bucket {
+			if equalTuple(bt, t) {
+				last := len(bucket) - 1
+				bucket[i] = bucket[last]
+				bucket[last] = nil
+				if last == 0 {
+					delete(m, k)
+				} else {
+					m[k] = bucket[:last]
+				}
+				found = true
+				break
+			}
+		}
+	}
+	if found {
+		r.n--
+	}
+	return found
+}
+
+// Probe returns the fragment tuples of index kind `kind` matching key —
+// the bucket is live internal storage, read-only for the caller and only
+// valid until the next Insert/Delete.
+func (r *Resident) Probe(kind int, key data.Key) []data.Tuple {
+	m := r.idx[kind]
+	if m == nil {
+		return nil
+	}
+	return m[key]
+}
+
+// Tuples returns the number of distinct stored tuples across the server's
+// fragments (each tuple counted once however many indexes cover it).
+func (r *Resident) Tuples() int64 { return r.n }
+
+func equalTuple(a, b data.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counted is a retraction-aware output fragment: a multiset of tuples with
+// per-tuple derivation counts plus an incrementally maintained materialized
+// view of the live tuples (count > 0). Counting-based maintenance makes
+// deletes exact: an advance that removes the last derivation of a tuple
+// retracts it from the materialized result, and overlapping derivations
+// (the §4.2 bin combinations produce the same answer in several
+// combinations) retire one at a time without ever retracting early.
+type Counted struct {
+	counts map[data.Key]int64
+	pos    map[data.Key]int
+	tuples []data.Tuple
+}
+
+// NewCounted returns an empty counted fragment.
+func NewCounted() *Counted {
+	return &Counted{counts: make(map[data.Key]int64), pos: make(map[data.Key]int)}
+}
+
+// Add folds n (positive or negative) derivations of t into the fragment
+// and reports the materialization transition: appeared (count left zero
+// going up) or vanished (count reached zero going down). A negative count
+// is an inconsistency — the caller routed a retraction that was never
+// derived — and panics, because continuing would silently corrupt the
+// standing result.
+func (c *Counted) Add(t data.Tuple, n int64) (appeared, vanished bool) {
+	if n == 0 {
+		return false, false
+	}
+	k := data.KeyOf(t)
+	old := c.counts[k]
+	now := old + n
+	switch {
+	case now < 0:
+		panic(fmt.Sprintf("mpc: counted fragment: %v retracted below zero (%d%+d)", t, old, n))
+	case now == 0:
+		delete(c.counts, k)
+	default:
+		c.counts[k] = now
+	}
+	if old == 0 && now > 0 {
+		c.pos[k] = len(c.tuples)
+		c.tuples = append(c.tuples, append(data.Tuple(nil), t...))
+		return true, false
+	}
+	if old > 0 && now == 0 {
+		i := c.pos[k]
+		last := len(c.tuples) - 1
+		if i != last {
+			c.tuples[i] = c.tuples[last]
+			c.pos[data.KeyOf(c.tuples[i])] = i
+		}
+		c.tuples[last] = nil
+		c.tuples = c.tuples[:last]
+		delete(c.pos, k)
+		return false, true
+	}
+	return false, false
+}
+
+// Count returns the derivation count of key (0 when absent).
+func (c *Counted) Count(k data.Key) int64 { return c.counts[k] }
+
+// Len returns the number of live (count > 0) tuples.
+func (c *Counted) Len() int { return len(c.tuples) }
+
+// Tuples returns the live tuples. The slice and its rows are internal
+// storage: read-only, valid until the next Add.
+func (c *Counted) Tuples() []data.Tuple { return c.tuples }
+
+// Each calls f on every live tuple with its derivation count.
+func (c *Counted) Each(f func(t data.Tuple, count int64)) {
+	for _, t := range c.tuples {
+		f(t, c.counts[data.KeyOf(t)])
+	}
+}

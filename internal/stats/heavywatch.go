@@ -1,0 +1,94 @@
+package stats
+
+import "repro/internal/data"
+
+// HeavyWatch detects when a mutating workload grows a *new* heavy hitter
+// past the §4.1 threshold after a plan froze its heavy sets. The skew-aware
+// routers fix, at plan time, which values route through dedicated server
+// grids; a value that later crosses m/p would keep routing light — still
+// correct (equal values still meet), but with the per-server load guarantee
+// of Theorems 4.2/4.9 silently void. Standing queries consult the watch on
+// every inserted delta tuple and reseed from a fresh plan the moment a new
+// heavy hitter appears, rather than keep routing with a stale grid.
+//
+// The watch covers single attributes only — the per-variable frequency maps
+// Database.Apply maintains incrementally — so a value combination over ≥2
+// attributes crossing the threshold is not detected here; the drift-based
+// replan heuristics remain the backstop for that (documented limitation).
+type HeavyWatch struct {
+	rels map[string]*relWatch
+}
+
+type relWatch struct {
+	// threshold is the plan-time m/p. It is deliberately frozen with the
+	// heavy sets: the plan's grids were sized against it, so crossing *it*
+	// is what invalidates the plan, not crossing the drifting current m/p.
+	threshold int64
+	// heavy[a] holds the values of attribute a that the plan already
+	// treats as heavy (routes through grids); only values outside it can
+	// newly invalidate.
+	heavy []map[int64]bool
+}
+
+// NewHeavyWatch snapshots the heavy sets of the named relations of db at
+// threshold m/p. The caller must hold db's read lock (or otherwise exclude
+// Apply).
+func NewHeavyWatch(db *data.Database, names []string, p int) *HeavyWatch {
+	w := &HeavyWatch{rels: make(map[string]*relWatch, len(names))}
+	for _, name := range names {
+		r := db.Relations[name]
+		if r == nil {
+			continue
+		}
+		rw := &relWatch{
+			threshold: int64(r.Size()) / int64(p),
+			heavy:     make([]map[int64]bool, r.Arity),
+		}
+		for a := 0; a < r.Arity; a++ {
+			f := Frequencies(r, []int{a})
+			hs := make(map[int64]bool)
+			for k, c := range f.Counts {
+				if c > rw.threshold {
+					hs[k.At(0)] = true
+				}
+			}
+			rw.heavy[a] = hs
+		}
+		w.rels[name] = rw
+	}
+	return w
+}
+
+// NewHeavy reports whether inserting vals into rel made some attribute
+// value heavy that the plan treats as light: its maintained current
+// frequency exceeds the plan-time threshold and it was not in the
+// snapshot's heavy set. The caller must hold db's read lock and call this
+// *after* the insert has been applied (Database.Apply maintains the
+// per-attribute counts the check reads, so it costs O(arity) map probes).
+// Relations the watch does not cover — not named at construction — never
+// report heavy.
+func (w *HeavyWatch) NewHeavy(db *data.Database, rel string, vals []int64) bool {
+	rw := w.rels[rel]
+	if rw == nil {
+		return false
+	}
+	r := db.Relations[rel]
+	if r == nil || len(vals) != len(rw.heavy) {
+		return false
+	}
+	for a, v := range vals {
+		if rw.heavy[a][v] {
+			continue
+		}
+		counts := r.AttrCounts(a)
+		if counts == nil {
+			// Maintenance not enabled: the relation has never been through
+			// Apply, so its content cannot have drifted from the snapshot.
+			continue
+		}
+		if counts[v] > rw.threshold {
+			return true
+		}
+	}
+	return false
+}

@@ -33,6 +33,11 @@ type Config struct {
 	// ClusterPoolDepth bounds the session's warm-cluster pool per size
 	// bucket (0 means the default, 4); see PoolStats.
 	ClusterPoolDepth int
+	// ResidentChunkTuples sets the chunk size (in tuples) for resident
+	// fragment transfers and standing-query seeding; 0 means the tuned
+	// default (see mpc.DefaultResidentChunkTuples and
+	// BenchmarkResidentChunk), negative is rejected by Open.
+	ResidentChunkTuples int
 }
 
 // Session is the serving-grade entry point: an Engine behind an immutable
@@ -50,12 +55,13 @@ type Session struct {
 // Open validates cfg and returns a Session.
 func Open(cfg Config) (*Session, error) {
 	eng, err := core.New(core.Config{
-		P:                  cfg.P,
-		Seed:               cfg.Seed,
-		PlanCacheCapacity:  cfg.PlanCacheCapacity,
-		ConsiderMultiRound: cfg.ConsiderMultiRound,
-		DriftFactor:        cfg.ReplanDriftFactor,
-		ClusterPoolDepth:   cfg.ClusterPoolDepth,
+		P:                   cfg.P,
+		Seed:                cfg.Seed,
+		PlanCacheCapacity:   cfg.PlanCacheCapacity,
+		ConsiderMultiRound:  cfg.ConsiderMultiRound,
+		DriftFactor:         cfg.ReplanDriftFactor,
+		ClusterPoolDepth:    cfg.ClusterPoolDepth,
+		ResidentChunkTuples: cfg.ResidentChunkTuples,
 	})
 	if err != nil {
 		return nil, err
@@ -127,6 +133,27 @@ func (s *Session) Exec(ctx context.Context, q *Query, db *Database, opts ...Exec
 	return s.eng.ExecuteContext(ctx, q, db, o)
 }
 
+// Standing registers q over db as a standing query: it executes once to
+// seed per-server resident state and a materialized result, then each
+// Advance routes only the tuples of the Deltas applied since the last
+// advance — not the database — through the cached physical plan's router,
+// maintaining the result incrementally. Deletes retract exactly via
+// counting-based multiset maintenance. Single-round plans advance
+// incrementally; multi-round pipelines fall back to full re-execution
+// behind the same API. The handle observes Database.Apply automatically;
+// call Advance to fold pending deltas into the result, and Close when
+// done. See StandingQuery for invalidation (schema changes, new heavy
+// hitters, ClearPlanCache) and staleness semantics.
+func (s *Session) Standing(ctx context.Context, q *Query, db *Database, opts ...ExecOption) (*StandingQuery, error) {
+	o := core.ExecOptions{}
+	for _, opt := range opts {
+		if opt.apply != nil {
+			opt.apply(&o)
+		}
+	}
+	return s.eng.Standing(ctx, q, db, o)
+}
+
 // Explain renders the engine's plan analysis for q over db (strategy
 // choice, per-strategy predicted costs, bounds).
 func (s *Session) Explain(q *Query, db *Database) string {
@@ -156,6 +183,15 @@ type (
 	// maintained statistics make the apply (and every fingerprint after
 	// it) cost O(delta), not O(database).
 	Delta = data.Delta
+	// StandingQuery is a live incremental view over a mutable database;
+	// see Session.Standing.
+	StandingQuery = core.StandingQuery
+	// ResultDelta is the net result change reported by one
+	// StandingQuery.Advance.
+	ResultDelta = core.ResultDelta
+	// StandingStats reports a standing query's cumulative maintenance
+	// counters.
+	StandingStats = core.StandingStats
 )
 
 // NewDelta returns an empty delta for chaining:

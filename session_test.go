@@ -279,9 +279,10 @@ func TestSessionContextCancellation(t *testing.T) {
 }
 
 // TestSessionConcurrentServing is the serving stress satellite: one
-// Session, 8 goroutines mixing Exec (with assorted options), Database.Apply
-// deltas, cache clears, and stats polling under the race detector, with
-// answers checked against a fresh-engine oracle after every delta.
+// Session, 9 goroutines mixing Exec (with assorted options), Database.Apply
+// deltas, standing-query advances, cache clears, and stats polling under
+// the race detector, with answers checked against a fresh-engine oracle
+// after every delta and every advance.
 func TestSessionConcurrentServing(t *testing.T) {
 	const p = 8
 	db := NewDatabase()
@@ -362,6 +363,37 @@ func TestSessionConcurrentServing(t *testing.T) {
 			}
 		}(g)
 	}
+
+	// 1 standing-query advancer: the handle observes the appliers' deltas
+	// and survives the cache clearer's invalidations (each forces a
+	// reseed). applyMu pins the database between an advance and its
+	// fresh-engine oracle so the comparison is against the state the
+	// advance saw.
+	h, err := s.Standing(ctx, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			applyMu.Lock()
+			if _, err := h.Advance(ctx); err != nil {
+				applyMu.Unlock()
+				fail("standing advance: %v", err)
+				return
+			}
+			got := h.Result()
+			want := NewEngine(p, 5).Execute(q, db)
+			if !equalTupleSets(got, want.Output) {
+				applyMu.Unlock()
+				fail("standing result: %d answers vs oracle %d", len(got), len(want.Output))
+				return
+			}
+			applyMu.Unlock()
+		}
+	}()
 
 	// 1 cache clearer + 1 stats poller.
 	wg.Add(2)
