@@ -11,6 +11,7 @@
 //	skewbench -commbench BENCH_comm.json
 //	skewbench -servebench BENCH_serve.json
 //	skewbench -incrbench BENCH_incr.json
+//	skewbench -overloadbench BENCH_overload.json
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	commFlag := flag.String("commbench", "", "measure the communication engine baseline (sharded vs channel), write JSON here, and exit")
 	serveFlag := flag.String("servebench", "", "measure the Session serving hit path (latency vs database size, incremental vs rescan fingerprints), write JSON here, and exit")
 	incrFlag := flag.String("incrbench", "", "measure standing-query advances (delta routing) vs full cache-hit Exec across delta and database sizes, write JSON here, and exit")
+	overloadFlag := flag.String("overloadbench", "", "measure serving under write pressure (snapshot vs lock-coupled reads) and the 2x-capacity shed rate, write JSON here, and exit")
 	flag.Parse()
 
 	if *routingFlag != "" {
@@ -65,6 +67,13 @@ func main() {
 	if *incrFlag != "" {
 		if err := runIncrBench(*incrFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "skewbench: incr bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *overloadFlag != "" {
+		if err := runOverloadBench(*overloadFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "skewbench: overload bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// OverloadBench is the committed BENCH_overload.json baseline for serving
+// under write pressure and overload. The latency triple captures why Exec
+// reads a snapshot epoch instead of holding the database read lock: with a
+// concurrent Apply writer hammering deltas, the snapshot path's cache-hit
+// latency stays near the no-writer baseline (writers copy, readers never
+// wait), while the old lock-coupled discipline — emulated here by wrapping
+// each Exec in a reader lock the writer's Apply excludes — stalls every
+// reader behind every write. ShedRate shows admission control holding the
+// line at 2× capacity: the excess is rejected promptly with ErrOverloaded
+// instead of queueing without bound.
+type OverloadBench struct {
+	Instance string `json:"instance"`
+	GoArch   string `json:"goarch"`
+	NumCPU   int    `json:"num_cpu"`
+
+	// Cache-hit Exec latency, no concurrent writer.
+	NoWriterP50Ns float64 `json:"no_writer_p50_ns"`
+	NoWriterP99Ns float64 `json:"no_writer_p99_ns"`
+	// Cache-hit Exec latency with a concurrent Apply writer; Exec reads a
+	// snapshot epoch (the shipped path).
+	SnapshotWriterP50Ns float64 `json:"snapshot_writer_p50_ns"`
+	SnapshotWriterP99Ns float64 `json:"snapshot_writer_p99_ns"`
+	// Same concurrent writer, but every Exec wrapped in a reader lock that
+	// Apply excludes — an emulation of the pre-snapshot lock-coupled read
+	// path (Exec held the database read lock for its full duration).
+	RLockWriterP50Ns float64 `json:"rlock_writer_p50_ns"`
+	RLockWriterP99Ns float64 `json:"rlock_writer_p99_ns"`
+
+	// Overload phase: 2× capacity concurrent callers against a session with
+	// no wait queue.
+	OverloadCapacity int     `json:"overload_capacity"`
+	OverloadCallers  int     `json:"overload_callers"`
+	OverloadCalls    uint64  `json:"overload_calls"`
+	Admitted         uint64  `json:"admitted"`
+	Shed             uint64  `json:"shed"`
+	ShedRate         float64 `json:"shed_rate"`
+}
+
+// quantileNs returns the q-quantile (0..1) of the sample set.
+func quantileNs(samples []time.Duration, q float64) float64 {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	i := int(q * float64(len(samples)-1))
+	return float64(samples[i].Nanoseconds())
+}
+
+// overloadDB builds the benchmark database: two matched relations the query
+// joins, sized so a cache-hit Exec is fast enough to sample thousands of
+// calls.
+func overloadDB() *repro.Database {
+	db := repro.NewDatabase()
+	db.Put(repro.MatchingRelation("S1", 2, 1000, 1<<20, 1))
+	db.Put(repro.MatchingRelation("S2", 2, 1000, 1<<20, 2))
+	return db
+}
+
+// sampleExec measures n cache-hit Execs, optionally under a concurrent
+// Apply writer, optionally with the reader-lock emulation of the
+// pre-snapshot path. The writer alternates a net-zero insert/delete pair so
+// the database content churns without growing.
+func sampleExec(n int, withWriter bool, rw *sync.RWMutex) ([]time.Duration, error) {
+	db := overloadDB()
+	q := repro.MustParseQuery("q(x,y,z) = S1(x,z), S2(y,z)")
+	s, err := repro.Open(repro.Config{P: 8, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ { // warm: plan cached, clusters pooled
+		if _, err := s.Exec(ctx, q, db); err != nil {
+			return nil, err
+		}
+	}
+
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	var writerErr error
+	if withWriter {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := int64(1<<20 - 1 - i%64)
+				d := repro.NewDelta().
+					Insert("S1", v, v).
+					Delete("S1", v, v)
+				if rw != nil {
+					rw.Lock()
+				}
+				err := db.Apply(d)
+				if rw != nil {
+					rw.Unlock()
+				}
+				if err != nil {
+					writerErr = err
+					return
+				}
+			}
+		}()
+	}
+
+	samples := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if rw != nil {
+			rw.RLock()
+		}
+		_, err := s.Exec(ctx, q, db)
+		if rw != nil {
+			rw.RUnlock()
+		}
+		if err != nil {
+			close(stop)
+			writerWG.Wait()
+			return nil, err
+		}
+		samples = append(samples, time.Since(start))
+	}
+	close(stop)
+	writerWG.Wait()
+	return samples, writerErr
+}
+
+// runOverloadBench measures the three latency profiles and the 2×-capacity
+// shed rate, and writes the JSON baseline.
+func runOverloadBench(path string) error {
+	const samples = 1000
+	out := OverloadBench{
+		Instance: "join2 matchings m=1000 p=8 seed=1; writer churns a net-zero 2-op delta",
+		GoArch:   runtime.GOARCH,
+		NumCPU:   runtime.NumCPU(),
+	}
+
+	base, err := sampleExec(samples, false, nil)
+	if err != nil {
+		return err
+	}
+	out.NoWriterP50Ns = quantileNs(base, 0.50)
+	out.NoWriterP99Ns = quantileNs(base, 0.99)
+
+	snap, err := sampleExec(samples, true, nil)
+	if err != nil {
+		return err
+	}
+	out.SnapshotWriterP50Ns = quantileNs(snap, 0.50)
+	out.SnapshotWriterP99Ns = quantileNs(snap, 0.99)
+
+	var rw sync.RWMutex
+	locked, err := sampleExec(samples, true, &rw)
+	if err != nil {
+		return err
+	}
+	out.RLockWriterP50Ns = quantileNs(locked, 0.50)
+	out.RLockWriterP99Ns = quantileNs(locked, 0.99)
+
+	// Overload phase: twice as many callers as slots, no wait queue, each
+	// call either admitted or shed with the typed error.
+	const (
+		capacity = 2
+		callers  = 2 * capacity
+		perCall  = 150
+	)
+	db := overloadDB()
+	q := repro.MustParseQuery("q(x,y,z) = S1(x,z), S2(y,z)")
+	s, err := repro.Open(repro.Config{P: 8, Seed: 1, MaxInFlight: capacity, MaxQueue: -1})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	ctx := context.Background()
+	if _, err := s.Exec(ctx, q, db); err != nil { // warm
+		return err
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perCall; i++ {
+				if _, err := s.Exec(ctx, q, db); err != nil && !errors.Is(err, repro.ErrOverloaded) {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	st := s.AdmissionStats()
+	out.OverloadCapacity = capacity
+	out.OverloadCallers = callers
+	out.OverloadCalls = st.Admitted + st.Shed
+	out.Admitted = st.Admitted
+	out.Shed = st.Shed
+	out.ShedRate = float64(st.Shed) / float64(st.Admitted+st.Shed)
+
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("overload baseline written to %s\n%s", path, blob)
+	return nil
+}

@@ -9,8 +9,9 @@
 //   - Session: the serving-grade entry point. Open(Config) validates an
 //     immutable configuration; Exec(ctx, q, db, opts...) evaluates with
 //     per-call functional options (WithStrategy, WithMultiRound,
-//     WithoutCache, WithP), honors context cancellation between
-//     communication rounds, and serves from a plan cache that databases
+//     WithoutCache, WithP), honors context cancellation both between
+//     communication rounds and mid-round at the routing checkpoints
+//     inside them, and serves from a plan cache that databases
 //     may mutate under: Database.Apply applies batched tuple deltas while
 //     maintaining fingerprints and per-attribute statistics incrementally,
 //     and Config.ReplanDriftFactor arms adaptive re-planning when realized
@@ -21,6 +22,21 @@
 //     physical plan's router into resident per-server state, maintaining
 //     the materialized result (including exact delete retraction via
 //     derivation counting) and emitting a ResultDelta.
+//
+//     Sessions are built for sustained concurrent serving: reads execute
+//     against immutable snapshot epochs (Database.Apply publishes a new
+//     epoch per batch, so an Exec never blocks behind a writer or observes
+//     a half-applied delta); admission control (Config.MaxInFlight,
+//     Config.MaxQueue) bounds in-flight executions and sheds the excess
+//     promptly with ErrOverloaded; Close drains in-flight calls and then
+//     rejects the rest with ErrSessionClosed; Config.BackgroundReplan
+//     moves drift-triggered replanning off the request path; and
+//     Config.Faults arms a seeded, deterministic fault-injection schedule
+//     (torn rounds, failed computes, stragglers) for exercising every
+//     degradation path — injected faults are retried once
+//     (Result.FaultRetries) and then surface as ErrTornRound or
+//     ErrComputeFailed.
+//
 //   - Engine (internal/core): plans and executes a query on p simulated
 //     servers, choosing between plain HyperCube (§3), the specialized skew
 //     join (§4.1), and the general bin-combination algorithm (§4.2) based
@@ -29,10 +45,13 @@
 //     across Execute calls on unchanged inputs. NewEngine is the
 //     pre-Session API (panics on invalid input, mutable config fields);
 //     Session wraps it for serving.
+//
 //   - Lower bounds (internal/bounds): the matching communication lower
 //     bounds of Theorems 3.5 and 4.7, in bits.
+//
 //   - Packings (internal/packing): exact fractional edge packing polytope
 //     vertices, pk(q), τ*, covers, and the AGM bound.
+//
 //   - Workloads (internal/workload): the synthetic instance generators the
 //     experiments use (uniform, matching, Zipf, planted heavy hitters,
 //     degree sequences).

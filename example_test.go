@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro"
@@ -131,6 +132,56 @@ func ExampleSession_Standing() {
 	// result grew by: 1
 	// added: 0 removed: 1
 	// reseeds: 0
+}
+
+// Admission control under overload: a session bounds in-flight executions
+// and sheds the excess with a typed error callers can branch on. The
+// injected straggler parks the first call mid-round — deterministically,
+// no timing involved — so the second call finds the session saturated.
+func ExampleSession_Exec_overload() {
+	db := repro.NewDatabase()
+	db.Put(repro.MatchingRelation("S1", 2, 400, 1<<20, 1))
+	db.Put(repro.MatchingRelation("S2", 2, 400, 1<<20, 2))
+	q := repro.MustParseQuery("q(x,y,z) = S1(x,z), S2(y,z)")
+
+	parked := make(chan struct{}, 64)
+	release := make(chan struct{})
+	s, err := repro.Open(repro.Config{
+		P:           8,
+		Seed:        42,
+		MaxInFlight: 1,  // one execution at a time
+		MaxQueue:    -1, // no wait queue: shed immediately at capacity
+		Faults: &repro.Faults{Seed: 1, Straggler: 1, OnStraggle: func() {
+			select {
+			case parked <- struct{}{}:
+			default:
+			}
+			<-release
+		}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Exec(context.Background(), q, db)
+		done <- err
+	}()
+	<-parked // the first call now holds the only slot, parked mid-round
+
+	_, err = s.Exec(context.Background(), q, db)
+	fmt.Println("second call shed:", errors.Is(err, repro.ErrOverloaded))
+
+	close(release) // un-park the first call; it finishes normally
+	fmt.Println("first call error:", <-done)
+	st := s.AdmissionStats()
+	fmt.Println("admitted:", st.Admitted, "shed:", st.Shed)
+	// Output:
+	// second call shed: true
+	// first call error: <nil>
+	// admitted: 1 shed: 1
 }
 
 // pk(C3) is the four-vertex set of Example 3.7.

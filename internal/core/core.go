@@ -10,6 +10,7 @@ package core
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/exec"
 	"repro/internal/hypercube"
+	"repro/internal/mpc"
 	"repro/internal/query"
 	"repro/internal/rounds"
 	"repro/internal/skew"
@@ -93,6 +95,19 @@ type Config struct {
 	// resident fragment when pipelines shuffle intermediates
 	// server-to-server; 0 means mpc.DefaultResidentChunkTuples.
 	ResidentChunkTuples int
+	// BackgroundReplan moves drift-triggered replanning off the request
+	// path: a stale cache entry keeps serving (a physical plan stays correct
+	// for any content, merely load-suboptimal) while a background worker
+	// rebuilds it against a fresh snapshot's statistics and swaps the new
+	// plan in. Off, the next execution after a drift mark replans inline and
+	// reports Result.Replanned. Engines with this set own a worker goroutine;
+	// Close stops it.
+	BackgroundReplan bool
+	// Faults, when non-nil, arms a seeded fault-injection schedule for every
+	// execution (see mpc.Faults): injected torn rounds and failed computes
+	// are retried once (Result.FaultRetries) and then surface as typed
+	// errors (mpc.ErrTornRound, mpc.ErrComputeFailed).
+	Faults *mpc.Faults
 }
 
 // Engine evaluates conjunctive queries in one communication round on p
@@ -162,14 +177,29 @@ type Engine struct {
 	// Guarded by mu; the flag itself is an atomic on the handle, so no
 	// handle lock is ever taken under mu.
 	standing map[*StandingQuery]struct{}
+	// replanCh feeds the background replan worker (Config.BackgroundReplan):
+	// markStale enqueues stale keys, the worker rebuilds against a fresh
+	// snapshot and swaps the plan in under mu. Nil when background
+	// replanning is off. replanClosed (guarded by mu) stops enqueues once
+	// Close has closed the channel.
+	replanCh     chan planKey
+	replanClosed bool
+	replanWG     sync.WaitGroup
+	bgReplans    uint64
 }
 
 // cacheEntry is one LRU node: the key (so eviction can unmap it) plus the
-// cached plan bundle and its staleness mark (set by drift detection).
+// cached plan bundle and its staleness mark (set by drift detection). q, db,
+// and s capture the inputs the entry was planned from so the background
+// replan worker can rebuild it off the request path (db may be a snapshot;
+// the worker re-snapshots it for fresh statistics).
 type cacheEntry struct {
 	key   planKey
 	cp    *cachedPlan
 	stale bool
+	q     *query.Query
+	db    *data.Database
+	s     settings
 }
 
 // planKey identifies a cached plan: q.String() is a canonical rendering of
@@ -237,8 +267,14 @@ type Result struct {
 	PredictedBits float64
 	// Replanned reports that this execution rebuilt a cached plan that
 	// drift detection had marked stale: the statistics the old plan froze
-	// had diverged from realized loads.
+	// had diverged from realized loads. (With Config.BackgroundReplan the
+	// rebuild happens off the request path, so serving executions never
+	// report it.)
 	Replanned bool
+	// FaultRetries counts injected faults this execution absorbed by
+	// retrying: a torn round or failed compute (Config.Faults) is retried
+	// once before surfacing as an error.
+	FaultRetries int
 }
 
 // NewEngine returns an engine for p servers in pre-Session compatibility
@@ -271,7 +307,82 @@ func New(cfg Config) (*Engine, error) {
 	e.capacity = effectiveCapacity(cfg.PlanCacheCapacity)
 	e.capResolved = true
 	e.clusters.Depth = cfg.ClusterPoolDepth
+	if cfg.BackgroundReplan {
+		e.replanCh = make(chan planKey, replanQueueDepth)
+		e.replanWG.Add(1)
+		go e.replanWorker()
+	}
 	return e, nil
+}
+
+// replanQueueDepth bounds the background replan queue. A full queue drops
+// the enqueue — the entry stays stale and every subsequent cache hit
+// re-enqueues it, so a rebuild is delayed, never lost.
+const replanQueueDepth = 64
+
+// replanWorker drains replanCh: for each still-stale entry it rebuilds the
+// plan against a fresh snapshot of the entry's database and swaps it in.
+// Planning runs outside the engine lock (it is the expensive part); the
+// swap re-checks the entry under mu, so a concurrent ClearPlanCache or
+// eviction just discards the rebuilt plan.
+func (e *Engine) replanWorker() {
+	defer e.replanWG.Done()
+	for key := range e.replanCh {
+		e.mu.Lock()
+		var q *query.Query
+		var db *data.Database
+		var s settings
+		if el, ok := e.cache[key]; ok {
+			if ent := el.Value.(*cacheEntry); ent.stale {
+				q, db, s = ent.q, ent.db, ent.s
+			}
+		}
+		e.mu.Unlock()
+		if q == nil || db == nil {
+			continue
+		}
+		cp := e.buildPlan(q, db.Snapshot(), s)
+		e.mu.Lock()
+		if el, ok := e.cache[key]; ok {
+			if ent := el.Value.(*cacheEntry); ent.stale {
+				ent.cp = cp
+				ent.stale = false
+				e.replans++
+				e.bgReplans++
+			}
+		}
+		// Standing queries flagged by the same markStale reseed themselves
+		// on their next Advance; the swapped-in plan is what their planFor
+		// will pick up.
+		e.mu.Unlock()
+	}
+}
+
+// Close stops the engine's background workers (the replan worker, when
+// Config.BackgroundReplan is set) and waits for them to exit. Engines
+// without background workers Close as a no-op; Close is idempotent and safe
+// to call concurrently.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.replanCh != nil && !e.replanClosed {
+		e.replanClosed = true
+		close(e.replanCh)
+	}
+	e.mu.Unlock()
+	e.replanWG.Wait()
+}
+
+// enqueueReplanLocked hands key to the background replan worker if one is
+// running. Callers hold e.mu.
+func (e *Engine) enqueueReplanLocked(key planKey) {
+	if e.replanCh == nil || e.replanClosed {
+		return
+	}
+	select {
+	case e.replanCh <- key:
+	default:
+		// Queue full: the entry stays stale and the next hit re-enqueues.
+	}
 }
 
 // ExecOptions are per-call overrides for ExecuteContext. The zero value
@@ -304,6 +415,8 @@ type settings struct {
 	serving       bool
 	drift         float64
 	residentChunk int
+	bgReplan      bool
+	faults        *mpc.Faults
 }
 
 // settings resolves the engine configuration (immutable Config if present,
@@ -314,6 +427,8 @@ func (e *Engine) settings(opts ExecOptions) settings {
 		s.mr = e.conf.ConsiderMultiRound
 		s.drift = e.conf.DriftFactor
 		s.residentChunk = e.conf.ResidentChunkTuples
+		s.bgReplan = e.conf.BackgroundReplan
+		s.faults = e.conf.Faults
 	} else {
 		s.forced = e.ForceStrategy
 		s.mr = e.ConsiderMultiRound
@@ -447,8 +562,9 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Query, db *data.Da
 	if sc == nil {
 		sc = new(exec.Scratch)
 	}
-	ec := exec.Config{Scratch: sc, Clusters: &e.clusters, Ctx: ctx, ResidentChunkTuples: s.residentChunk}
+	ec := exec.Config{Scratch: sc, Clusters: &e.clusters, Ctx: ctx, ResidentChunkTuples: s.residentChunk, Faults: s.faults}
 	var execErr error
+retry:
 	switch {
 	case cp.hc != nil:
 		hc, err := cp.hc.ExecuteWith(db, ec)
@@ -487,6 +603,13 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Query, db *data.Da
 		}
 	}
 	if execErr != nil {
+		// Injected faults are transient by construction: retry the execution
+		// once (the fault schedule has moved past the faulted event), then
+		// surface the typed error so the caller can shed or degrade.
+		if res.FaultRetries == 0 && isInjectedFault(execErr) && ctx.Err() == nil {
+			res.FaultRetries = 1
+			goto retry
+		}
 		e.scratchPool.Put(sc)
 		return Result{}, execErr
 	}
@@ -512,14 +635,22 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Query, db *data.Da
 	return res, nil
 }
 
-// markStale marks the cached entry for key (if still cached) so the next
-// execution rebuilds it against current statistics, and flags every
-// standing query built from that plan so its next Advance reseeds.
+// isInjectedFault reports whether err is a fault-injection error the engine
+// retries once before surfacing.
+func isInjectedFault(err error) bool {
+	return errors.Is(err, mpc.ErrTornRound) || errors.Is(err, mpc.ErrComputeFailed)
+}
+
+// markStale marks the cached entry for key (if still cached) so it gets
+// rebuilt against current statistics — inline by the next execution, or off
+// the request path when the background replan worker is running — and flags
+// every standing query built from that plan so its next Advance reseeds.
 func (e *Engine) markStale(key planKey) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if el, ok := e.cache[key]; ok {
 		el.Value.(*cacheEntry).stale = true
+		e.enqueueReplanLocked(key)
 	}
 	for sq := range e.standing {
 		if sq.key == key {
@@ -550,7 +681,14 @@ func (e *Engine) planFor(q *query.Query, db *data.Database, s settings) (*cached
 	e.mu.Lock()
 	if el, ok := e.cache[key]; ok {
 		ent := el.Value.(*cacheEntry)
-		if !ent.stale {
+		if !ent.stale || s.bgReplan {
+			// A stale entry under background replanning still serves as a
+			// hit: the plan is correct for any content, and the worker is
+			// rebuilding it off the request path. Re-enqueue in case the
+			// original enqueue was dropped on a full queue.
+			if ent.stale {
+				e.enqueueReplanLocked(key)
+			}
 			e.hits++
 			e.lru.MoveToFront(el)
 			cp := ent.cp
@@ -579,7 +717,7 @@ func (e *Engine) planFor(q *query.Query, db *data.Database, s settings) (*cached
 	if e.cache == nil {
 		e.cache = make(map[planKey]*list.Element)
 	}
-	e.cache[key] = e.lru.PushFront(&cacheEntry{key: key, cp: cp})
+	e.cache[key] = e.lru.PushFront(&cacheEntry{key: key, cp: cp, q: q, db: db, s: s})
 	capacity := e.capacityLocked()
 	for capacity > 0 && e.lru.Len() > capacity {
 		cold := e.lru.Back()
@@ -676,11 +814,13 @@ type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
-	// Replans counts drift-triggered rebuilds of stale entries (a replan
-	// also counts as a miss: it plans).
-	Replans  uint64
-	Size     int // live entries
-	Capacity int // effective bound (≤ 0 means unbounded)
+	// Replans counts drift-triggered rebuilds of stale entries (an inline
+	// replan also counts as a miss: it plans). BackgroundReplans of them
+	// were rebuilt off the request path by the background worker.
+	Replans           uint64
+	BackgroundReplans uint64
+	Size              int // live entries
+	Capacity          int // effective bound (≤ 0 means unbounded)
 }
 
 // CacheStats returns the plan cache counters.
@@ -688,12 +828,13 @@ func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return CacheStats{
-		Hits:      e.hits,
-		Misses:    e.misses,
-		Evictions: e.evictions,
-		Replans:   e.replans,
-		Size:      len(e.cache),
-		Capacity:  e.capacityPeekLocked(),
+		Hits:              e.hits,
+		Misses:            e.misses,
+		Evictions:         e.evictions,
+		Replans:           e.replans,
+		BackgroundReplans: e.bgReplans,
+		Size:              len(e.cache),
+		Capacity:          e.capacityPeekLocked(),
 	}
 }
 
@@ -711,7 +852,7 @@ func (e *Engine) ClearPlanCache() {
 	defer e.mu.Unlock()
 	e.cache = nil
 	e.lru.Init()
-	e.hits, e.misses, e.evictions, e.replans = 0, 0, 0, 0
+	e.hits, e.misses, e.evictions, e.replans, e.bgReplans = 0, 0, 0, 0, 0
 	for sq := range e.standing {
 		sq.stale.Store(true)
 	}

@@ -1,0 +1,19 @@
+package core
+
+import "errors"
+
+// Typed serving-path errors. Callers branch on these with errors.Is; the
+// serving API never requires string matching.
+var (
+	// ErrOverloaded is returned by admission control when the session is at
+	// its in-flight capacity and the wait queue is full: the call was shed
+	// immediately instead of queueing without bound.
+	ErrOverloaded = errors.New("core: session overloaded: admission queue full")
+
+	// ErrSessionClosed is returned for calls entering a session after Close,
+	// and to queued waiters a Close drained away.
+	ErrSessionClosed = errors.New("core: session is closed")
+
+	// ErrStandingClosed is returned by StandingQuery methods after Close.
+	ErrStandingClosed = errors.New("core: standing query is closed")
+)

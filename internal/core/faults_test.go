@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/join"
+	"repro/internal/mpc"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// faultEngine builds an engine whose every execution runs under the given
+// fault schedule. Tests force HyperCube per call so each attempt costs
+// exactly one communication round (making WouldTearRound(n) line up with
+// attempt n).
+func faultEngine(t *testing.T, f *mpc.Faults) *Engine {
+	t.Helper()
+	e, err := New(Config{P: 8, Seed: 3, Faults: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func faultCase() (*query.Query, *dbOracle) {
+	q := query.Join2()
+	db := db2(
+		workload.Matching("S1", 2, 400, 100000, 1),
+		workload.Matching("S2", 2, 400, 100000, 2),
+	)
+	return q, &dbOracle{db: db, want: join.Join(q, join.FromDatabase(db))}
+}
+
+type dbOracle struct {
+	db   *data.Database
+	want []data.Tuple
+}
+
+// findSeed scans for a seed whose fault schedule satisfies ok. Schedules are
+// pure functions of the seed, so the search is deterministic and cheap.
+func findSeed(t *testing.T, mk func(seed uint64) *mpc.Faults, ok func(*mpc.Faults) bool) uint64 {
+	t.Helper()
+	for seed := uint64(0); seed < 10000; seed++ {
+		if ok(mk(seed)) {
+			return seed
+		}
+	}
+	t.Fatal("no seed under 10000 produces the wanted fault schedule")
+	return 0
+}
+
+func TestFaultTornRoundRetriesOnce(t *testing.T) {
+	mk := func(seed uint64) *mpc.Faults { return &mpc.Faults{Seed: seed, TornRound: 0.5} }
+	// First attempt's round tears, the retry's round survives.
+	seed := findSeed(t, mk, func(f *mpc.Faults) bool {
+		return f.WouldTearRound(1) && !f.WouldTearRound(2)
+	})
+	e := faultEngine(t, mk(seed))
+	q, o := faultCase()
+	hc := HyperCube
+	res, err := e.ExecuteContext(context.Background(), q, o.db, ExecOptions{Strategy: &hc})
+	if err != nil {
+		t.Fatalf("retryable torn round surfaced: %v", err)
+	}
+	if res.FaultRetries != 1 {
+		t.Fatalf("FaultRetries = %d, want 1", res.FaultRetries)
+	}
+	if !join.EqualTupleSets(res.Output, o.want) {
+		t.Fatalf("post-retry output %d tuples, want %d", len(res.Output), len(o.want))
+	}
+}
+
+func TestFaultTornRoundTwiceSurfacesTyped(t *testing.T) {
+	mk := func(seed uint64) *mpc.Faults { return &mpc.Faults{Seed: seed, TornRound: 0.5} }
+	seed := findSeed(t, mk, func(f *mpc.Faults) bool {
+		return f.WouldTearRound(1) && f.WouldTearRound(2)
+	})
+	e := faultEngine(t, mk(seed))
+	q, o := faultCase()
+	hc := HyperCube
+	_, err := e.ExecuteContext(context.Background(), q, o.db, ExecOptions{Strategy: &hc})
+	if !errors.Is(err, mpc.ErrTornRound) {
+		t.Fatalf("err = %v, want ErrTornRound", err)
+	}
+}
+
+func TestFaultComputeFailSurfacesTyped(t *testing.T) {
+	// Certain compute failure: the retry fails identically, so the typed
+	// error must surface rather than loop.
+	e := faultEngine(t, &mpc.Faults{Seed: 1, ComputeFail: 1})
+	q, o := faultCase()
+	hc := HyperCube
+	_, err := e.ExecuteContext(context.Background(), q, o.db, ExecOptions{Strategy: &hc})
+	if !errors.Is(err, mpc.ErrComputeFailed) {
+		t.Fatalf("err = %v, want ErrComputeFailed", err)
+	}
+}
+
+func TestFaultStragglerCancelMidRound(t *testing.T) {
+	// Every send part straggles; the hook cancels the context, so the route
+	// worker aborts at its next checkpoint. No sleeps: the "stall" is the
+	// hook itself.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	f := &mpc.Faults{Seed: 1, Straggler: 1, OnStraggle: func() { once.Do(cancel) }}
+	e := faultEngine(t, f)
+	q, o := faultCase()
+	hc := HyperCube
+	_, err := e.ExecuteContext(ctx, q, o.db, ExecOptions{Strategy: &hc})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFaultRetryNotCountedOnCleanRun(t *testing.T) {
+	e := faultEngine(t, &mpc.Faults{Seed: 1})
+	q, o := faultCase()
+	hc := HyperCube
+	res, err := e.ExecuteContext(context.Background(), q, o.db, ExecOptions{Strategy: &hc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultRetries != 0 {
+		t.Fatalf("clean run reported %d retries", res.FaultRetries)
+	}
+	if !join.EqualTupleSets(res.Output, o.want) {
+		t.Fatalf("output %d tuples, want %d", len(res.Output), len(o.want))
+	}
+}

@@ -59,7 +59,11 @@ type StandingStats struct {
 //
 // A StandingQuery is safe for concurrent use; Advance/Result/Stats/Close
 // serialize on an internal mutex, and delta capture runs under the
-// database's write lock independently of that mutex.
+// database's write lock independently of that mutex. Advance never takes
+// the database lock: it consumes the captured delta stream and, when it
+// must re-read content (schema checks, reseeds, multi-round fallback), it
+// reads an immutable snapshot epoch — so advances never block Apply and
+// Apply never blocks advances.
 type StandingQuery struct {
 	e    *Engine
 	q    *query.Query
@@ -88,8 +92,8 @@ type StandingQuery struct {
 
 	// queueMu guards pending, the capture queue the Watch callback feeds
 	// under the database's write lock. Lock order: db.mu → queueMu (the
-	// callback) and h.mu → db.RLock → queueMu (Advance); queueMu is always
-	// innermost and nothing is ever acquired while holding it.
+	// callback) and h.mu → queueMu (Advance); queueMu is always innermost
+	// and nothing is ever acquired while holding it.
 	queueMu sync.Mutex
 	pending []pendingDelta
 }
@@ -129,17 +133,14 @@ func (e *Engine) Standing(ctx context.Context, q *query.Query, db *data.Database
 	}
 	h := &StandingQuery{e: e, q: q, db: db, s: s, opts: opts}
 	// Subscribe before seeding: anything applied between subscription and
-	// the seed's read lock is captured with version ≤ the seed version and
-	// dropped by the gate, so no delta can fall between seed and stream.
+	// the seed's snapshot is captured with version ≤ the snapshot's version
+	// and dropped by the gate, so no delta can fall between seed and stream.
 	h.unwatch = db.Watch(func(version uint64, d *data.Delta) {
 		h.queueMu.Lock()
 		h.pending = append(h.pending, pendingDelta{version: version, d: d})
 		h.queueMu.Unlock()
 	})
-	db.RLock()
-	err := h.seedLocked(ctx)
-	db.RUnlock()
-	if err != nil {
+	if err := h.seed(ctx); err != nil {
 		h.unwatch()
 		return nil, err
 	}
@@ -147,11 +148,18 @@ func (e *Engine) Standing(ctx context.Context, q *query.Query, db *data.Database
 	return h, nil
 }
 
-// seedLocked (re)builds the handle's plan and resident state against the
-// database's current content. Callers hold h.mu (or own h exclusively)
-// and db's read lock.
-func (h *StandingQuery) seedLocked(ctx context.Context) error {
-	cp, key, _ := h.e.planFor(h.q, h.db, h.s)
+// seed (re)builds the handle's plan and resident state against a fresh
+// snapshot epoch of the database. Callers hold h.mu (or own h exclusively);
+// no database lock is taken — the snapshot is immutable, so a concurrent
+// Apply cannot tear the seed (its delta lands in the capture queue with a
+// version past the snapshot's and is consumed by the next Advance).
+func (h *StandingQuery) seed(ctx context.Context) error {
+	snap := h.db.Snapshot()
+	// A reseed needs the fresh plan now — resident routing is being rebuilt
+	// around it — so bypass serve-stale-while-background-replanning.
+	ps := h.s
+	ps.bgReplan = false
+	cp, key, _ := h.e.planFor(h.q, snap, ps)
 	var phys *exec.PhysicalPlan
 	switch {
 	case cp.hc != nil:
@@ -162,9 +170,10 @@ func (h *StandingQuery) seedLocked(ctx context.Context) error {
 		phys = cp.gen.Phys
 	}
 	if phys != nil {
-		st, err := exec.NewStanding(phys, h.q, h.db, exec.Config{
+		st, err := exec.NewStanding(phys, h.q, snap, exec.Config{
 			Clusters:            &h.e.clusters,
 			Ctx:                 ctx,
+			Faults:              h.s.faults,
 			ResidentChunkTuples: h.s.residentChunk,
 		})
 		if err != nil {
@@ -172,7 +181,7 @@ func (h *StandingQuery) seedLocked(ctx context.Context) error {
 		}
 		h.st, h.fallback = st, nil
 	} else {
-		res, err := h.e.ExecuteContext(ctx, h.q, h.db, h.opts)
+		res, err := h.e.ExecuteContext(ctx, h.q, snap, h.opts)
 		if err != nil {
 			return err
 		}
@@ -182,9 +191,9 @@ func (h *StandingQuery) seedLocked(ctx context.Context) error {
 		}
 		h.st, h.fallback = nil, c
 	}
-	h.watch = stats.NewHeavyWatch(h.db, h.q.AtomNames(), h.s.p)
-	h.schema = stats.SchemaFingerprint(h.db)
-	h.appliedVersion = h.db.VersionLocked()
+	h.watch = stats.NewHeavyWatch(snap, h.q.AtomNames(), h.s.p)
+	h.schema = stats.SchemaFingerprint(snap)
+	h.appliedVersion = snap.VersionLocked()
 	h.stale.Store(false)
 	h.e.setStandingKey(h, key)
 	return nil
@@ -217,7 +226,7 @@ func (h *StandingQuery) Advance(ctx context.Context) (ResultDelta, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
-		return ResultDelta{}, fmt.Errorf("core: standing query is closed")
+		return ResultDelta{}, ErrStandingClosed
 	}
 	if err := ctx.Err(); err != nil {
 		return ResultDelta{}, err
@@ -231,11 +240,11 @@ func (h *StandingQuery) Advance(ctx context.Context) (ResultDelta, error) {
 		return ResultDelta{Version: h.appliedVersion}, nil
 	}
 
-	h.db.RLock()
-	defer h.db.RUnlock()
-	// Under the read lock no Apply is in flight, so the queue holds every
-	// delta up to the version we observe.
-	version := h.db.VersionLocked()
+	// Drain the capture queue. No database lock is needed: Apply notifies
+	// watchers after it has published, so every drained delta's effects are
+	// fully visible, and anything applied after the drain stays queued for
+	// the next Advance. The version the incremental result reflects is the
+	// drained tail's.
 	h.queueMu.Lock()
 	pending := h.pending
 	h.pending = nil
@@ -247,13 +256,17 @@ func (h *StandingQuery) Advance(ctx context.Context) (ResultDelta, error) {
 			live = append(live, pd)
 		}
 	}
+	version := h.appliedVersion
+	if len(live) > 0 {
+		version = live[len(live)-1].version
+	}
 	h.stats.Advances++
 	for _, pd := range live {
 		h.stats.AppliedOps += uint64(pd.d.Len())
 	}
 
 	reseed := h.stale.Load()
-	if !reseed && h.schema != stats.SchemaFingerprint(h.db) {
+	if !reseed && h.schema != stats.SchemaFingerprint(h.db.Snapshot()) {
 		reseed = true
 	}
 	if !reseed && len(live) > 0 && live[0].version != h.appliedVersion+1 {
@@ -262,12 +275,14 @@ func (h *StandingQuery) Advance(ctx context.Context) (ResultDelta, error) {
 		reseed = true
 	}
 	if !reseed && h.st != nil {
-		// Pre-pass: a new heavy hitter invalidates the plan's frozen
-		// routing before any op is applied, so resident state is never
-		// half-advanced when we decide to reseed.
+		// Pre-pass: fold every op into the watch's maintained counts and
+		// check for new heavy hitters before any op touches resident state,
+		// so resident fragments are never half-advanced when we decide to
+		// reseed. (A reseed rebuilds the watch, so partially-noted counts
+		// on the reseed path are discarded, not leaked.)
 		for _, pd := range live {
 			pd.d.EachOp(func(rel string, vals []int64, insert bool) {
-				if insert && h.watch.NewHeavy(h.db, rel, vals) {
+				if h.watch.Note(rel, vals, insert) {
 					reseed = true
 				}
 			})
@@ -304,11 +319,15 @@ func (h *StandingQuery) Advance(ctx context.Context) (ResultDelta, error) {
 		reseed = true
 	}
 	if !reseed && h.st == nil {
-		// Multi-round fallback: re-execute in full with the cached plan
+		// Multi-round fallback: re-execute in full against a fresh snapshot
 		// and diff — correctness behind the same API, none of the
 		// incremental savings. (ExecuteContext's own drift detection can
 		// still flag the plan, in which case the next Advance replans.)
-		res, err := h.e.ExecuteContext(ctx, h.q, h.db, h.opts)
+		// The snapshot may be ahead of the drained queue tail; the deltas
+		// in between are already reflected in it, and the gate drops their
+		// queued copies next Advance.
+		snap := h.db.Snapshot()
+		res, err := h.e.ExecuteContext(ctx, h.q, snap, h.opts)
 		if err != nil {
 			h.stale.Store(true)
 			return ResultDelta{}, err
@@ -319,9 +338,9 @@ func (h *StandingQuery) Advance(ctx context.Context) (ResultDelta, error) {
 		}
 		added, removed := diffCounted(h.fallback, c)
 		h.fallback = c
-		h.appliedVersion = version
+		h.appliedVersion = snap.VersionLocked()
 		h.stats.Reseeds++
-		return ResultDelta{Added: added, Removed: removed, Version: version}, nil
+		return ResultDelta{Added: added, Removed: removed, Version: h.appliedVersion}, nil
 	}
 
 	// Reseed: replan against current statistics, rebuild resident state
@@ -330,10 +349,10 @@ func (h *StandingQuery) Advance(ctx context.Context) (ResultDelta, error) {
 	// (new-heavy-hitter reseeds are invisible to drift detection).
 	h.e.markStale(h.key)
 	old := h.counted()
-	if err := h.seedLocked(ctx); err != nil {
-		// Seeding failed (cancellation): state is unchanged; the deltas
-		// are lost from the queue but appliedVersion still gates a later
-		// reseed, which re-reads the database in full.
+	if err := h.seed(ctx); err != nil {
+		// Seeding failed (cancellation, injected fault): state is
+		// unchanged; the deltas are lost from the queue but appliedVersion
+		// still gates a later reseed, which re-reads a snapshot in full.
 		h.stale.Store(true)
 		return ResultDelta{}, err
 	}

@@ -61,9 +61,14 @@ func (d *Delta) EachOp(f func(rel string, vals []int64, insert bool)) {
 // O(relations) — the database mutates under live plan caches without any
 // per-execution rescan.
 //
-// Apply holds the database's write lock: it excludes executions holding
-// RLock (repro.Session's Exec does) and other Apply calls.
+// Apply holds the database's write lock, excluding other Apply calls and
+// legacy RLock readers. Snapshot readers (repro.Session's Exec) are not
+// blocked: before returning, Apply republishes the snapshot epoch so the
+// next Database.Snapshot observes the delta without taking the write lock.
 func (db *Database) Apply(d *Delta) error {
+	if db.parent != nil {
+		return fmt.Errorf("data: Apply on a snapshot: snapshots are immutable, apply to the master database")
+	}
 	if d == nil || len(d.ops) == 0 {
 		return nil
 	}
@@ -92,12 +97,19 @@ func (db *Database) Apply(d *Delta) error {
 		}
 	}
 	// Dry-run membership so the whole delta rejects before any mutation:
-	// overlay records the pending presence of keys this delta touches.
-	overlay := make(map[string]map[Key]bool)
+	// the overlay records the pending presence of keys this delta touches.
+	// The scratch maps persist on the database (cleared here) so a steady
+	// Apply stream stops allocating them per batch.
+	if db.overlay == nil {
+		db.overlay = make(map[string]map[Key]bool)
+	}
+	for _, ov := range db.overlay {
+		clear(ov)
+	}
 	for _, op := range d.ops {
 		r := db.Relations[op.rel]
 		k := KeyOf(op.vals)
-		ov := overlay[op.rel]
+		ov := db.overlay[op.rel]
 		present, pending := ov[k]
 		if !pending {
 			_, present = r.index[k]
@@ -110,7 +122,7 @@ func (db *Database) Apply(d *Delta) error {
 		}
 		if ov == nil {
 			ov = make(map[Key]bool)
-			overlay[op.rel] = ov
+			db.overlay[op.rel] = ov
 		}
 		ov[k] = op.insert
 	}
@@ -123,6 +135,13 @@ func (db *Database) Apply(d *Delta) error {
 		}
 	}
 	db.version++
+	// Republish the snapshot epoch before notifying watchers: a consumer
+	// that observes version v (through the watch callback or a drained
+	// capture queue) is guaranteed Snapshot() returns an epoch ≥ v. Before
+	// the first Snapshot there is no epoch to refresh and nothing to pay.
+	if db.snap.Load() != nil {
+		db.publishLocked()
+	}
 	for _, w := range db.watchers {
 		w(db.version, d)
 	}

@@ -178,6 +178,20 @@ type Relation struct {
 	cols   [][]int64
 	rows   int
 
+	// gen counts mutations; snapshot views record the gen they froze so
+	// Database.Snapshot can tell whether a published view is still current.
+	gen uint64
+	// frozen is the published high-water mark of the current column
+	// backing: rows [0, frozen) are visible to live snapshot views sharing
+	// this backing, so interior mutation below frozen must copy the columns
+	// first (unshare). Appends always land at indexes ≥ frozen and never
+	// need the copy.
+	frozen int
+	// viewOf/viewGen identify a snapshot view: the master relation it
+	// froze and that master's gen at freeze time. Nil/0 on masters.
+	viewOf  *Relation
+	viewGen uint64
+
 	// track holds the maintained-state flag bits; mutators check it with
 	// one atomic load so untracked relations (server fragments, join
 	// outputs — the communication hot path) pay nothing else.
@@ -187,6 +201,44 @@ type Relation struct {
 	contentSum uint64
 	attrFreq   []map[int64]int64
 	index      map[Key]int
+}
+
+// view returns an immutable snapshot view of the relation's current rows,
+// sharing the column backing: each view column is a capacity-clamped slice
+// of the master's, so master appends beyond the frozen prefix are invisible
+// to the view and reallocate rather than overwrite. The master's frozen
+// mark advances to the current row count, which is what makes later
+// interior mutation (removeRow's swap, below frozen) copy first. The view
+// inherits the maintained content sum (fingerprints stay O(relations));
+// frequency maps and the tuple index stay master-only — they mutate in
+// place under Apply and cannot be shared with concurrent readers.
+func (r *Relation) view() *Relation {
+	v := &Relation{
+		Name: r.Name, Arity: r.Arity, Domain: r.Domain,
+		cols: make([][]int64, len(r.cols)), rows: r.rows,
+		viewOf: r, viewGen: r.gen,
+	}
+	for a, col := range r.cols {
+		v.cols[a] = col[:r.rows:r.rows]
+	}
+	if r.track.Load()&trackContent != 0 {
+		v.contentSum = r.contentSum
+		v.track.Store(trackContent)
+	}
+	r.frozen = r.rows
+	return v
+}
+
+// unshare copies every column onto fresh backing, detaching the relation
+// from any snapshot views that froze the current arrays. Called before the
+// first interior write below the frozen mark.
+func (r *Relation) unshare() {
+	for a := range r.cols {
+		c := make([]int64, r.rows)
+		copy(c, r.cols[a][:r.rows])
+		r.cols[a] = c
+	}
+	r.frozen = 0
 }
 
 // rowHash is the per-tuple content hash Fingerprint folds: FNV-1a over the
@@ -292,6 +344,13 @@ func (r *Relation) noteAppended(i int) {
 // no meaning anywhere: routing is per-tuple and fingerprints are
 // order-independent), maintaining whatever serving state is enabled.
 func (r *Relation) removeRow(i int) {
+	// The swap writes into row i (and the truncation drops the last row,
+	// which stays ≥ the frozen mark); if row i is visible to a published
+	// snapshot view sharing this backing, copy the columns first.
+	if i < r.frozen {
+		r.unshare()
+	}
+	r.gen++
 	t := r.track.Load()
 	if t&trackContent != 0 {
 		r.contentSum -= r.rowHash(i)
@@ -342,6 +401,7 @@ func (r *Relation) Add(vals ...int64) {
 		r.cols[a] = append(r.cols[a], v)
 	}
 	r.rows++
+	r.gen++
 	if r.track.Load() != 0 {
 		r.noteAppended(r.rows - 1)
 	}
@@ -359,6 +419,7 @@ func (r *Relation) AppendColumns(cols [][]int64, count int) {
 		r.cols[a] = append(r.cols[a], cols[a][:count]...)
 	}
 	r.rows += count
+	r.gen++
 	if r.track.Load() != 0 {
 		for i := r.rows - count; i < r.rows; i++ {
 			r.noteAppended(i)
@@ -376,6 +437,7 @@ func (r *Relation) AppendRow(src *Relation, i int) {
 		r.cols[a] = append(r.cols[a], src.cols[a][i])
 	}
 	r.rows++
+	r.gen++
 	if r.track.Load() != 0 {
 		r.noteAppended(r.rows - 1)
 	}
@@ -483,6 +545,10 @@ func (r *Relation) Sort() {
 		}
 		r.cols[a] = sorted
 	}
+	// The gather above replaced every column's backing, so any published
+	// snapshot views keep their (unsorted, equal-content) arrays untouched.
+	r.frozen = 0
+	r.gen++
 	// The content sum and frequency maps are permutation-invariant; only the
 	// tuple index maps rows and must be rebuilt.
 	if r.track.Load()&trackStats != 0 {
@@ -524,6 +590,20 @@ type Database struct {
 	version  uint64
 	watchers map[int]func(version uint64, d *Delta)
 	nextW    int
+
+	// parent is non-nil on snapshot epochs (see Snapshot): the mutable
+	// master database this epoch was published from. Snapshots are
+	// immutable — Apply rejects them and Snapshot/Watch delegate to the
+	// parent.
+	parent *Database
+	// snap is the master's current published epoch, or nil before the
+	// first Snapshot. Apply republishes it under the write lock, so
+	// Snapshot's fast path is one RLock and an atomic load.
+	snap atomic.Pointer[Database]
+	// overlay is Apply's validation scratch (relation → pending key
+	// presence), retained across calls so a steady Apply stream stops
+	// allocating it per batch.
+	overlay map[string]map[Key]bool
 }
 
 // dbIDs hands out process-unique database identities.
@@ -577,6 +657,10 @@ func (db *Database) VersionLocked() uint64 { return db.version }
 // re-reading the database, they replay exactly the operations that changed
 // it.
 func (db *Database) Watch(w func(version uint64, d *Delta)) (unwatch func()) {
+	if db.parent != nil {
+		// Snapshots never change; watch the mutable master they came from.
+		return db.parent.Watch(w)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.watchers == nil {

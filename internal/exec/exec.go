@@ -12,6 +12,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/data"
@@ -74,16 +75,21 @@ type Config struct {
 	// own a pool per instance so cached-plan serving reuses warm clusters.
 	Clusters *ClusterPool
 	// Ctx, when non-nil, cancels the execution: Run checks it before the
-	// communication round, and RunPipeline additionally between rounds, so
-	// a long multi-round pipeline aborts at the next round boundary. A
-	// canceled execution returns ctx.Err() with a zero result; the cluster
-	// is still returned to the pool.
+	// communication round, the sharded engine's route workers check it at
+	// every send-part checkpoint inside the round, and RunPipeline
+	// additionally checks between rounds. A canceled execution returns the
+	// context's error with a zero result; the cluster is still returned to
+	// the pool (Reset on Put discards any partial deliveries).
 	Ctx context.Context
 	// ResidentChunkTuples caps the rows one send part carries out of a
 	// resident fragment when a pipeline shuffles intermediates
 	// server-to-server; 0 means mpc.DefaultResidentChunkTuples. See
 	// BenchmarkResidentChunk for the tradeoff the default balances.
 	ResidentChunkTuples int
+	// Faults, when non-nil, arms the seeded fault-injection schedule for
+	// this execution (see mpc.Faults). Injected faults surface as typed
+	// errors (mpc.ErrTornRound, mpc.ErrComputeFailed) rather than panics.
+	Faults *mpc.Faults
 }
 
 // ctxErr returns the configured context's cancellation error, if any.
@@ -92,6 +98,28 @@ func (cfg *Config) ctxErr() error {
 		return nil
 	}
 	return cfg.Ctx.Err()
+}
+
+// arm installs the execution's per-run state on a cluster drawn from the
+// pool (Put's Reset clears it again).
+func (cfg *Config) arm(c *mpc.Cluster) {
+	c.ResidentChunk = cfg.ResidentChunkTuples
+	c.Ctx = cfg.Ctx
+	c.Faults = cfg.Faults
+}
+
+// recoverable reports whether a round error is an expected runtime
+// degradation — an injected fault or the configured context firing — rather
+// than a router-contract violation (which stays a panic: planners validate
+// their layouts, so a bad destination is an internal bug).
+func (cfg *Config) recoverable(err error) bool {
+	if errors.Is(err, mpc.ErrTornRound) || errors.Is(err, mpc.ErrComputeFailed) {
+		return true
+	}
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		return true
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Scratch holds Run's reusable load-accounting and output buffers. A
@@ -145,7 +173,8 @@ type Result struct {
 // runs the one communication round, performs the local computation,
 // accounts loads, and parks the cluster for reuse. Routing errors are
 // internal bugs (planners validate their layouts), so Run panics on them;
-// the only error Run returns is cfg.Ctx's cancellation.
+// the errors Run returns are cfg.Ctx's cancellation and injected faults
+// from cfg.Faults (mpc.ErrTornRound, mpc.ErrComputeFailed).
 func Run(plan *PhysicalPlan, db *data.Database, cfg Config) (Result, error) {
 	if plan.Virtual < 1 {
 		panic(fmt.Sprintf("exec: %s plan has %d virtual servers", plan.Strategy, plan.Virtual))
@@ -161,7 +190,7 @@ func Run(plan *PhysicalPlan, db *data.Database, cfg Config) (Result, error) {
 		pool = &sharedClusters
 	}
 	cluster := pool.Get(plan.Virtual)
-	cluster.ResidentChunk = cfg.ResidentChunkTuples
+	cfg.arm(cluster)
 	var err error
 	if len(plan.Relations) > 0 {
 		rels := make([]*data.Relation, len(plan.Relations))
@@ -173,6 +202,10 @@ func Run(plan *PhysicalPlan, db *data.Database, cfg Config) (Result, error) {
 		err = cluster.Round(db, plan.Router)
 	}
 	if err != nil {
+		if cfg.recoverable(err) {
+			pool.Put(cluster)
+			return Result{}, err
+		}
 		panic(fmt.Sprintf("exec: %s routing failed: %v", plan.Strategy, err))
 	}
 	if err := cfg.ctxErr(); err != nil {
@@ -188,6 +221,10 @@ func Run(plan *PhysicalPlan, db *data.Database, cfg Config) (Result, error) {
 		res.Output = cluster.ComputeAppend(buf, plan.Local)
 		if cfg.Scratch != nil {
 			cfg.Scratch.output = res.Output
+		}
+		if err := cluster.TakeFault(); err != nil {
+			pool.Put(cluster)
+			return Result{}, fmt.Errorf("exec: %s: %w", plan.Strategy, err)
 		}
 		if plan.Dedup {
 			// Dedup compacts in place, so the deduped view still reuses

@@ -93,9 +93,10 @@ type PipelineResult struct {
 // accounting is internal) but cfg.Clusters supplies the cluster pool the
 // persistent cluster is drawn from and returned to. Routing errors are
 // internal bugs (planners validate their layouts), so RunPipeline panics
-// on them; the only error it returns is cfg.Ctx's cancellation, checked
-// before every round, so a long pipeline aborts at the next round boundary
-// (the cluster is released either way).
+// on them; the errors it returns are cfg.Ctx's cancellation — checked
+// before every round and at send-part checkpoints inside rounds — and
+// injected faults from cfg.Faults (mpc.ErrTornRound, mpc.ErrComputeFailed).
+// Either way the cluster is released back to the pool.
 func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) (PipelineResult, error) {
 	if len(pl.Stages) == 0 {
 		panic(fmt.Sprintf("exec: %s pipeline has no stages", pl.Strategy))
@@ -128,7 +129,7 @@ func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) (PipelineResult, e
 		return PipelineResult{}, err
 	}
 	cluster := pool.Get(maxVirtual)
-	cluster.ResidentChunk = cfg.ResidentChunkTuples
+	cfg.arm(cluster)
 	prev := make([]int64, maxVirtual)
 	var res PipelineResult
 	for i := range pl.Stages {
@@ -150,6 +151,10 @@ func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) (PipelineResult, e
 		}
 		if len(st.Resident) > 0 {
 			if err := cluster.ShuffleResident(st.Plan.Router, st.Resident...); err != nil {
+				if cfg.recoverable(err) {
+					pool.Put(cluster)
+					return PipelineResult{}, err
+				}
 				panic(fmt.Sprintf("exec: %s stage %d resident shuffle failed: %v", pl.Strategy, i, err))
 			}
 		}
@@ -159,6 +164,10 @@ func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) (PipelineResult, e
 				rels[j] = db.MustGet(name)
 			}
 			if err := cluster.RoundRelations(st.Plan.Router, rels...); err != nil {
+				if cfg.recoverable(err) {
+					pool.Put(cluster)
+					return PipelineResult{}, err
+				}
 				panic(fmt.Sprintf("exec: %s stage %d routing failed: %v", pl.Strategy, i, err))
 			}
 		}
@@ -167,6 +176,10 @@ func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) (PipelineResult, e
 			local = func(*mpc.Server) *data.Relation { return nil }
 		}
 		cluster.ComputeResident(local)
+		if err := cluster.TakeFault(); err != nil {
+			pool.Put(cluster)
+			return PipelineResult{}, fmt.Errorf("exec: %s stage %d: %w", pl.Strategy, i, err)
+		}
 		for id, sv := range cluster.Servers {
 			d := sv.BitsIn - prev[id]
 			if d > load.MaxBits {

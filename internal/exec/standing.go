@@ -86,9 +86,10 @@ type deltaStep struct {
 // fragments become resident hash indexes, and the plan's local phase runs
 // once to seed the counted output. The cluster is returned to the pool
 // before NewStanding returns — resident state lives in the Standing, so
-// the pool keeps serving ordinary runs. The caller must hold db's read
-// lock (or otherwise exclude Apply) and must pass the same single-round,
-// Local-bearing plan the engine would execute for q.
+// the pool keeps serving ordinary runs. db must not mutate during the seed —
+// pass an immutable snapshot epoch (data.Database.Snapshot) or otherwise
+// exclude Apply — and the plan must be the same single-round, Local-bearing
+// plan the engine would execute for q.
 func NewStanding(plan *PhysicalPlan, q *query.Query, db *data.Database, cfg Config) (*Standing, error) {
 	if plan.Local == nil {
 		return nil, fmt.Errorf("exec: standing: %s plan has no local phase", plan.Strategy)
@@ -112,13 +113,16 @@ func NewStanding(plan *PhysicalPlan, q *query.Query, db *data.Database, cfg Conf
 		pool = &sharedClusters
 	}
 	cluster := pool.Get(plan.Virtual)
-	cluster.ResidentChunk = cfg.ResidentChunkTuples
+	cfg.arm(cluster)
 	rels := make([]*data.Relation, 0, q.NumAtoms())
 	for _, a := range q.Atoms {
 		rels = append(rels, db.MustGet(a.Name))
 	}
 	if err := cluster.RoundRelations(plan.Router, rels...); err != nil {
 		pool.Put(cluster)
+		if cfg.recoverable(err) {
+			return nil, err
+		}
 		panic(fmt.Sprintf("exec: standing: %s routing failed: %v", plan.Strategy, err))
 	}
 	if err := cfg.ctxErr(); err != nil {
@@ -129,7 +133,12 @@ func NewStanding(plan *PhysicalPlan, q *query.Query, db *data.Database, cfg Conf
 	// server's derivations count +1, so answers derived on several servers
 	// (overlapping §4.2 bin combinations) carry their true multiplicity
 	// and later retractions retire them one derivation at a time.
-	for _, t := range cluster.ComputeAppend(nil, plan.Local) {
+	out := cluster.ComputeAppend(nil, plan.Local)
+	if err := cluster.TakeFault(); err != nil {
+		pool.Put(cluster)
+		return nil, fmt.Errorf("exec: standing: %s: %w", plan.Strategy, err)
+	}
+	for _, t := range out {
 		s.counted.Add(t, 1)
 		s.derivations++
 	}

@@ -132,6 +132,20 @@ func (w *commWorker) route(c *Cluster, parts []sendPart, next *atomic.Int64, rou
 		if pi >= len(parts) {
 			break
 		}
+		// Per-part checkpoint: injected stragglers stall here (the hook is
+		// the delay), and a context canceled mid-round aborts this worker
+		// instead of letting the round run to completion. Checkpoint
+		// granularity is one send part — bounded by Senders/ResidentChunk —
+		// so a canceled 1000-part round stops after the parts in flight.
+		if f := c.Faults; f != nil && f.OnStraggle != nil && f.WouldStraggle(c.curRound, pi) {
+			f.OnStraggle()
+		}
+		if ctx := c.Ctx; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				report(fmt.Errorf("mpc: round canceled at part %d of %d: %w", pi, len(parts), err))
+				break
+			}
+		}
 		part := parts[pi]
 		rel := part.rel
 		cols := rel.Columns()

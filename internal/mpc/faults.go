@@ -1,0 +1,108 @@
+// Deterministic fault injection for the communication/compute simulator.
+//
+// Faults lets robustness tests drive every serving degradation path —
+// torn communication rounds, failed local compute, delayed workers — from a
+// seed instead of sleeps: each decision is a pure hash of (seed, stream,
+// event index), so a given seed produces the same fault schedule on every
+// run, under -race, at any GOMAXPROCS. Production paths pay one nil check.
+package mpc
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/hashing"
+)
+
+// Typed injected-fault errors. The executor treats them as recoverable
+// degradations (retry once, then surface) — unlike router-contract
+// violations, which remain panics.
+var (
+	// ErrTornRound reports a communication round that delivered only a
+	// prefix of its send parts before tearing. Receiver fragments are
+	// incomplete; the cluster must be reset (or discarded) before reuse.
+	ErrTornRound = errors.New("mpc: torn communication round (injected fault)")
+	// ErrComputeFailed reports a server whose local-computation phase
+	// failed; the round's output is incomplete.
+	ErrComputeFailed = errors.New("mpc: local compute failed (injected fault)")
+)
+
+// Fault decision streams: each fault family hashes its events in its own
+// stream so enabling one family never perturbs another's schedule.
+const (
+	streamTorn uint64 = 0x746f726e // "torn"
+	streamComp uint64 = 0x636f6d70 // "comp"
+	streamStrg uint64 = 0x73747267 // "strg"
+)
+
+// Faults is a seeded fault-injection schedule threaded through exec.Config
+// into the cluster. The zero value (and a nil *Faults) injects nothing.
+// Probabilities are per event: per communication round for TornRound, per
+// (compute phase, server) for ComputeFail, per routed send part for
+// Straggler. Decisions are deterministic in (Seed, event index); event
+// indexes advance on the cluster's own round/compute counters, so a
+// sequential run replays identically regardless of scheduling.
+//
+// One Faults value must not be shared by concurrent executions: the event
+// counters are atomic, but interleaving would make event indexes — and so
+// the fault schedule — depend on scheduling order.
+type Faults struct {
+	// Seed pins the schedule; equal seeds and equal call sequences fault
+	// identically.
+	Seed uint64
+	// TornRound is the probability a communication round tears: only a
+	// prefix of its send parts is delivered and the round returns
+	// ErrTornRound.
+	TornRound float64
+	// ComputeFail is the probability one server's local compute phase
+	// fails, failing the execution with ErrComputeFailed.
+	ComputeFail float64
+	// Straggler is the probability a route worker stalls at a send-part
+	// checkpoint, invoking OnStraggle before routing the part. With a nil
+	// OnStraggle it is a no-op: the hook is the delay, so tests block in it
+	// (e.g. until a context is canceled) instead of sleeping.
+	Straggler float64
+	// OnStraggle is called synchronously at each straggling checkpoint.
+	OnStraggle func()
+
+	rounds   atomic.Uint64
+	computes atomic.Uint64
+}
+
+// chance returns the deterministic decision for one event.
+func (f *Faults) chance(stream, event uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	h := hashing.Mix64(f.Seed ^ hashing.Mix64(stream) ^ hashing.Mix64(event))
+	return float64(h>>11)/float64(uint64(1)<<53) < p
+}
+
+// nextRound advances and returns the communication-round counter.
+func (f *Faults) nextRound() uint64 { return f.rounds.Add(1) }
+
+// nextComputePhase advances and returns the compute-phase counter.
+func (f *Faults) nextComputePhase() uint64 { return f.computes.Add(1) }
+
+// WouldTearRound reports whether communication round number `round`
+// (1-based, in cluster call order) tears under this schedule. Tests use it
+// to pick seeds that fault exactly where the scenario needs — e.g. tear the
+// first attempt's round but not the retry's.
+func (f *Faults) WouldTearRound(round uint64) bool {
+	return f.chance(streamTorn, round, f.TornRound)
+}
+
+// WouldFailCompute reports whether the given server fails in compute phase
+// number `phase` (1-based, in cluster call order).
+func (f *Faults) WouldFailCompute(phase uint64, server int) bool {
+	return f.chance(streamComp, phase<<20^uint64(server), f.ComputeFail)
+}
+
+// WouldStraggle reports whether part index `part` of communication round
+// `round` stalls at its checkpoint.
+func (f *Faults) WouldStraggle(round uint64, part int) bool {
+	return f.chance(streamStrg, round<<20^uint64(part), f.Straggler)
+}

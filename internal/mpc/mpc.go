@@ -17,6 +17,7 @@
 package mpc
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -125,6 +126,17 @@ type Cluster struct {
 	// when zero. Like Senders it controls work granularity only, never
 	// where tuples are delivered.
 	ResidentChunk int
+	// Ctx, when non-nil, is checked at in-round checkpoints: sharded route
+	// workers test it per claimed send part, so canceling mid-round aborts
+	// the round instead of running it to completion. The round returns the
+	// context's error; partial deliveries may have occurred, so the caller
+	// must Reset (or discard) the cluster. The legacy channel engine does
+	// not checkpoint.
+	Ctx context.Context
+	// Faults, when non-nil, injects the seeded fault schedule (torn rounds,
+	// failed compute, stragglers); see Faults. Executors set it per run and
+	// Reset clears it.
+	Faults *Faults
 
 	// pool holds every server ever created for this cluster; Servers is
 	// pool[:P]. Servers keep their identity (and Received map buckets)
@@ -134,6 +146,13 @@ type Cluster struct {
 	// comm is the sharded engine's reusable scratch (mailboxes, worker
 	// destination tables, slab free lists).
 	comm commState
+	// curRound is the Faults round number of the communication phase in
+	// flight (set by communicate before workers start; workers only read).
+	curRound uint64
+	// faultMu/faultErr record the first injected compute failure of the
+	// current execution; TakeFault surfaces and clears it.
+	faultMu  sync.Mutex
+	faultErr error
 }
 
 // DefaultSenders is the per-relation partition count used when
@@ -166,6 +185,10 @@ func (c *Cluster) Resize(p int) *Cluster {
 	}
 	c.P = p
 	c.Servers = c.pool[:p]
+	c.Ctx = nil
+	c.Faults = nil
+	c.faultErr = nil
+	c.curRound = 0
 	return c
 }
 
@@ -273,15 +296,56 @@ func appendChunkedParts(parts []sendPart, rel *data.Relation, chunk int) []sendP
 	return parts
 }
 
-// communicate dispatches the communication phase to the selected engine.
+// communicate dispatches the communication phase to the selected engine,
+// applying the torn-round fault (deliver a prefix of the parts, then fail)
+// engine-independently.
 func (c *Cluster) communicate(parts []sendPart, router Router) error {
 	if len(parts) == 0 {
 		return nil
 	}
-	if c.Comm == ChannelComm {
-		return c.communicateChannels(parts, router)
+	torn := false
+	total := len(parts)
+	if f := c.Faults; f != nil {
+		c.curRound = f.nextRound()
+		if f.WouldTearRound(c.curRound) {
+			torn = true
+			parts = parts[:total/2]
+		}
 	}
-	return c.communicateSharded(parts, router)
+	var err error
+	if len(parts) > 0 {
+		if c.Comm == ChannelComm {
+			err = c.communicateChannels(parts, router)
+		} else {
+			err = c.communicateSharded(parts, router)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if torn {
+		return fmt.Errorf("mpc: round %d delivered %d of %d parts: %w", c.curRound, len(parts), total, ErrTornRound)
+	}
+	return nil
+}
+
+// TakeFault returns (and clears) the first injected compute failure
+// recorded since the last TakeFault/Reset, or nil.
+func (c *Cluster) TakeFault() error {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	err := c.faultErr
+	c.faultErr = nil
+	return err
+}
+
+// reportFault records the first injected compute failure of the execution.
+func (c *Cluster) reportFault(err error) {
+	c.faultMu.Lock()
+	if c.faultErr == nil {
+		c.faultErr = err
+	}
+	c.faultMu.Unlock()
 }
 
 // eachServer runs f(worker, server) over every server from a bounded pool
@@ -322,13 +386,28 @@ func (c *Cluster) eachServer(f func(worker int, s *Server)) {
 // ShuffleResident. Load counters are untouched: local computation is free
 // in the MPC model.
 func (c *Cluster) ComputeResident(f func(s *Server) *data.Relation) {
+	flt, phase := c.computePhaseFaults()
 	c.eachServer(func(_ int, s *Server) {
+		if flt != nil && flt.WouldFailCompute(phase, s.ID) {
+			c.reportFault(fmt.Errorf("mpc: compute phase %d, server %d: %w", phase, s.ID, ErrComputeFailed))
+			clear(s.Received)
+			return
+		}
 		out := f(s)
 		clear(s.Received)
 		if out != nil {
 			s.Received[out.Name] = out
 		}
 	})
+}
+
+// computePhaseFaults resolves the fault schedule of one compute phase:
+// non-nil with the phase's event number when compute failures are armed.
+func (c *Cluster) computePhaseFaults() (*Faults, uint64) {
+	if f := c.Faults; f != nil && f.ComputeFail > 0 {
+		return f, f.nextComputePhase()
+	}
+	return nil, 0
 }
 
 // Compute runs f on every server (the local-computation phase) and returns
@@ -343,7 +422,12 @@ func (c *Cluster) Compute(f func(s *Server) []data.Tuple) []data.Tuple {
 // reuses buf's backing array when it is large enough.
 func (c *Cluster) ComputeAppend(buf []data.Tuple, f func(s *Server) []data.Tuple) []data.Tuple {
 	outs := make([][]data.Tuple, c.P)
+	flt, phase := c.computePhaseFaults()
 	c.eachServer(func(_ int, s *Server) {
+		if flt != nil && flt.WouldFailCompute(phase, s.ID) {
+			c.reportFault(fmt.Errorf("mpc: compute phase %d, server %d: %w", phase, s.ID, ErrComputeFailed))
+			return
+		}
 		outs[s.ID] = f(s)
 	})
 	total := 0
@@ -400,11 +484,17 @@ func (s LoadSummary) WithReplication(inputBits int64) LoadSummary {
 
 // Reset clears all fragments and load counters. Received maps are retained
 // (cleared, not reallocated), so a pooled cluster reaches steady state
-// without per-run map churn.
+// without per-run map churn. Per-run execution state — context, fault
+// schedule, recorded fault — is dropped too, so a pooled cluster poisoned
+// by an aborted round comes back clean.
 func (c *Cluster) Reset() {
 	for _, s := range c.Servers {
 		clear(s.Received)
 		s.BitsIn = 0
 		s.TuplesIn = 0
 	}
+	c.Ctx = nil
+	c.Faults = nil
+	c.faultErr = nil
+	c.curRound = 0
 }

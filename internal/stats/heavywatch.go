@@ -7,14 +7,20 @@ import "repro/internal/data"
 // routers fix, at plan time, which values route through dedicated server
 // grids; a value that later crosses m/p would keep routing light — still
 // correct (equal values still meet), but with the per-server load guarantee
-// of Theorems 4.2/4.9 silently void. Standing queries consult the watch on
-// every inserted delta tuple and reseed from a fresh plan the moment a new
+// of Theorems 4.2/4.9 silently void. Standing queries feed every delta
+// operation through the watch and reseed from a fresh plan the moment a new
 // heavy hitter appears, rather than keep routing with a stale grid.
 //
-// The watch covers single attributes only — the per-variable frequency maps
-// Database.Apply maintains incrementally — so a value combination over ≥2
-// attributes crossing the threshold is not detected here; the drift-based
-// replan heuristics remain the backstop for that (documented limitation).
+// The watch maintains its *own* per-attribute frequency counts, seeded from
+// the snapshot it was built on and advanced by Note — it never reads the
+// database after construction, so standing-query advances consult it
+// without holding any database lock while Apply churns the master's
+// maintained statistics.
+//
+// The watch covers single attributes only — per-variable frequencies — so a
+// value combination over ≥2 attributes crossing the threshold is not
+// detected here; the drift-based replan heuristics remain the backstop for
+// that (documented limitation).
 type HeavyWatch struct {
 	rels map[string]*relWatch
 }
@@ -28,11 +34,15 @@ type relWatch struct {
 	// treats as heavy (routes through grids); only values outside it can
 	// newly invalidate.
 	heavy []map[int64]bool
+	// counts[a] is the watch's own value → frequency map of attribute a,
+	// advanced by Note so heaviness checks need no database access.
+	counts []map[int64]int64
 }
 
-// NewHeavyWatch snapshots the heavy sets of the named relations of db at
-// threshold m/p. The caller must hold db's read lock (or otherwise exclude
-// Apply).
+// NewHeavyWatch snapshots the heavy sets and frequency counts of the named
+// relations of db at threshold m/p. Build it from a consistent snapshot
+// (data.Database.Snapshot) — the watch copies what it needs and never reads
+// db again.
 func NewHeavyWatch(db *data.Database, names []string, p int) *HeavyWatch {
 	w := &HeavyWatch{rels: make(map[string]*relWatch, len(names))}
 	for _, name := range names {
@@ -43,52 +53,54 @@ func NewHeavyWatch(db *data.Database, names []string, p int) *HeavyWatch {
 		rw := &relWatch{
 			threshold: int64(r.Size()) / int64(p),
 			heavy:     make([]map[int64]bool, r.Arity),
+			counts:    make([]map[int64]int64, r.Arity),
 		}
 		for a := 0; a < r.Arity; a++ {
 			f := Frequencies(r, []int{a})
 			hs := make(map[int64]bool)
+			counts := make(map[int64]int64, len(f.Counts))
 			for k, c := range f.Counts {
+				counts[k.At(0)] = c
 				if c > rw.threshold {
 					hs[k.At(0)] = true
 				}
 			}
 			rw.heavy[a] = hs
+			rw.counts[a] = counts
 		}
 		w.rels[name] = rw
 	}
 	return w
 }
 
-// NewHeavy reports whether inserting vals into rel made some attribute
-// value heavy that the plan treats as light: its maintained current
-// frequency exceeds the plan-time threshold and it was not in the
-// snapshot's heavy set. The caller must hold db's read lock and call this
-// *after* the insert has been applied (Database.Apply maintains the
-// per-attribute counts the check reads, so it costs O(arity) map probes).
-// Relations the watch does not cover — not named at construction — never
-// report heavy.
-func (w *HeavyWatch) NewHeavy(db *data.Database, rel string, vals []int64) bool {
+// Note folds one delta operation into the watch's maintained counts and
+// reports whether it made some attribute value heavy that the plan treats
+// as light: its maintained frequency now exceeds the plan-time threshold
+// and it was not in the snapshot's heavy set. Deletes maintain counts and
+// never report heavy. Every operation consumed by a standing advance must
+// pass through Note exactly once, in order, so the counts track the
+// database; O(arity) map probes per call, no locks. Relations the watch
+// does not cover — not named at construction — never report heavy.
+func (w *HeavyWatch) Note(rel string, vals []int64, insert bool) bool {
 	rw := w.rels[rel]
-	if rw == nil {
+	if rw == nil || len(vals) != len(rw.heavy) {
 		return false
 	}
-	r := db.Relations[rel]
-	if r == nil || len(vals) != len(rw.heavy) {
-		return false
-	}
+	newHeavy := false
 	for a, v := range vals {
-		if rw.heavy[a][v] {
-			continue
-		}
-		counts := r.AttrCounts(a)
-		if counts == nil {
-			// Maintenance not enabled: the relation has never been through
-			// Apply, so its content cannot have drifted from the snapshot.
-			continue
-		}
-		if counts[v] > rw.threshold {
-			return true
+		if insert {
+			c := rw.counts[a][v] + 1
+			rw.counts[a][v] = c
+			if c > rw.threshold && !rw.heavy[a][v] {
+				newHeavy = true
+			}
+		} else {
+			if c := rw.counts[a][v] - 1; c <= 0 {
+				delete(rw.counts[a], v)
+			} else {
+				rw.counts[a][v] = c
+			}
 		}
 	}
-	return false
+	return newHeavy
 }

@@ -2,10 +2,12 @@ package repro
 
 import (
 	"context"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/exec"
+	"repro/internal/mpc"
 )
 
 // Config is the immutable configuration of a Session. The zero value is
@@ -38,6 +40,28 @@ type Config struct {
 	// default (see mpc.DefaultResidentChunkTuples and
 	// BenchmarkResidentChunk), negative is rejected by Open.
 	ResidentChunkTuples int
+	// MaxInFlight bounds the Exec calls executing concurrently: excess
+	// calls wait in a FIFO queue (MaxQueue) and beyond that are shed with
+	// ErrOverloaded. 0 means a generous default, max(2×GOMAXPROCS, 8);
+	// negative disables the bound entirely (never queues, never sheds).
+	MaxInFlight int
+	// MaxQueue bounds the admission wait queue; waiting calls honor their
+	// context. 0 means a default of max(4×effective MaxInFlight, 64);
+	// negative means no queue — calls at capacity shed immediately.
+	// Ignored when the in-flight bound is disabled.
+	MaxQueue int
+	// BackgroundReplan moves drift-triggered replanning off the request
+	// path: a drift-marked plan keeps serving (correct for any content,
+	// merely load-suboptimal) while a background worker rebuilds it against
+	// fresh statistics and swaps it in — so no Exec ever pays the replan
+	// latency. Sessions with it set should be Closed to stop the worker.
+	BackgroundReplan bool
+	// Faults, when non-nil, arms a seeded deterministic fault-injection
+	// schedule (see Faults): injected torn rounds and failed computes are
+	// retried once per Exec (Result.FaultRetries) and then surface as
+	// ErrTornRound / ErrComputeFailed. Robustness tests use it to drive
+	// every degradation path without sleeps or real failures.
+	Faults *Faults
 }
 
 // Session is the serving-grade entry point: an Engine behind an immutable
@@ -46,10 +70,18 @@ type Config struct {
 // adaptive re-planning when realized loads drift from the statistics plans
 // were frozen at. Sessions are safe for concurrent use.
 //
+// Execs read immutable snapshot epochs (Database.Snapshot) rather than
+// holding the database's read lock, so queries never block Apply and Apply
+// never blocks queries; and every Exec passes an admission gate
+// (Config.MaxInFlight/MaxQueue) that sheds excess load with ErrOverloaded
+// instead of letting latency collapse. See the package documentation's
+// "Serving under overload" discussion.
+//
 // Unlike the pre-Session Engine API, a Session never panics on invalid
 // input: Open and Exec return errors.
 type Session struct {
-	eng *core.Engine
+	eng  *core.Engine
+	gate *core.Gate
 }
 
 // Open validates cfg and returns a Session.
@@ -62,12 +94,54 @@ func Open(cfg Config) (*Session, error) {
 		DriftFactor:         cfg.ReplanDriftFactor,
 		ClusterPoolDepth:    cfg.ClusterPoolDepth,
 		ResidentChunkTuples: cfg.ResidentChunkTuples,
+		BackgroundReplan:    cfg.BackgroundReplan,
+		Faults:              cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Session{eng: eng}, nil
+	inflight, queue := admissionBounds(cfg.MaxInFlight, cfg.MaxQueue)
+	return &Session{eng: eng, gate: core.NewGate(inflight, queue)}, nil
 }
+
+// admissionBounds resolves the configured admission limits to the gate's
+// (capacity, queue) form. The defaults are deliberately generous — an
+// unconfigured session behaves like the ungated one it used to be unless
+// traffic is extreme.
+func admissionBounds(maxInFlight, maxQueue int) (capacity, queue int) {
+	switch {
+	case maxInFlight < 0:
+		return 0, 0 // unbounded
+	case maxInFlight == 0:
+		capacity = max(2*runtime.GOMAXPROCS(0), 8)
+	default:
+		capacity = maxInFlight
+	}
+	switch {
+	case maxQueue < 0:
+		return capacity, 0 // no queue: shed at capacity
+	case maxQueue == 0:
+		return capacity, max(4*capacity, 64)
+	default:
+		return capacity, maxQueue
+	}
+}
+
+// Close drains and closes the session: new Exec calls and queued waiters
+// fail with ErrSessionClosed, Close blocks until every in-flight call has
+// finished, and the session's background workers (BackgroundReplan) are
+// stopped. Standing queries opened from the session are independent handles
+// and are closed separately. Close is idempotent; it always returns nil
+// (the error return is for future compatibility).
+func (s *Session) Close() error {
+	s.gate.Close()
+	s.eng.Close()
+	return nil
+}
+
+// AdmissionStats reports the session's admission-gate counters: calls
+// admitted, queued, and shed, plus current in-flight and queue occupancy.
+func (s *Session) AdmissionStats() AdmissionStats { return s.gate.Stats() }
 
 // ExecOption is a per-call option for Session.Exec.
 type ExecOption struct {
@@ -118,9 +192,14 @@ func WithP(p int) ExecOption {
 // was planned with. Config.ReplanDriftFactor decides when "merely tuned"
 // has drifted into "replan it".
 //
-// Exec holds db's read lock for the duration of the run, so it serializes
-// against Database.Apply (and nothing else): concurrent Execs proceed in
-// parallel.
+// Exec first passes the session's admission gate: at most
+// Config.MaxInFlight calls execute concurrently, at most Config.MaxQueue
+// more wait FIFO (honoring ctx), and beyond that Exec sheds immediately
+// with ErrOverloaded; after Session.Close it fails with ErrSessionClosed.
+// Once admitted, Exec reads an immutable snapshot epoch of db
+// (Database.Snapshot) — it never holds the database lock, so a slow query
+// cannot block Database.Apply and a large Apply cannot stall queries; each
+// Exec observes the epoch current at admission time.
 func (s *Session) Exec(ctx context.Context, q *Query, db *Database, opts ...ExecOption) (Result, error) {
 	o := core.ExecOptions{Serving: true}
 	for _, opt := range opts {
@@ -128,9 +207,11 @@ func (s *Session) Exec(ctx context.Context, q *Query, db *Database, opts ...Exec
 			opt.apply(&o)
 		}
 	}
-	db.RLock()
-	defer db.RUnlock()
-	return s.eng.ExecuteContext(ctx, q, db, o)
+	if err := s.gate.Enter(ctx); err != nil {
+		return Result{}, err
+	}
+	defer s.gate.Leave()
+	return s.eng.ExecuteContext(ctx, q, db.Snapshot(), o)
 }
 
 // Standing registers q over db as a standing query: it executes once to
@@ -151,15 +232,20 @@ func (s *Session) Standing(ctx context.Context, q *Query, db *Database, opts ...
 			opt.apply(&o)
 		}
 	}
+	// The seed is an execution; it passes the admission gate like any Exec
+	// (and a closed session refuses new registrations).
+	if err := s.gate.Enter(ctx); err != nil {
+		return nil, err
+	}
+	defer s.gate.Leave()
 	return s.eng.Standing(ctx, q, db, o)
 }
 
 // Explain renders the engine's plan analysis for q over db (strategy
-// choice, per-strategy predicted costs, bounds).
+// choice, per-strategy predicted costs, bounds). Like Exec it reads a
+// snapshot epoch, never the database lock.
 func (s *Session) Explain(q *Query, db *Database) string {
-	db.RLock()
-	defer db.RUnlock()
-	return s.eng.Explain(q, db)
+	return s.eng.Explain(q, db.Snapshot())
 }
 
 // CacheStats reports the session's plan-cache counters, including
@@ -173,12 +259,35 @@ func (s *Session) PoolStats() PoolStats { return s.eng.PoolStats() }
 // ClearPlanCache drops every cached plan and resets the cache counters.
 func (s *Session) ClearPlanCache() { s.eng.ClearPlanCache() }
 
+// Typed serving errors, re-exported from the internal packages so callers
+// can branch with errors.Is against the public package alone.
+var (
+	// ErrOverloaded reports an Exec shed at admission: the session was at
+	// MaxInFlight with a full wait queue.
+	ErrOverloaded = core.ErrOverloaded
+	// ErrSessionClosed reports a call made after (or during) Session.Close.
+	ErrSessionClosed = core.ErrSessionClosed
+	// ErrStandingClosed reports an Advance on a closed StandingQuery.
+	ErrStandingClosed = core.ErrStandingClosed
+	// ErrTornRound reports an injected communication-round fault that
+	// persisted through the retry (see Config.Faults).
+	ErrTornRound = mpc.ErrTornRound
+	// ErrComputeFailed reports an injected local-compute fault that
+	// persisted through the retry (see Config.Faults).
+	ErrComputeFailed = mpc.ErrComputeFailed
+)
+
 // Serving-API types re-exported from the internal packages.
 type (
 	// CacheStats reports plan-cache counters and occupancy.
 	CacheStats = core.CacheStats
 	// PoolStats reports cluster-pool traffic and occupancy.
 	PoolStats = exec.PoolStats
+	// AdmissionStats reports admission-gate counters and occupancy.
+	AdmissionStats = core.AdmissionStats
+	// Faults is a seeded deterministic fault-injection schedule; see
+	// Config.Faults.
+	Faults = mpc.Faults
 	// Delta is a batched database mutation applied by Database.Apply; the
 	// maintained statistics make the apply (and every fingerprint after
 	// it) cost O(delta), not O(database).

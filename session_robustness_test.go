@@ -1,0 +1,235 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// spinUntil yields (never sleeps) until cond holds or a bounded number of
+// yields elapses.
+func spinUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 5_000_000; i++ {
+		if cond() {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("condition never held: %s", what)
+}
+
+// driftingSession reproduces TestSessionDriftReplan's setup: a hypercube
+// plan whose statistics a planted hot value then invalidates.
+func driftingSession(t *testing.T, cfg Config) (*Session, *Query, *Database) {
+	t.Helper()
+	db := NewDatabase()
+	db.Put(MatchingRelation("S1", 2, 4000, 1<<20, 1))
+	db.Put(MatchingRelation("S2", 2, 4000, 1<<20, 2))
+	q := Join2Query()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, q, db
+}
+
+func plantSkew(t *testing.T, db *Database) {
+	t.Helper()
+	s2 := db.MustGet("S2")
+	d := NewDelta()
+	for i := 0; i < 2000; i++ {
+		tu := s2.Tuple(i)
+		d.Delete("S2", tu...).Insert("S2", tu[0], 7)
+	}
+	if err := db.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionBackgroundReplan(t *testing.T) {
+	s, q, db := driftingSession(t, Config{P: 16, Seed: 1, ReplanDriftFactor: 3, BackgroundReplan: true})
+	defer s.Close()
+	ctx := context.Background()
+
+	r1, err := s.Exec(ctx, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Plan.Strategy != StrategyHyperCube {
+		t.Fatalf("initial strategy %v", r1.Plan.Strategy)
+	}
+	plantSkew(t, db)
+
+	// The drifted call marks the entry stale; with background replanning the
+	// stale plan keeps serving and no request ever reports Replanned.
+	for i := 0; i < 2; i++ {
+		r, err := s.Exec(ctx, q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Replanned {
+			t.Fatalf("exec %d replanned on the request path", i)
+		}
+	}
+	spinUntil(t, "background replan completed", func() bool {
+		return s.CacheStats().BackgroundReplans >= 1
+	})
+	// The swapped-in plan was built from post-skew statistics.
+	spinUntil(t, "swapped plan picks skew-join", func() bool {
+		r, err := s.Exec(ctx, q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Replanned {
+			t.Fatal("post-swap exec reported Replanned")
+		}
+		return r.Plan.Strategy == StrategySkewJoin
+	})
+	if st := s.CacheStats(); st.BackgroundReplans < 1 {
+		t.Fatalf("BackgroundReplans = %d", st.BackgroundReplans)
+	}
+}
+
+func TestSessionOverloadShed(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 64)
+	f := &Faults{Seed: 1, Straggler: 1, OnStraggle: func() {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+	}}
+	db := NewDatabase()
+	db.Put(MatchingRelation("S1", 2, 400, 1<<20, 1))
+	db.Put(MatchingRelation("S2", 2, 400, 1<<20, 2))
+	q := Join2Query()
+	s, err := Open(Config{P: 8, Seed: 1, MaxInFlight: 1, MaxQueue: -1, Faults: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Exec(ctx, q, db)
+		first <- err
+	}()
+	// The first call is mid-round, parked in the straggle hook with the only
+	// slot held.
+	<-entered
+	if st := s.AdmissionStats(); st.InFlight != 1 {
+		t.Fatalf("InFlight = %d with a call parked mid-round", st.InFlight)
+	}
+
+	// No queue: the second call sheds immediately with the typed error.
+	if _, err := s.Exec(ctx, q, db); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second Exec: %v, want ErrOverloaded", err)
+	}
+
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatalf("parked Exec after release: %v", err)
+	}
+	st := s.AdmissionStats()
+	if st.Admitted != 1 || st.Shed != 1 || st.InFlight != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSessionCloseMidFlight(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	release := make(chan struct{})
+	entered := make(chan struct{}, 64)
+	f := &Faults{Seed: 1, Straggler: 1, OnStraggle: func() {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+	}}
+	db := NewDatabase()
+	db.Put(MatchingRelation("S1", 2, 400, 1<<20, 1))
+	db.Put(MatchingRelation("S2", 2, 400, 1<<20, 2))
+	q := Join2Query()
+	s, err := Open(Config{P: 8, Seed: 1, MaxInFlight: 1, MaxQueue: -1, BackgroundReplan: true, Faults: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Exec(ctx, q, db)
+		first <- err
+	}()
+	<-entered
+
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	// Close rejects new work immediately but drains the in-flight call
+	// before returning. (Probes shed with ErrOverloaded until the close
+	// lands — the parked call still owns the only slot — then flip to the
+	// closed error.)
+	spinUntil(t, "session rejects post-close Exec", func() bool {
+		_, err := s.Exec(ctx, q, db)
+		return errors.Is(err, ErrSessionClosed)
+	})
+	select {
+	case <-closed:
+		t.Fatal("Close returned with an Exec still in flight")
+	default:
+	}
+
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatalf("in-flight Exec during Close: %v", err)
+	}
+	<-closed
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// Everything the session owned (gate waiters, replan worker) is gone.
+	spinUntil(t, "goroutines drained after Close", func() bool {
+		return runtime.NumGoroutine() <= baseline
+	})
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	errs := map[string]error{
+		"ErrOverloaded":     ErrOverloaded,
+		"ErrSessionClosed":  ErrSessionClosed,
+		"ErrStandingClosed": ErrStandingClosed,
+		"ErrTornRound":      ErrTornRound,
+		"ErrComputeFailed":  ErrComputeFailed,
+	}
+	for na, ea := range errs {
+		for nb, eb := range errs {
+			if (na == nb) != errors.Is(ea, eb) {
+				t.Errorf("errors.Is(%s, %s) = %v", na, nb, errors.Is(ea, eb))
+			}
+		}
+	}
+
+	// Errors surfacing from real degradation paths stay errors.Is-matchable
+	// through their wrapping.
+	db := NewDatabase()
+	db.Put(MatchingRelation("S1", 2, 200, 1<<20, 1))
+	db.Put(MatchingRelation("S2", 2, 200, 1<<20, 2))
+	q := Join2Query()
+	s, err := Open(Config{P: 8, Seed: 1, Faults: &Faults{Seed: 1, ComputeFail: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Exec(context.Background(), q, db); !errors.Is(err, ErrComputeFailed) {
+		t.Fatalf("compute-fail session: %v, want ErrComputeFailed", err)
+	} else if errors.Is(err, ErrTornRound) {
+		t.Fatalf("compute-fail error also matches ErrTornRound: %v", err)
+	}
+}

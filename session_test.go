@@ -2,6 +2,8 @@ package repro
 
 import (
 	"context"
+	"errors"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -284,6 +286,7 @@ func TestSessionContextCancellation(t *testing.T) {
 // the race detector, with answers checked against a fresh-engine oracle
 // after every delta and every advance.
 func TestSessionConcurrentServing(t *testing.T) {
+	baseline := runtime.NumGoroutine()
 	const p = 8
 	db := NewDatabase()
 	db.Put(MatchingRelation("S1", 2, 200, 1<<16, 1))
@@ -297,26 +300,36 @@ func TestSessionConcurrentServing(t *testing.T) {
 
 	// applyMu serializes appliers (and their oracle comparison) against
 	// each other only — free readers keep hammering Exec concurrently, so
-	// Apply's write lock vs Exec's read lock is exercised for real.
+	// Apply's write path vs Exec's snapshot reads is exercised for real.
 	var applyMu sync.Mutex
 	var wg sync.WaitGroup
+	// heavy tracks the oracle-checked goroutines (appliers, advancers); the
+	// closer fires Session.Close once they are done, mid-flight for the
+	// rest, so every other worker must treat ErrSessionClosed as a clean
+	// shutdown signal rather than a failure.
+	var heavy sync.WaitGroup
 	fail := func(format string, args ...any) {
 		t.Errorf(format, args...)
 	}
 
-	// 4 free readers with different option mixes.
+	// 6 free readers with different option mixes.
 	readerOpts := [][]ExecOption{
 		nil,
 		{WithoutCache()},
 		{WithStrategy(StrategyHyperCube)},
 		{WithP(4)},
+		{WithStrategy(StrategySkewJoin)},
+		{WithoutCache(), WithP(4)},
 	}
-	for g := 0; g < 4; g++ {
+	for g := 0; g < len(readerOpts); g++ {
 		wg.Add(1)
 		go func(opts []ExecOption) {
 			defer wg.Done()
 			for i := 0; i < 30; i++ {
 				res, err := s.Exec(ctx, q, db, opts...)
+				if errors.Is(err, ErrSessionClosed) {
+					return
+				}
 				if err != nil {
 					fail("reader: %v", err)
 					return
@@ -336,8 +349,10 @@ func TestSessionConcurrentServing(t *testing.T) {
 	// can interleave.
 	for g := 0; g < 2; g++ {
 		wg.Add(1)
+		heavy.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			defer heavy.Done()
 			for i := 0; i < 10; i++ {
 				applyMu.Lock()
 				v := int64(60000 + id*1000 + i)
@@ -364,39 +379,43 @@ func TestSessionConcurrentServing(t *testing.T) {
 		}(g)
 	}
 
-	// 1 standing-query advancer: the handle observes the appliers' deltas
-	// and survives the cache clearer's invalidations (each forces a
-	// reseed). applyMu pins the database between an advance and its
-	// fresh-engine oracle so the comparison is against the state the
-	// advance saw.
-	h, err := s.Standing(ctx, q, db)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer h.Close()
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for i := 0; i < 15; i++ {
-			applyMu.Lock()
-			if _, err := h.Advance(ctx); err != nil {
-				applyMu.Unlock()
-				fail("standing advance: %v", err)
-				return
-			}
-			got := h.Result()
-			want := NewEngine(p, 5).Execute(q, db)
-			if !equalTupleSets(got, want.Output) {
-				applyMu.Unlock()
-				fail("standing result: %d answers vs oracle %d", len(got), len(want.Output))
-				return
-			}
-			applyMu.Unlock()
+	// 2 standing-query advancers with independent handles: each observes
+	// the appliers' deltas and survives the cache clearer's invalidations
+	// (each forces a reseed). applyMu pins the database between an advance
+	// and its fresh-engine oracle so the comparison is against the state
+	// the advance saw.
+	for g := 0; g < 2; g++ {
+		h, err := s.Standing(ctx, q, db)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}()
+		defer h.Close()
+		wg.Add(1)
+		heavy.Add(1)
+		go func(h *StandingQuery, n int) {
+			defer wg.Done()
+			defer heavy.Done()
+			for i := 0; i < n; i++ {
+				applyMu.Lock()
+				if _, err := h.Advance(ctx); err != nil {
+					applyMu.Unlock()
+					fail("standing advance: %v", err)
+					return
+				}
+				got := h.Result()
+				want := NewEngine(p, 5).Execute(q, db)
+				if !equalTupleSets(got, want.Output) {
+					applyMu.Unlock()
+					fail("standing result: %d answers vs oracle %d", len(got), len(want.Output))
+					return
+				}
+				applyMu.Unlock()
+			}
+		}(h, 15-5*g)
+	}
 
-	// 1 cache clearer + 1 stats poller.
-	wg.Add(2)
+	// 1 cache clearer + 1 cache/pool stats poller + 1 admission poller.
+	wg.Add(3)
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 20; i++ {
@@ -411,6 +430,38 @@ func TestSessionConcurrentServing(t *testing.T) {
 			_ = DatabaseFingerprint(db)
 		}
 	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			st := s.AdmissionStats()
+			if st.InFlight < 0 || st.QueueDepth < 0 {
+				fail("admission stats: %+v", st)
+				return
+			}
+		}
+	}()
+
+	// 1 closer: once the oracle-checked workers are done, close the session
+	// under the remaining readers' feet. Close must drain in-flight Execs
+	// and flip the rest to ErrSessionClosed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		heavy.Wait()
+		if err := s.Close(); err != nil {
+			fail("close: %v", err)
+		}
+	}()
 
 	wg.Wait()
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(ctx, q, db); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("post-close Exec: %v, want ErrSessionClosed", err)
+	}
+	// Nothing the session or its handles own may outlive Close.
+	spinUntil(t, "goroutines drained after Close", func() bool {
+		return runtime.NumGoroutine() <= baseline
+	})
 }
