@@ -12,6 +12,7 @@
 //	skewbench -servebench BENCH_serve.json
 //	skewbench -incrbench BENCH_incr.json
 //	skewbench -overloadbench BENCH_overload.json
+//	skewbench -storagebench BENCH_storage.json
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 	serveFlag := flag.String("servebench", "", "measure the Session serving hit path (latency vs database size, incremental vs rescan fingerprints), write JSON here, and exit")
 	incrFlag := flag.String("incrbench", "", "measure standing-query advances (delta routing) vs full cache-hit Exec across delta and database sizes, write JSON here, and exit")
 	overloadFlag := flag.String("overloadbench", "", "measure serving under write pressure (snapshot vs lock-coupled reads) and the 2x-capacity shed rate, write JSON here, and exit")
+	storageFlag := flag.String("storagebench", "", "measure the skew-adaptive storage baseline (span-routed vs per-tuple round, parallel vs serial statistics), write JSON here, and exit")
 	flag.Parse()
 
 	if *routingFlag != "" {
@@ -74,6 +76,13 @@ func main() {
 	if *overloadFlag != "" {
 		if err := runOverloadBench(*overloadFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "skewbench: overload bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *storageFlag != "" {
+		if err := runStorageBench(*storageFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "skewbench: storage bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

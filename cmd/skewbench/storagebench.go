@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/exec"
+	"repro/internal/query"
+	"repro/internal/skew"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// StorageBench is the committed BENCH_storage.json baseline for the
+// skew-adaptive storage layer: the end-to-end communication round with
+// heavy runs span-routed (bulk column appends) against the same plan
+// routing tuple by tuple over a flat layout, and the chunked parallel
+// statistics scan against the single-CPU serial one.
+type StorageBench struct {
+	Instance string `json:"instance"`
+	GoArch   string `json:"goarch"`
+	NumCPU   int    `json:"num_cpu"`
+	// End-to-end §4.1 skew-join round (route + deliver, no local join) on
+	// the zipf instance, p=64: flat layout (per-tuple routing) vs
+	// heavy-partitioned layout (per-value runs bulk-shipped as spans).
+	FlatRoundNsPerOp     float64 `json:"flat_round_ns_per_op"`
+	SpanRoundNsPerOp     float64 `json:"span_round_ns_per_op"`
+	SpanRoundSpeedup     float64 `json:"span_round_speedup"`
+	FlatRoundAllocsPerOp int64   `json:"flat_round_allocs_per_op"`
+	SpanRoundAllocsPerOp int64   `json:"span_round_allocs_per_op"`
+	// stats.Collect over one large zipf relation: GOMAXPROCS=1 serial scan
+	// vs the chunked scan on every CPU.
+	StatsRelationTuples  int     `json:"stats_relation_tuples"`
+	StatsSerialNsPerOp   float64 `json:"stats_serial_ns_per_op"`
+	StatsParallelNsPerOp float64 `json:"stats_parallel_ns_per_op"`
+	StatsParallelSpeedup float64 `json:"stats_parallel_speedup"`
+}
+
+// storageZipfDB is the routing baseline's zipf join instance scaled up: the
+// span path's bulk appends only matter when the heavy runs are long.
+func storageZipfDB(m int) *data.Database {
+	db := data.NewDatabase()
+	db.Put(workload.Zipf("S1", m, 1<<20, 1, 1.6, 500, 1))
+	db.Put(workload.Zipf("S2", m, 1<<20, 1, 1.6, 500, 2))
+	return db
+}
+
+// runStorageBench measures the storage baseline and writes it as JSON. It
+// fails if the span-routed round allocates more per op than the per-tuple
+// baseline — bulk-shipping whole runs must not add allocations.
+func runStorageBench(path string) error {
+	const m = 50000
+	const p = 64
+	flat := storageZipfDB(m)
+	part := storageZipfDB(m) // content-identical; gets the heavy layout
+
+	plan := skew.PlanJoin(query.Join2(), flat, skew.JoinConfig{P: p, Seed: 3, SkipJoin: true})
+	if len(plan.Phys.PartitionHints) == 0 {
+		return fmt.Errorf("skew-join plan emitted no partition hints on the zipf instance")
+	}
+	for _, h := range plan.Phys.PartitionHints {
+		part.EnsurePartitioned(h.Rel, h.Attr, p)
+	}
+	if part.MustGet("S1").Partitions() == nil {
+		return fmt.Errorf("EnsurePartitioned left S1 unpartitioned")
+	}
+
+	flatRound := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			exec.Run(plan.Phys, flat, exec.Config{SkipCompute: true})
+		}
+	})
+	spanRound := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			exec.Run(plan.Phys, part, exec.Config{SkipCompute: true})
+		}
+	})
+	// Allocations are slab-dominated (the same tuples arrive either way, in
+	// the same batches); span routing adds only a few per-span route
+	// compilations. Guard against a per-tuple allocation regression: the
+	// span path may not exceed the per-tuple baseline by more than 1%.
+	if limit := flatRound.AllocsPerOp() + flatRound.AllocsPerOp()/100; spanRound.AllocsPerOp() > limit {
+		return fmt.Errorf("span-routed round allocates per routed tuple: %d allocs/op vs %d baseline (limit %d)",
+			spanRound.AllocsPerOp(), flatRound.AllocsPerOp(), limit)
+	}
+
+	const statsTuples = 800000
+	statsRel := workload.Zipf("B", statsTuples, 1<<20, 1, 1.4, 2000, 7)
+	procs := runtime.GOMAXPROCS(0)
+	runtime.GOMAXPROCS(1)
+	serial := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stats.Collect(statsRel, p)
+		}
+	})
+	runtime.GOMAXPROCS(procs)
+	parallel := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stats.Collect(statsRel, p)
+		}
+	})
+
+	out := StorageBench{
+		Instance: fmt.Sprintf("join2 zipf: S1,S2 m=%d domain=2^20 zipf(s=1.6) over 500 values, p=%d; stats on zipf m=%d over 2000 values", m, p, statsTuples),
+		GoArch:   runtime.GOARCH,
+		NumCPU:   runtime.NumCPU(),
+
+		FlatRoundNsPerOp:     float64(flatRound.NsPerOp()),
+		SpanRoundNsPerOp:     float64(spanRound.NsPerOp()),
+		SpanRoundSpeedup:     float64(flatRound.NsPerOp()) / float64(spanRound.NsPerOp()),
+		FlatRoundAllocsPerOp: flatRound.AllocsPerOp(),
+		SpanRoundAllocsPerOp: spanRound.AllocsPerOp(),
+
+		StatsRelationTuples:  statsTuples,
+		StatsSerialNsPerOp:   float64(serial.NsPerOp()),
+		StatsParallelNsPerOp: float64(parallel.NsPerOp()),
+		StatsParallelSpeedup: float64(serial.NsPerOp()) / float64(parallel.NsPerOp()),
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("storage baseline written to %s\n%s", path, blob)
+	return nil
+}

@@ -37,6 +37,17 @@
 //     (Result.FaultRetries) and then surface as ErrTornRound or
 //     ErrComputeFailed.
 //
+//     Serving sessions also adapt the physical layout to skew: after
+//     planning, relations the chosen plan routes by a single heavy
+//     attribute are given a heavy-partition column layout (light rows
+//     packed first, then one contiguous run per heavy value), rebuilt
+//     lazily as deltas shift the heavy hitters, so the routers resolve one
+//     plan per heavy run and ship whole column spans instead of routing
+//     tuple by tuple. The layout is a pure physical reorder — answers,
+//     realized loads, and fingerprints are identical either way —
+//     and Config.DisableAutoPartition turns the maintenance off;
+//     CacheStats.Repartitions counts rebuilds.
+//
 //   - Engine (internal/core): plans and executes a query on p simulated
 //     servers, choosing between plain HyperCube (§3), the specialized skew
 //     join (§4.1), and the general bin-combination algorithm (§4.2) based

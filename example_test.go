@@ -184,6 +184,36 @@ func ExampleSession_Exec_overload() {
 	// admitted: 1 shed: 1
 }
 
+// Serving sessions adapt the physical layout to skew: the first Exec on a
+// skewed instance plans and gives the join column a heavy-partition layout
+// (one contiguous run per heavy value); later Execs read snapshots with
+// the new layout and bulk-ship whole runs. The layout is a pure physical
+// reorder — answers and realized loads are identical either way.
+func ExampleSession_Exec_partitioned() {
+	q := repro.Join2Query()
+	db := repro.NewDatabase()
+	db.Put(repro.ZipfRelation("S1", 2000, 1<<20, 1, 1.6, 64, 1))
+	db.Put(repro.ZipfRelation("S2", 2000, 1<<20, 1, 1.6, 64, 2))
+
+	s, err := repro.Open(repro.Config{P: 8, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	r1, _ := s.Exec(ctx, q, db, repro.WithStrategy(repro.StrategySkewJoin))
+	r2, _ := s.Exec(ctx, q, db, repro.WithStrategy(repro.StrategySkewJoin))
+
+	fmt.Println("answers equal:", len(r1.Output) == len(r2.Output))
+	fmt.Println("loads equal:", r1.MaxLoadBits == r2.MaxLoadBits)
+	fmt.Println("layout rebuilds:", s.CacheStats().Repartitions)
+	// Output:
+	// answers equal: true
+	// loads equal: true
+	// layout rebuilds: 2
+}
+
 // pk(C3) is the four-vertex set of Example 3.7.
 func ExamplePackingVertices() {
 	vs := repro.PackingVertices(repro.TriangleQuery())

@@ -108,6 +108,13 @@ type Config struct {
 	// are retried once (Result.FaultRetries) and then surface as typed
 	// errors (mpc.ErrTornRound, mpc.ErrComputeFailed).
 	Faults *mpc.Faults
+	// DisableAutoPartition turns off the lazy heavy-partition layout
+	// maintenance serving executions drive by default: after planning, the
+	// engine calls data.Database.EnsurePartitioned for every (relation,
+	// attribute) the plan's router can span-route, so heavy runs ship
+	// wholesale on subsequent executions. Rebuilds are counted in
+	// CacheStats.Repartitions.
+	DisableAutoPartition bool
 }
 
 // Engine evaluates conjunctive queries in one communication round on p
@@ -186,6 +193,9 @@ type Engine struct {
 	replanClosed bool
 	replanWG     sync.WaitGroup
 	bgReplans    uint64
+	// repartitions counts heavy-partition layout rebuilds driven by serving
+	// executions (see Config.DisableAutoPartition). Guarded by mu.
+	repartitions uint64
 }
 
 // cacheEntry is one LRU node: the key (so eviction can unmap it) plus the
@@ -238,6 +248,47 @@ type cachedPlan struct {
 	sj        *skew.JoinPlan
 	gen       *skew.GeneralPlan
 	mr        *rounds.PipelinePlan
+}
+
+// forEachPartitionHint visits the (relation, attribute) pairs the cached
+// plan's routers can span-route (exec.PhysicalPlan.PartitionHints).
+// HyperCube plans hash uniformly and never hint.
+func (cp *cachedPlan) forEachPartitionHint(fn func(exec.PartitionHint)) {
+	switch {
+	case cp.sj != nil:
+		for _, h := range cp.sj.Phys.PartitionHints {
+			fn(h)
+		}
+	case cp.gen != nil:
+		for _, h := range cp.gen.Phys.PartitionHints {
+			fn(h)
+		}
+	case cp.mr != nil && cp.mr.Pipe != nil:
+		for _, st := range cp.mr.Pipe.Stages {
+			for _, h := range st.Plan.PartitionHints {
+				fn(h)
+			}
+		}
+	}
+}
+
+// ensurePartitions drives lazy skew-adaptive layout maintenance for a
+// serving execution: every hinted relation gets a current heavy-partition
+// index (data.Database.EnsurePartitioned) so span routing kicks in on the
+// next epoch's snapshots. db may be a snapshot — the ensure delegates to
+// the mutable master behind it.
+func (e *Engine) ensurePartitions(cp *cachedPlan, db *data.Database, p int) {
+	rebuilt := 0
+	cp.forEachPartitionHint(func(h exec.PartitionHint) {
+		if db.EnsurePartitioned(h.Rel, h.Attr, p) {
+			rebuilt++
+		}
+	})
+	if rebuilt > 0 {
+		e.mu.Lock()
+		e.repartitions += uint64(rebuilt)
+		e.mu.Unlock()
+	}
 }
 
 // Plan describes the chosen algorithm and the bound analysis for one
@@ -417,6 +468,7 @@ type settings struct {
 	residentChunk int
 	bgReplan      bool
 	faults        *mpc.Faults
+	autoPartition bool
 }
 
 // settings resolves the engine configuration (immutable Config if present,
@@ -455,6 +507,13 @@ func (e *Engine) settings(opts ExecOptions) settings {
 		// new key already.
 		s.drift = 0
 	}
+	// Auto-partitioning is a serving-mode feature: serving executions read
+	// immutable snapshots, so the master rebuild behind the database lock
+	// never races an in-flight round. (A non-serving Execute reads its
+	// database directly and may run concurrently with another, so the
+	// engine must not mutate layouts there; such callers partition
+	// explicitly via data.Database.EnsurePartitioned.)
+	s.autoPartition = s.serving && (e.conf == nil || !e.conf.DisableAutoPartition)
 	return s
 }
 
@@ -552,6 +611,15 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Query, db *data.Da
 		return Result{}, err
 	}
 	cp, key, replanned := e.planFor(q, db, s)
+	if s.autoPartition {
+		// Lazy skew-adaptive layout maintenance: make sure every relation
+		// the plan's router can span-route carries a current heavy-partition
+		// index. Rebuilds land on the mutable master and reach the *next*
+		// epoch — this execution's snapshot keeps its frozen layout (current
+		// or not, routing is correct either way; stale layouts just route
+		// per-tuple or span-wise with yesterday's runs).
+		e.ensurePartitions(cp, db, s.p)
+	}
 	res := Result{Plan: cp.plan, Replanned: replanned}
 	// Callers own the Result; don't let them mutate the cached plan
 	// through the shared backing array.
@@ -819,8 +887,11 @@ type CacheStats struct {
 	// were rebuilt off the request path by the background worker.
 	Replans           uint64
 	BackgroundReplans uint64
-	Size              int // live entries
-	Capacity          int // effective bound (≤ 0 means unbounded)
+	// Repartitions counts heavy-partition layout rebuilds driven by serving
+	// executions (Config.DisableAutoPartition turns the maintenance off).
+	Repartitions uint64
+	Size         int // live entries
+	Capacity     int // effective bound (≤ 0 means unbounded)
 }
 
 // CacheStats returns the plan cache counters.
@@ -833,6 +904,7 @@ func (e *Engine) CacheStats() CacheStats {
 		Evictions:         e.evictions,
 		Replans:           e.replans,
 		BackgroundReplans: e.bgReplans,
+		Repartitions:      e.repartitions,
 		Size:              len(e.cache),
 		Capacity:          e.capacityPeekLocked(),
 	}
@@ -852,7 +924,7 @@ func (e *Engine) ClearPlanCache() {
 	defer e.mu.Unlock()
 	e.cache = nil
 	e.lru.Init()
-	e.hits, e.misses, e.evictions, e.replans, e.bgReplans = 0, 0, 0, 0, 0
+	e.hits, e.misses, e.evictions, e.replans, e.bgReplans, e.repartitions = 0, 0, 0, 0, 0, 0
 	for sq := range e.standing {
 		sq.stale.Store(true)
 	}

@@ -192,6 +192,14 @@ type Relation struct {
 	viewOf  *Relation
 	viewGen uint64
 
+	// part is the heavy-partition layout index (see partition.go), nil when
+	// unpartitioned. It is immutable and replaced wholesale, so snapshot
+	// views share the pointer. partCheckedGen records the gen at which
+	// EnsurePartitioned last validated the layout, making repeated serving
+	// checks O(1) between mutations.
+	part           *PartitionIndex
+	partCheckedGen uint64
+
 	// track holds the maintained-state flag bits; mutators check it with
 	// one atomic load so untracked relations (server fragments, join
 	// outputs — the communication hot path) pay nothing else.
@@ -221,6 +229,11 @@ func (r *Relation) view() *Relation {
 	for a, col := range r.cols {
 		v.cols[a] = col[:r.rows:r.rows]
 	}
+	// The partition index covers a prefix of the frozen rows and never
+	// mutates, so the view shares it; if the master later invalidates or
+	// replaces its own index, the view's copy stays valid for the view's
+	// immutable rows.
+	v.part = r.part
 	if r.track.Load()&trackContent != 0 {
 		v.contentSum = r.contentSum
 		v.track.Store(trackContent)
@@ -349,6 +362,13 @@ func (r *Relation) removeRow(i int) {
 	// snapshot view sharing this backing, copy the columns first.
 	if i < r.frozen {
 		r.unshare()
+	}
+	// A delete below the partition-covered prefix breaks the layout (the
+	// swap pulls an arbitrary row into a heavy run); deletes in the
+	// uncovered tail swap tail rows among themselves and keep it. The next
+	// EnsurePartitioned rebuilds lazily.
+	if r.part != nil && i < r.part.Rows {
+		r.part = nil
 	}
 	r.gen++
 	t := r.track.Load()
@@ -549,6 +569,8 @@ func (r *Relation) Sort() {
 	// snapshot views keep their (unsorted, equal-content) arrays untouched.
 	r.frozen = 0
 	r.gen++
+	// Lexicographic order is not the partition layout.
+	r.part = nil
 	// The content sum and frequency maps are permutation-invariant; only the
 	// tuple index maps rows and must be rebuilt.
 	if r.track.Load()&trackStats != 0 {

@@ -55,6 +55,19 @@ type PhysicalPlan struct {
 	// for HyperCube shares, Eq. 10 for the skew join, max_B p^{λ(B)} for
 	// bin combinations).
 	PredictedBits float64
+	// PartitionHints names the (relation, attribute) pairs whose
+	// heavy-partition layout (data.PartitionIndex) this plan's router can
+	// exploit through mpc.SpanRouter. Hints are advisory: the serving
+	// engine uses them to drive Database.EnsurePartitioned lazily, and an
+	// unpartitioned relation simply routes per-tuple.
+	PartitionHints []PartitionHint
+}
+
+// PartitionHint is one (relation, attribute) pair a plan's router routes
+// span-wise when the relation carries a heavy-partition layout on Attr.
+type PartitionHint struct {
+	Rel  string
+	Attr int
 }
 
 // Config controls one execution of a plan.

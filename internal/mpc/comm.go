@@ -27,6 +27,7 @@ package mpc
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -74,6 +75,7 @@ type commWorker struct {
 	dst     []int
 	dedup   dedupSet
 	scratch data.Tuple
+	span    SpanRoute // CompileSpan scratch, reused across spans
 }
 
 // commState is the cluster-owned engine scratch, reused across rounds.
@@ -123,6 +125,7 @@ func (w *commWorker) publish(c *Cluster, server int, d *delivery) {
 func (w *commWorker) route(c *Cluster, parts []sendPart, next *atomic.Int64, router Router, report func(error)) {
 	r := forSender(router)
 	cr, columnar := r.(ColumnRouter)
+	sr, spannable := r.(SpanRouter)
 	if cap(w.table) < c.P {
 		w.table = make([]delivery, c.P)
 	}
@@ -147,49 +150,13 @@ func (w *commWorker) route(c *Cluster, parts []sendPart, next *atomic.Int64, rou
 			}
 		}
 		part := parts[pi]
-		rel := part.rel
-		cols := rel.Columns()
-		arity := rel.Arity
-		bits := rel.BitsPerTuple()
-		if cap(w.scratch) < arity {
-			w.scratch = make(data.Tuple, arity)
-		}
-		scratch := w.scratch[:arity]
-		for row := part.lo; row < part.hi; row++ {
-			if columnar {
-				w.dst = cr.DestinationsAt(rel, row, w.dst[:0])
-			} else {
-				w.dst = r.Destinations(rel.Name, rel.ReadTuple(row, scratch), w.dst[:0])
-			}
-			for _, server := range w.dedup.dedup(w.dst) {
-				if server < 0 || server >= c.P {
-					report(fmt.Errorf("mpc: destination %d out of range [0,%d)", server, c.P))
-					continue
-				}
-				d := &table[server]
-				if d.cols != nil && d.rel != rel.Name {
-					// Batches are per (destination, relation): a new
-					// relation closes the previous batch.
-					w.publish(c, server, d)
-				}
-				if d.cols == nil {
-					d.rel, d.arity, d.domain, d.bits = rel.Name, arity, rel.Domain, bits
-					s := make([][]int64, arity)
-					for a := range s {
-						s[a] = w.slab()
-					}
-					d.cols = s
-					w.touched = append(w.touched, server)
-				}
-				for a := 0; a < arity; a++ {
-					d.cols[a] = append(d.cols[a], cols[a][row])
-				}
-				d.count++
-				if d.count >= batchTuples {
-					w.publish(c, server, d)
-				}
+		if spannable {
+			if idx := part.rel.Partitions(); idx != nil && sr.SpansAttr(part.rel, idx.Attr) {
+				w.routeSpans(c, table, part, idx, sr, report)
+				continue
 			}
 		}
+		w.routeRows(c, table, part.rel, part.lo, part.hi, r, cr, columnar, report)
 	}
 	// Flush the stragglers. touched may hold duplicates (a destination
 	// whose batch filled and restarted); publish skips the empties.
@@ -197,6 +164,150 @@ func (w *commWorker) route(c *Cluster, parts []sendPart, next *atomic.Int64, rou
 		w.publish(c, server, &table[server])
 	}
 	w.touched = w.touched[:0]
+}
+
+// routeRows routes rows [lo, hi) of rel one tuple at a time — the general
+// path for unpartitioned relations, light regions, uncovered tails, and
+// declined spans.
+func (w *commWorker) routeRows(c *Cluster, table []delivery, rel *data.Relation, lo, hi int, r Router, cr ColumnRouter, columnar bool, report func(error)) {
+	cols := rel.Columns()
+	arity := rel.Arity
+	bits := rel.BitsPerTuple()
+	if cap(w.scratch) < arity {
+		w.scratch = make(data.Tuple, arity)
+	}
+	scratch := w.scratch[:arity]
+	for row := lo; row < hi; row++ {
+		if columnar {
+			w.dst = cr.DestinationsAt(rel, row, w.dst[:0])
+		} else {
+			w.dst = r.Destinations(rel.Name, rel.ReadTuple(row, scratch), w.dst[:0])
+		}
+		w.send(c, table, rel, cols, arity, bits, row, w.dst, report)
+	}
+}
+
+// routeSpans routes one send part of a partitioned relation partition-wise:
+// the light prefix and the uncovered tail per-tuple, each heavy span through
+// one CompileSpan call — bulk column-range appends when the route is
+// uniform, a pre-resolved per-row closure otherwise.
+func (w *commWorker) routeSpans(c *Cluster, table []delivery, part sendPart, idx *data.PartitionIndex, sr SpanRouter, report func(error)) {
+	rel := part.rel
+	lo, hi := part.lo, part.hi
+	if lo < idx.LightEnd {
+		w.routeRows(c, table, rel, lo, min(hi, idx.LightEnd), sr, sr, true, report)
+	}
+	pos := max(lo, idx.LightEnd)
+	spans := idx.Spans
+	si := sort.Search(len(spans), func(i int) bool { return spans[i].End > pos })
+	for ; si < len(spans) && spans[si].Start < hi; si++ {
+		sp := spans[si]
+		slo, shi := max(sp.Start, lo), min(sp.End, hi)
+		if slo >= shi {
+			continue
+		}
+		w.span.Dests = w.span.Dests[:0]
+		w.span.PerRow = nil
+		if !sr.CompileSpan(rel, idx.Attr, sp.Value, &w.span) {
+			w.routeRows(c, table, rel, slo, shi, sr, sr, true, report)
+			continue
+		}
+		if w.span.PerRow != nil {
+			w.routePerRow(c, table, rel, slo, shi, w.span.PerRow, report)
+		} else {
+			w.sendRange(c, table, rel, slo, shi, w.span.Dests, report)
+		}
+	}
+	if hi > idx.Rows {
+		w.routeRows(c, table, rel, max(lo, idx.Rows), hi, sr, sr, true, report)
+	}
+	// Don't pin the last compiled closure (and whatever it captured) on the
+	// pooled worker past the round.
+	w.span.PerRow = nil
+}
+
+// routePerRow routes rows [lo, hi) through a compiled per-row closure.
+func (w *commWorker) routePerRow(c *Cluster, table []delivery, rel *data.Relation, lo, hi int, perRow func(row int, dst []int) []int, report func(error)) {
+	cols := rel.Columns()
+	arity := rel.Arity
+	bits := rel.BitsPerTuple()
+	for row := lo; row < hi; row++ {
+		w.dst = perRow(row, w.dst[:0])
+		w.send(c, table, rel, cols, arity, bits, row, w.dst, report)
+	}
+}
+
+// send batches row `row` of rel for every (deduplicated, validated)
+// destination in dst.
+func (w *commWorker) send(c *Cluster, table []delivery, rel *data.Relation, cols [][]int64, arity int, bits int64, row int, dst []int, report func(error)) {
+	for _, server := range w.dedup.dedup(dst) {
+		if server < 0 || server >= c.P {
+			report(fmt.Errorf("mpc: destination %d out of range [0,%d)", server, c.P))
+			continue
+		}
+		d := &table[server]
+		if d.cols != nil && d.rel != rel.Name {
+			// Batches are per (destination, relation): a new
+			// relation closes the previous batch.
+			w.publish(c, server, d)
+		}
+		if d.cols == nil {
+			d.rel, d.arity, d.domain, d.bits = rel.Name, arity, rel.Domain, bits
+			s := make([][]int64, arity)
+			for a := range s {
+				s[a] = w.slab()
+			}
+			d.cols = s
+			w.touched = append(w.touched, server)
+		}
+		for a := 0; a < arity; a++ {
+			d.cols[a] = append(d.cols[a], cols[a][row])
+		}
+		d.count++
+		if d.count >= batchTuples {
+			w.publish(c, server, d)
+		}
+	}
+}
+
+// sendRange ships rows [lo, hi) of rel wholesale to every destination in
+// dst: per-column range appends into slabs, batchTuples at a time — the
+// uniform-span fast path with no per-row router work.
+func (w *commWorker) sendRange(c *Cluster, table []delivery, rel *data.Relation, lo, hi int, dst []int, report func(error)) {
+	cols := rel.Columns()
+	arity := rel.Arity
+	bits := rel.BitsPerTuple()
+	for _, server := range w.dedup.dedup(dst) {
+		if server < 0 || server >= c.P {
+			report(fmt.Errorf("mpc: destination %d out of range [0,%d)", server, c.P))
+			continue
+		}
+		d := &table[server]
+		if d.cols != nil && d.rel != rel.Name {
+			w.publish(c, server, d)
+		}
+		row := lo
+		for row < hi {
+			if d.cols == nil {
+				d.rel, d.arity, d.domain, d.bits = rel.Name, arity, rel.Domain, bits
+				s := make([][]int64, arity)
+				for a := range s {
+					s[a] = w.slab()
+				}
+				d.cols = s
+				w.touched = append(w.touched, server)
+			}
+			n := min(batchTuples-d.count, hi-row)
+			for a := 0; a < arity; a++ {
+				d.cols[a] = append(d.cols[a], cols[a][row:row+n]...)
+			}
+			d.count += n
+			row += n
+			if d.count >= batchTuples {
+				w.publish(c, server, d)
+			}
+		}
+	}
 }
 
 // deliver is one worker's share of the deliver pass: claim servers off the

@@ -56,6 +56,49 @@ type ColumnRouter interface {
 	DestinationsAt(rel *data.Relation, row int, dst []int) []int
 }
 
+// SpanRoute is the compiled routing of one heavy partition span — a
+// contiguous run of rows sharing one value on the partition attribute.
+// Exactly one of the two forms is produced per span:
+//
+//   - Uniform (PerRow nil): every row of the span goes to Dests. The engine
+//     bulk-appends whole column ranges into destination slabs — no per-row
+//     router work at all. An empty Dests ships nothing (a relation the
+//     router does not route this round).
+//   - PerRow non-nil: rows still need a per-row dimension (a grid row hash
+//     on a non-partition attribute), but the span-level decision — which
+//     hitter plan, which block — is resolved once at compile time. PerRow
+//     appends to dst and returns it, like ColumnRouter.DestinationsAt, and
+//     is called only from the compiling worker's goroutine.
+//
+// Both slices may be retained and reused by the engine across spans.
+type SpanRoute struct {
+	Dests  []int
+	PerRow func(row int, dst []int) []int
+}
+
+// SpanRouter is an optional ColumnRouter extension for partition-wise
+// routing over heavy-value runs (data.PartitionIndex). When a routed
+// relation carries a partition index on attribute attr and the router
+// acknowledges that attribute via SpansAttr, the delivery engine resolves
+// each heavy span with one CompileSpan call and ships it wholesale; rows in
+// the light region and the uncovered tail always take the per-tuple path.
+//
+// Contract: for every row whose value at attr is v, the compiled route must
+// deliver to exactly the servers DestinationsAt would (order may differ;
+// duplicates are delivered once either way). CompileSpan may return false to
+// decline a span (the engine falls back to per-tuple for those rows), and is
+// invoked on the ForSender instance when the router is a PerSenderRouter, so
+// compiled closures may use per-sender scratch.
+type SpanRouter interface {
+	ColumnRouter
+	// SpansAttr reports whether CompileSpan understands spans of rel
+	// partitioned on attribute attr.
+	SpansAttr(rel *data.Relation, attr int) bool
+	// CompileSpan resolves the routing of the heavy run of value v at attr
+	// into route (whose fields arrive zeroed: Dests empty, PerRow nil).
+	CompileSpan(rel *data.Relation, attr int, v int64, route *SpanRoute) bool
+}
+
 // PerSenderRouter is an optional Router extension for allocation-free
 // routing: a router that keeps reusable per-tuple scratch implements
 // ForSender, and the delivery engine hands each worker its own instance so

@@ -315,6 +315,19 @@ func planStage(si int, st Step, left, right *input, cfg Config) (exec.Stage, *in
 		OutArity:      outArity,
 		OutDomain:     domain,
 	}
+	// Base inputs keyed on a single column route span-wise when partitioned
+	// (stepRouter implements mpc.SpanRouter for exactly that shape).
+	// Intermediates are rebuilt every round and never carry an index; a
+	// self-joined input is classified as left by the router, so only the
+	// left key is hinted.
+	if !cartesian {
+		if left.rel != nil && len(leftKey) == 1 {
+			stage.Plan.PartitionHints = append(stage.Plan.PartitionHints, exec.PartitionHint{Rel: st.Left, Attr: leftKey[0]})
+		}
+		if right.rel != nil && len(rightKey) == 1 && st.Right != st.Left {
+			stage.Plan.PartitionHints = append(stage.Plan.PartitionHints, exec.PartitionHint{Rel: st.Right, Attr: rightKey[0]})
+		}
+	}
 	for _, in := range []struct {
 		name string
 		in   *input
@@ -494,6 +507,56 @@ func (r *stepRouter) DestinationsAt(rel *data.Relation, row int, dst []int) []in
 		return r.gridRoute(isLeft, 0, g1, g2, rowHashCols(cols, row), dst)
 	}
 	return append(dst, r.keyHash(key))
+}
+
+// SpansAttr implements mpc.SpanRouter: a single-column join key of either
+// input (the run's value is the whole key, so one heavy-map lookup decides
+// the routing of the entire run).
+func (r *stepRouter) SpansAttr(rel *data.Relation, attr int) bool {
+	if r.cartesian {
+		return false
+	}
+	if rel.Name == r.leftName {
+		return len(r.leftKey) == 1 && attr == r.leftKey[0]
+	}
+	if rel.Name == r.rightName {
+		return len(r.rightKey) == 1 && attr == r.rightKey[0]
+	}
+	return false
+}
+
+// CompileSpan implements mpc.SpanRouter. Light runs compile to their single
+// hash-join server; heavy runs keep the per-row grid hash but with the
+// heavy plan resolved once.
+func (r *stepRouter) CompileSpan(rel *data.Relation, attr int, v int64, route *mpc.SpanRoute) bool {
+	isLeft := rel.Name == r.leftName
+	if hp := r.heavy[data.Key1(v)]; hp != nil {
+		cols := rel.Columns()
+		base, p1, p2 := hp.base, hp.p1, hp.p2
+		fam := r.family
+		if isLeft {
+			route.PerRow = func(row int, dst []int) []int {
+				gr := fam.Hash(dimLeft, rowHashCols(cols, row), p1)
+				for c := 0; c < p2; c++ {
+					dst = append(dst, base+gr*p2+c)
+				}
+				return dst
+			}
+		} else {
+			route.PerRow = func(row int, dst []int) []int {
+				gc := fam.Hash(dimRight, rowHashCols(cols, row), p2)
+				for rr := 0; rr < p1; rr++ {
+					dst = append(dst, base+rr*p2+gc)
+				}
+				return dst
+			}
+		}
+		return true
+	}
+	key := r.keyScratch(1)
+	key[0] = v
+	route.Dests = append(route.Dests, r.keyHash(key))
+	return true
 }
 
 // cartesianGrid splits p into a g1 × g2 grid for key-less steps.

@@ -200,6 +200,35 @@ func (gs *generalState) plan(cfg GeneralConfig) *GeneralPlan {
 		Dedup:         true,
 		PredictedBits: predicted,
 	}
+	// Partition hints: for each atom, the single attribute carrying the
+	// largest maintained heavy-hitter mass — its runs gain the most from
+	// span compilation (generalRouter accepts any attribute, the hint only
+	// picks which layout to maintain). Atoms with no single-attribute heavy
+	// hitter are left unhinted.
+	hinted := make(map[string]bool, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if hinted[a.Name] {
+			continue
+		}
+		hinted[a.Name] = true
+		bestAttr, bestMass := -1, int64(0)
+		for pos := 0; pos < a.Arity(); pos++ {
+			fm := gs.st[a.Name].FreqMapFor([]int{pos})
+			if fm == nil {
+				continue
+			}
+			var mass int64
+			for _, c := range fm.Counts {
+				mass += c
+			}
+			if mass > bestMass {
+				bestAttr, bestMass = pos, mass
+			}
+		}
+		if bestAttr >= 0 {
+			gp.Phys.PartitionHints = append(gp.Phys.PartitionHints, exec.PartitionHint{Rel: a.Name, Attr: bestAttr})
+		}
+	}
 	return gp
 }
 
@@ -347,6 +376,117 @@ func (r *generalRouter) destinations(j int, t data.Tuple, dst []int) []int {
 		dst = r.appendSubcube(dst, plan, j, t, bases)
 	}
 	return dst
+}
+
+// spanStep is one bin combination's partially-resolved routing for a heavy
+// run: exclusion checks and block lookups over the partition attribute are
+// decided at compile time, the rest stays per-row.
+type spanStep struct {
+	plan *comboPlan
+	ap   *atomPlan
+	// bases is the resolved block list when resolved is true (xjAttrs is
+	// empty or exactly the partition attribute); otherwise the per-row
+	// blocksByProj lookup remains.
+	bases    []int
+	resolved bool
+	exclude  []exclCheck // checks not decided by the partition attribute
+}
+
+// SpansAttr implements mpc.SpanRouter: any single attribute of a routed
+// atom helps — every exclusion check or block lookup over exactly that
+// attribute resolves once per run.
+func (r *generalRouter) SpansAttr(rel *data.Relation, attr int) bool {
+	_, ok := r.atomIndex[rel.Name]
+	return ok
+}
+
+// CompileSpan implements mpc.SpanRouter: for each bin combination, run the
+// partition-attribute exclusion checks and block lookups once for the whole
+// run, dropping combinations that exclude the run or route it nowhere. The
+// surviving per-row work (multi-attribute exclusions, other-attribute
+// lookups, subcube hashing) runs through a closure over the reduced list.
+func (r *generalRouter) CompileSpan(rel *data.Relation, attr int, v int64, route *mpc.SpanRoute) bool {
+	j, ok := r.atomIndex[rel.Name]
+	if !ok {
+		return true // not an input of this plan: ship nothing
+	}
+	r.ensureScratch()
+	steps := make([]spanStep, 0, len(r.plans))
+	for _, plan := range r.plans {
+		ap := &plan.byAtom[j]
+		st := spanStep{plan: plan, ap: ap}
+		skip := false
+		for _, ec := range ap.exclude {
+			if ec.fm == nil {
+				continue // no heavy entries over attrs: never overweight
+			}
+			if len(ec.attrs) == 1 && ec.attrs[0] == attr {
+				proj := r.proj[:1]
+				proj[0] = v
+				if freq := ec.fm.Count(proj); freq > 0 && float64(freq) > ec.threshold {
+					skip = true // the whole run is overweight here
+					break
+				}
+				continue
+			}
+			st.exclude = append(st.exclude, ec)
+		}
+		if skip {
+			continue
+		}
+		switch {
+		case len(ap.xjAttrs) == 0:
+			st.bases, st.resolved = ap.allBases, true
+		case len(ap.xjAttrs) == 1 && ap.xjAttrs[0] == attr:
+			st.bases, st.resolved = ap.blocksByProj[data.Key1(v)], true
+		}
+		if st.resolved && len(st.bases) == 0 {
+			continue // the run maps to no block of this combination
+		}
+		steps = append(steps, st)
+	}
+	if len(steps) == 0 {
+		return true // uniform empty: every combination excluded the run
+	}
+	cols := rel.Columns()
+	arity := rel.Arity
+	route.PerRow = func(row int, dst []int) []int {
+		t := r.row[:arity]
+		for a, col := range cols {
+			t[a] = col[row]
+		}
+		for si := range steps {
+			st := &steps[si]
+			excluded := false
+			for _, ec := range st.exclude {
+				proj := r.proj[:len(ec.attrs)]
+				for pi, a := range ec.attrs {
+					proj[pi] = t[a]
+				}
+				if freq := ec.fm.Count(proj); freq > 0 && float64(freq) > ec.threshold {
+					excluded = true
+					break
+				}
+			}
+			if excluded {
+				continue
+			}
+			bases := st.bases
+			if !st.resolved {
+				proj := r.proj[:len(st.ap.xjAttrs)]
+				for pi, a := range st.ap.xjAttrs {
+					proj[pi] = t[a]
+				}
+				bases = st.ap.blocksByProj[data.KeyOf(proj)]
+				if len(bases) == 0 {
+					continue
+				}
+			}
+			dst = r.appendSubcube(dst, st.plan, j, t, bases)
+		}
+		return dst
+	}
+	return true
 }
 
 // appendSubcube appends, for every base block, the servers of the HC

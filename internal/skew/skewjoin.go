@@ -315,6 +315,14 @@ func PlanJoin(q *query.Query, db *data.Database, cfg JoinConfig) *JoinPlan {
 		},
 		PredictedBits: jp.PredictedBits,
 	}
+	// Heavy runs on the join column route span-wise (joinRouter implements
+	// mpc.SpanRouter): one hitter-plan resolution per run instead of one map
+	// lookup per tuple. In a self-join the router classifies the shared
+	// relation by its first atom, so only that atom's column is hinted.
+	jp.Phys.PartitionHints = []exec.PartitionHint{{Rel: sh.name1, Attr: sh.zPos1}}
+	if sh.name2 != sh.name1 {
+		jp.Phys.PartitionHints = append(jp.Phys.PartitionHints, exec.PartitionHint{Rel: sh.name2, Attr: sh.zPos2})
+	}
 	return jp
 }
 
@@ -397,6 +405,81 @@ func (r *joinRouter) route(first bool, z, x int64, dst []int) []int {
 		}
 	}
 	return dst
+}
+
+// SpansAttr implements mpc.SpanRouter: the join column of either relation.
+// (In a self-join both atoms resolve to name1, matching Destinations.)
+func (r *joinRouter) SpansAttr(rel *data.Relation, attr int) bool {
+	if rel.Name == r.sh.name1 {
+		return attr == r.sh.zPos1
+	}
+	if rel.Name == r.sh.name2 {
+		return attr == r.sh.zPos2
+	}
+	return false
+}
+
+// CompileSpan implements mpc.SpanRouter: the per-tuple work of route — the
+// plans-map lookup and the class dispatch — happens once per heavy run.
+// Light runs and broadcast sides compile to uniform destination lists the
+// engine bulk-ships; partitioned grid sides still hash the private column
+// per row, but through a closure with the hitter plan pre-resolved.
+func (r *joinRouter) CompileSpan(rel *data.Relation, attr int, z int64, route *mpc.SpanRoute) bool {
+	first := rel.Name == r.sh.name1
+	pl := r.plans[z]
+	if pl == nil { // light: every row of the run hash-joins to one server
+		route.Dests = append(route.Dests, hashing.HashSeeded(r.zSeed, z, r.p))
+		return true
+	}
+	cols := rel.Columns()
+	switch pl.class {
+	case classH12:
+		base, p1, p2 := pl.base, pl.p1, pl.p2
+		if first {
+			col, seed := cols[r.sh.xPos1], r.xSeed
+			route.PerRow = func(row int, dst []int) []int {
+				gr := hashing.HashSeeded(seed, col[row], p1)
+				for c := 0; c < p2; c++ {
+					dst = append(dst, base+gr*p2+c)
+				}
+				return dst
+			}
+		} else {
+			col, seed := cols[r.sh.xPos2], r.ySeed
+			route.PerRow = func(row int, dst []int) []int {
+				gc := hashing.HashSeeded(seed, col[row], p2)
+				for rr := 0; rr < p1; rr++ {
+					dst = append(dst, base+rr*p2+gc)
+				}
+				return dst
+			}
+		}
+	case classH1:
+		if first { // partition the heavy side on x
+			base, ph := pl.base, pl.ph
+			col, seed := cols[r.sh.xPos1], r.xSeed
+			route.PerRow = func(row int, dst []int) []int {
+				return append(dst, base+hashing.HashSeeded(seed, col[row], ph))
+			}
+		} else { // broadcast the light side wholesale
+			for i := 0; i < pl.ph; i++ {
+				route.Dests = append(route.Dests, pl.base+i)
+			}
+		}
+	case classH2:
+		if !first { // partition the heavy side on y
+			base, ph := pl.base, pl.ph
+			col, seed := cols[r.sh.xPos2], r.ySeed
+			route.PerRow = func(row int, dst []int) []int {
+				return append(dst, base+hashing.HashSeeded(seed, col[row], ph))
+			}
+		} else { // broadcast the light side wholesale
+			for i := 0; i < pl.ph; i++ {
+				route.Dests = append(route.Dests, pl.base+i)
+			}
+		}
+	}
+	return true
 }
 
 // classOf maps a virtual server ID to its §4.1 case.

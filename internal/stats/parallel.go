@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/hashing"
+)
+
+// parallelMinRows is the row count below which the chunked statistics scans
+// stay serial: goroutine fan-out costs more than it saves on small
+// relations. A var (not const) so tests can lower it and exercise the
+// parallel paths on small inputs.
+var parallelMinRows = 1 << 15
+
+// scanChunks splits [0, m) into up to GOMAXPROCS near-equal half-open row
+// ranges, or returns nil when the scan should stay serial (small input or a
+// single-CPU process).
+func scanChunks(m int) [][2]int {
+	workers := runtime.GOMAXPROCS(0)
+	if m < parallelMinRows || workers < 2 {
+		return nil
+	}
+	if workers > m {
+		workers = m
+	}
+	out := make([][2]int, 0, workers)
+	for i := 0; i < workers; i++ {
+		lo, hi := i*m/workers, (i+1)*m/workers
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	if len(out) < 2 {
+		return nil
+	}
+	return out
+}
+
+// parallelFrequencies runs FrequenciesOrdered's counting loop with one
+// goroutine per chunk and merges the partial maps — the distributed
+// statistics pass the paper assumes (each input server counts its own
+// partition, then the counts are summed) run on real threads. Every chunk
+// count is exact, so the merged map is identical to the serial scan's.
+func parallelFrequencies(cols [][]int64, attrs []int, chunks [][2]int) *FreqMap {
+	parts := make([]*FreqMap, len(chunks))
+	var wg sync.WaitGroup
+	for i, ch := range chunks {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			f := &FreqMap{
+				Attrs:  append([]int(nil), attrs...),
+				Counts: make(map[data.Key]int64),
+				Total:  int64(hi - lo),
+			}
+			if len(cols) == 1 {
+				for _, v := range cols[0][lo:hi] {
+					f.Counts[data.Key1(v)]++
+				}
+			} else {
+				proj := make(data.Tuple, len(cols))
+				for row := lo; row < hi; row++ {
+					for c, col := range cols {
+						proj[c] = col[row]
+					}
+					f.Counts[data.KeyOf(proj)]++
+				}
+			}
+			parts[i] = f
+		}(i, ch[0], ch[1])
+	}
+	wg.Wait()
+	return Merge(parts...)
+}
+
+// parallelDistinct counts the distinct values of col with chunked scans; the
+// per-chunk sets are unioned afterwards, so the result matches the serial
+// single-set scan exactly.
+func parallelDistinct(col []int64, chunks [][2]int) int64 {
+	sets := make([]map[int64]struct{}, len(chunks))
+	var wg sync.WaitGroup
+	for i, ch := range chunks {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			seen := make(map[int64]struct{}, hi-lo)
+			for _, v := range col[lo:hi] {
+				seen[v] = struct{}{}
+			}
+			sets[i] = seen
+		}(i, ch[0], ch[1])
+	}
+	wg.Wait()
+	union := sets[0]
+	for _, s := range sets[1:] {
+		for v := range s {
+			union[v] = struct{}{}
+		}
+	}
+	return int64(len(union))
+}
+
+// rescanContent recomputes one relation's commutative content sum from its
+// columns. The fold is a wrapping uint64 addition of avalanched per-tuple
+// hashes — commutative and associative — so the chunked parallel scan is
+// bit-identical to the serial one (FingerprintRescan stays the exact
+// reference for data.Relation.ContentSum).
+func rescanContent(cols [][]int64, m int) uint64 {
+	chunks := scanChunks(m)
+	if chunks == nil {
+		return rescanContentRange(cols, 0, m)
+	}
+	partial := make([]uint64, len(chunks))
+	var wg sync.WaitGroup
+	for i, ch := range chunks {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			partial[i] = rescanContentRange(cols, lo, hi)
+		}(i, ch[0], ch[1])
+	}
+	wg.Wait()
+	var content uint64
+	for _, s := range partial {
+		content += s
+	}
+	return content
+}
+
+// rescanContentRange is the serial content fold over rows [lo, hi).
+func rescanContentRange(cols [][]int64, lo, hi int) uint64 {
+	var content uint64
+	for i := lo; i < hi; i++ {
+		th := fnvOffset
+		for _, col := range cols {
+			th = (th ^ uint64(col[i])) * fnvPrime
+		}
+		content += hashing.Mix64(th)
+	}
+	return content
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// withSmallParallelThreshold lowers the serial cutoff and forces GOMAXPROCS
+// above the single-CPU floor so the chunked paths genuinely run on
+// test-sized relations (and on single-core CI machines, where
+// scanChunks would otherwise always stay serial), restoring both
+// afterwards.
+func withSmallParallelThreshold(t *testing.T) {
+	t.Helper()
+	old := parallelMinRows
+	parallelMinRows = 8
+	oldProcs := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() {
+		parallelMinRows = old
+		runtime.GOMAXPROCS(oldProcs)
+	})
+}
+
+// randomRelation builds a skewed random relation: a small value domain on
+// the first column forces repeats, the last column is a unique row ID so
+// delta-style duplicate-free invariants hold.
+func randomRelation(rng *rand.Rand, n int) *data.Relation {
+	r := data.NewRelation("R", 3, 1<<20)
+	vals := 1 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		r.Add(int64(rng.Intn(vals)), int64(rng.Intn(50)), int64(i))
+	}
+	return r
+}
+
+func freqMapsEqual(a, b *FreqMap) bool {
+	if a.Total != b.Total || len(a.Counts) != len(b.Counts) {
+		return false
+	}
+	for k, c := range a.Counts {
+		if b.Counts[k] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// serialFrequencies is the reference single-threaded scan the parallel path
+// is property-tested against.
+func serialFrequencies(r *data.Relation, attrs []int) *FreqMap {
+	f := &FreqMap{Attrs: append([]int(nil), attrs...), Counts: make(map[data.Key]int64), Total: int64(r.Size())}
+	proj := make(data.Tuple, len(attrs))
+	for row := 0; row < r.Size(); row++ {
+		for i, a := range attrs {
+			proj[i] = r.At(row, a)
+		}
+		f.Counts[data.KeyOf(proj)]++
+	}
+	return f
+}
+
+func TestParallelFrequenciesMatchesSerial(t *testing.T) {
+	withSmallParallelThreshold(t)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		r := randomRelation(rng, 50+rng.Intn(2000))
+		for _, attrs := range [][]int{{0}, {1}, {0, 1}, {2, 0}} {
+			got := FrequenciesOrdered(r, attrs)
+			want := serialFrequencies(r, attrs)
+			if !freqMapsEqual(got, want) {
+				t.Fatalf("trial %d attrs %v: parallel frequencies diverge from serial", trial, attrs)
+			}
+		}
+	}
+}
+
+func TestParallelCardinalityMatchesSerial(t *testing.T) {
+	withSmallParallelThreshold(t)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		r := randomRelation(rng, 50+rng.Intn(2000))
+		for attr := 0; attr < r.Arity; attr++ {
+			seen := make(map[int64]struct{})
+			for _, v := range r.Column(attr) {
+				seen[v] = struct{}{}
+			}
+			if got := Cardinality(r, attr); got != int64(len(seen)) {
+				t.Fatalf("trial %d attr %d: Cardinality = %d, want %d", trial, attr, got, len(seen))
+			}
+		}
+	}
+}
+
+// TestParallelFingerprintRescanBitIdentical asserts the chunked rescan is
+// bit-identical to the serial fold (the content term is a commutative sum)
+// and still agrees with the incrementally-maintained Fingerprint after
+// delta sequences.
+func TestParallelFingerprintRescanBitIdentical(t *testing.T) {
+	oldProcs := runtime.GOMAXPROCS(4) // chunked scans need >1 proc even on 1-CPU CI
+	defer runtime.GOMAXPROCS(oldProcs)
+	rng := rand.New(rand.NewSource(13))
+	db := data.NewDatabase()
+	r := data.NewRelation("R", 2, 1<<20)
+	for i := 0; i < 40000; i++ { // above the real parallelMinRows
+		r.Add(int64(rng.Intn(100)), int64(i))
+	}
+	db.Put(r)
+
+	serial := func() uint64 {
+		old := parallelMinRows
+		parallelMinRows = 1 << 62
+		defer func() { parallelMinRows = old }()
+		return FingerprintRescan(db)
+	}
+
+	if got, want := FingerprintRescan(db), serial(); got != want {
+		t.Fatalf("parallel rescan %x differs from serial %x", got, want)
+	}
+	if got, want := FingerprintRescan(db), Fingerprint(db); got != want {
+		t.Fatalf("rescan %x disagrees with maintained fingerprint %x", got, want)
+	}
+
+	next := int64(500000)
+	for i := 0; i < 10; i++ {
+		d := &data.Delta{}
+		for j := 0; j < 50; j++ {
+			next++
+			d.Insert("R", int64(rng.Intn(100)), next)
+		}
+		d.Delete("R", r.Tuple(rng.Intn(r.Size()))...)
+		if err := db.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := FingerprintRescan(db), serial(); got != want {
+			t.Fatalf("delta %d: parallel rescan diverged from serial", i)
+		}
+		if got, want := FingerprintRescan(db), Fingerprint(db); got != want {
+			t.Fatalf("delta %d: rescan disagrees with maintained fingerprint", i)
+		}
+	}
+}
+
+func TestParallelCollectDBMatchesSerial(t *testing.T) {
+	withSmallParallelThreshold(t)
+	rng := rand.New(rand.NewSource(17))
+	db := data.NewDatabase()
+	for _, name := range []string{"A", "B", "C"} {
+		r := randomRelation(rng, 100+rng.Intn(1500))
+		r.Name = name
+		db.Put(r)
+	}
+	got := CollectDB(db, 8)
+	for name, r := range db.Relations {
+		want := Collect(r, 8)
+		rs := got.Relations[name]
+		if rs.M != want.M || rs.Threshold != want.Threshold {
+			t.Fatalf("%s: M/Threshold mismatch", name)
+		}
+		for key, wf := range want.ByAttrs {
+			if !freqMapsEqual(rs.ByAttrs[key], wf) {
+				t.Fatalf("%s attrs %s: heavy maps diverge", name, key)
+			}
+		}
+	}
+}
+
+// TestSampleFrequenciesDense is the regression test for dense sampling:
+// with sampleSize = m over m distinct values, the with-replacement
+// estimator re-counted collided rows and scaled, reporting frequencies of 2
+// and 3 for values that occur exactly once. Dense samples now draw without
+// replacement, so every estimate is exact.
+func TestSampleFrequenciesDense(t *testing.T) {
+	m := 1000
+	r := data.NewRelation("R", 1, 1<<20)
+	for i := 0; i < m; i++ {
+		r.Add(int64(i))
+	}
+	f := SampleFrequencies(r, []int{0}, m, 99)
+	if len(f.Counts) != m {
+		t.Fatalf("sampleSize=m visited %d of %d distinct values", len(f.Counts), m)
+	}
+	for k, c := range f.Counts {
+		if c != 1 {
+			t.Fatalf("value %v estimated at %d, want exactly 1", k, c)
+		}
+	}
+	// Dense but partial (sampleSize = m/2 ≥ m/2 boundary): counts stay
+	// without replacement — no value can be counted more than once, so no
+	// estimate exceeds the scale factor.
+	half := SampleFrequencies(r, []int{0}, m/2, 99)
+	if len(half.Counts) != m/2 {
+		t.Fatalf("half sample drew %d distinct rows, want %d (without replacement)", len(half.Counts), m/2)
+	}
+	for k, c := range half.Counts {
+		if c != 2 { // one occurrence × scale m/(m/2)
+			t.Fatalf("value %v estimated at %d, want 2", k, c)
+		}
+	}
+	// Sparse samples keep the classical with-replacement estimator.
+	sparse := SampleFrequencies(r, []int{0}, 10, 99)
+	if len(sparse.Counts) == 0 || len(sparse.Counts) > 10 {
+		t.Fatalf("sparse sample produced %d estimates", len(sparse.Counts))
+	}
+}

@@ -10,11 +10,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/data"
-	"repro/internal/hashing"
 )
 
 // AttrKey canonically encodes an attribute-position subset, e.g. [0,2] →
@@ -82,14 +83,21 @@ func FrequenciesOrdered(r *data.Relation, attrs []int) *FreqMap {
 			}
 			return f
 		}
-		for _, v := range r.Column(attrs[0]) {
-			f.Counts[data.Key1(v)]++
-		}
-		return f
 	}
 	cols := make([][]int64, len(attrs))
 	for i, a := range attrs {
 		cols[i] = r.Column(a)
+	}
+	// Large scans run chunked across CPUs and merge the exact per-chunk
+	// counts; the result is identical to the serial scan's.
+	if chunks := scanChunks(m); chunks != nil {
+		return parallelFrequencies(cols, f.Attrs, chunks)
+	}
+	if len(attrs) == 1 {
+		for _, v := range cols[0] {
+			f.Counts[data.Key1(v)]++
+		}
+		return f
 	}
 	proj := make(data.Tuple, len(attrs))
 	for row := 0; row < m; row++ {
@@ -102,9 +110,16 @@ func FrequenciesOrdered(r *data.Relation, attrs []int) *FreqMap {
 }
 
 // SampleFrequencies estimates frequencies from a uniform sample of
-// sampleSize tuples (with replacement), scaling counts by m/sampleSize.
-// It implements the "detect heavy hitters by sampling" practice the paper
-// cites; estimates are only reliable above roughly m/sampleSize.
+// sampleSize tuples, scaling counts by m/sampleSize. It implements the
+// "detect heavy hitters by sampling" practice the paper cites; estimates
+// are only reliable above roughly m/sampleSize.
+//
+// Sparse samples (sampleSize below m/2) draw with replacement, the
+// classical estimator. Dense samples draw without replacement: with
+// replacement, birthday collisions re-count rows, and scaling the inflated
+// counts by m/sampleSize then overestimates frequencies just as the
+// estimator should be converging — at sampleSize = m every count should be
+// exact, and now is (the whole relation is scanned, scale 1).
 func SampleFrequencies(r *data.Relation, attrs []int, sampleSize int, seed int64) *FreqMap {
 	sorted := append([]int(nil), attrs...)
 	sort.Ints(sorted)
@@ -113,21 +128,47 @@ func SampleFrequencies(r *data.Relation, attrs []int, sampleSize int, seed int64
 	if m == 0 || sampleSize <= 0 {
 		return f
 	}
+	f.Total = int64(m)
+	proj := make(data.Tuple, len(sorted))
+	if sampleSize >= m {
+		// The sample covers the relation: exact counts, no estimation.
+		for row := 0; row < m; row++ {
+			for a, pos := range sorted {
+				proj[a] = r.At(row, pos)
+			}
+			f.Counts[data.KeyOf(proj)]++
+		}
+		return f
+	}
 	rng := rand.New(rand.NewSource(seed))
 	raw := make(map[data.Key]int64)
-	proj := make(data.Tuple, len(sorted))
-	for i := 0; i < sampleSize; i++ {
-		row := rng.Intn(m)
-		for a, pos := range sorted {
-			proj[a] = r.At(row, pos)
+	if sampleSize >= (m+1)/2 {
+		// Dense: partial Fisher–Yates draws sampleSize distinct rows.
+		perm := make([]int, m)
+		for i := range perm {
+			perm[i] = i
 		}
-		raw[data.KeyOf(proj)]++
+		for i := 0; i < sampleSize; i++ {
+			j := i + rng.Intn(m-i)
+			perm[i], perm[j] = perm[j], perm[i]
+			for a, pos := range sorted {
+				proj[a] = r.At(perm[i], pos)
+			}
+			raw[data.KeyOf(proj)]++
+		}
+	} else {
+		for i := 0; i < sampleSize; i++ {
+			row := rng.Intn(m)
+			for a, pos := range sorted {
+				proj[a] = r.At(row, pos)
+			}
+			raw[data.KeyOf(proj)]++
+		}
 	}
 	scale := float64(m) / float64(sampleSize)
 	for k, c := range raw {
 		f.Counts[k] = int64(math.Round(float64(c) * scale))
 	}
-	f.Total = int64(m)
 	return f
 }
 
@@ -269,8 +310,12 @@ func Cardinality(r *data.Relation, attr int) int64 {
 	if counts := r.AttrCounts(attr); counts != nil {
 		return int64(len(counts))
 	}
-	seen := make(map[int64]struct{}, r.Size())
-	for _, v := range r.Column(attr) {
+	col := r.Column(attr)
+	if chunks := scanChunks(len(col)); chunks != nil {
+		return parallelDistinct(col, chunks)
+	}
+	seen := make(map[int64]struct{}, len(col))
+	for _, v := range col {
 		seen[v] = struct{}{}
 	}
 	return int64(len(seen))
@@ -377,16 +422,9 @@ func FingerprintRescan(db *data.Database) uint64 {
 		h = (h ^ uint64(r.Arity)) * fnvPrime
 		h = (h ^ uint64(r.Domain)) * fnvPrime
 		h = (h ^ uint64(r.Size())) * fnvPrime
-		var content uint64
-		cols := r.Columns()
-		m := r.Size()
-		for i := 0; i < m; i++ {
-			th := fnvOffset
-			for _, col := range cols {
-				th = (th ^ uint64(col[i])) * fnvPrime
-			}
-			content += hashing.Mix64(th)
-		}
+		// The content fold is a commutative sum, so the chunked parallel
+		// rescan is bit-identical to the serial reference.
+		content := rescanContent(r.Columns(), r.Size())
 		h = (h ^ content) * fnvPrime
 	}
 	return h
@@ -417,11 +455,31 @@ type DBStats struct {
 	Relations map[string]*RelationStats
 }
 
-// CollectDB computes statistics for every relation in db.
+// CollectDB computes statistics for every relation in db. Relations are
+// collected concurrently (each Collect additionally chunks its own scans),
+// mirroring the paper's setting where every input server computes its
+// partition's statistics at once.
 func CollectDB(db *data.Database, p int) *DBStats {
 	s := &DBStats{P: p, Relations: make(map[string]*RelationStats)}
-	for name, r := range db.Relations {
-		s.Relations[name] = Collect(r, p)
+	names := db.Names()
+	if len(names) < 2 || runtime.GOMAXPROCS(0) < 2 {
+		for _, name := range names {
+			s.Relations[name] = Collect(db.Relations[name], p)
+		}
+		return s
+	}
+	results := make([]*RelationStats, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, r *data.Relation) {
+			defer wg.Done()
+			results[i] = Collect(r, p)
+		}(i, db.Relations[name])
+	}
+	wg.Wait()
+	for i, name := range names {
+		s.Relations[name] = results[i]
 	}
 	return s
 }

@@ -62,6 +62,14 @@ type Config struct {
 	// ErrTornRound / ErrComputeFailed. Robustness tests use it to drive
 	// every degradation path without sleeps or real failures.
 	Faults *Faults
+	// DisableAutoPartition turns off the skew-adaptive storage maintenance
+	// Execs drive by default: after planning, relations the plan routes by
+	// a single heavy attribute get a heavy-partition column layout
+	// (contiguous per-hitter runs) so later Execs bulk-ship whole runs
+	// instead of routing tuple by tuple. Rebuilds happen on the mutable
+	// master and surface on the next snapshot epoch; Stats reports them as
+	// Repartitions.
+	DisableAutoPartition bool
 }
 
 // Session is the serving-grade entry point: an Engine behind an immutable
@@ -87,15 +95,16 @@ type Session struct {
 // Open validates cfg and returns a Session.
 func Open(cfg Config) (*Session, error) {
 	eng, err := core.New(core.Config{
-		P:                   cfg.P,
-		Seed:                cfg.Seed,
-		PlanCacheCapacity:   cfg.PlanCacheCapacity,
-		ConsiderMultiRound:  cfg.ConsiderMultiRound,
-		DriftFactor:         cfg.ReplanDriftFactor,
-		ClusterPoolDepth:    cfg.ClusterPoolDepth,
-		ResidentChunkTuples: cfg.ResidentChunkTuples,
-		BackgroundReplan:    cfg.BackgroundReplan,
-		Faults:              cfg.Faults,
+		P:                    cfg.P,
+		Seed:                 cfg.Seed,
+		PlanCacheCapacity:    cfg.PlanCacheCapacity,
+		ConsiderMultiRound:   cfg.ConsiderMultiRound,
+		DriftFactor:          cfg.ReplanDriftFactor,
+		ClusterPoolDepth:     cfg.ClusterPoolDepth,
+		ResidentChunkTuples:  cfg.ResidentChunkTuples,
+		BackgroundReplan:     cfg.BackgroundReplan,
+		Faults:               cfg.Faults,
+		DisableAutoPartition: cfg.DisableAutoPartition,
 	})
 	if err != nil {
 		return nil, err
