@@ -13,6 +13,7 @@
 //	skewbench -incrbench BENCH_incr.json
 //	skewbench -overloadbench BENCH_overload.json
 //	skewbench -storagebench BENCH_storage.json
+//	skewbench -faultbench BENCH_fault.json
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 	incrFlag := flag.String("incrbench", "", "measure standing-query advances (delta routing) vs full cache-hit Exec across delta and database sizes, write JSON here, and exit")
 	overloadFlag := flag.String("overloadbench", "", "measure serving under write pressure (snapshot vs lock-coupled reads) and the 2x-capacity shed rate, write JSON here, and exit")
 	storageFlag := flag.String("storagebench", "", "measure the skew-adaptive storage baseline (span-routed vs per-tuple round, parallel vs serial statistics), write JSON here, and exit")
+	faultFlag := flag.String("faultbench", "", "measure round-replay vs whole-execution fault recovery on the triangle pipeline, write JSON here, and exit")
 	flag.Parse()
 
 	if *routingFlag != "" {
@@ -83,6 +85,13 @@ func main() {
 	if *storageFlag != "" {
 		if err := runStorageBench(*storageFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "skewbench: storage bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *faultFlag != "" {
+		if err := runFaultBench(*faultFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "skewbench: fault bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

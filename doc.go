@@ -33,9 +33,21 @@
 //     moves drift-triggered replanning off the request path; and
 //     Config.Faults arms a seeded, deterministic fault-injection schedule
 //     (torn rounds, failed computes, stragglers) for exercising every
-//     degradation path — injected faults are retried once
-//     (Result.FaultRetries) and then surface as ErrTornRound or
-//     ErrComputeFailed.
+//     degradation path.
+//
+//     Fault recovery is round-granular. The sharded communication engine
+//     commits a round's deliveries transactionally, so a torn round leaves
+//     resident state bit-identical to the pre-round state and is replayed
+//     in place — a fault in round k of a multi-round pipeline never repeats
+//     rounds 1..k-1 — and a failed compute phase re-runs only the failed
+//     servers. Config.Retry bounds the recovery (a shared attempt budget
+//     with capped, jittered exponential backoff; Result.Recovery reports
+//     what a run consumed, with the legacy Result.FaultRetries kept equal
+//     to Recovery.Attempts); faults that outlive the budget surface as
+//     ErrTornRound or ErrComputeFailed. Config.BreakerThreshold adds a
+//     circuit breaker on top: a persistently faulting cluster sheds calls
+//     fast with ErrCircuitOpen while one probe at a time tests for
+//     recovery (Session.HealthStats).
 //
 //     Serving sessions also adapt the physical layout to skew: after
 //     planning, relations the chosen plan routes by a single heavy

@@ -184,6 +184,51 @@ func ExampleSession_Exec_overload() {
 	// admitted: 1 shed: 1
 }
 
+// Fault recovery is round-granular: a torn round is replayed in place
+// under Config.Retry's attempt budget instead of failing the execution,
+// and Result.Recovery reports what the run consumed. The schedule is
+// seeded and the Would* predicates are pure, so a seed whose round 1
+// tears once and then heals can be picked deterministically up front.
+func ExampleSession_Exec_retry() {
+	var seed uint64
+	for {
+		f := &repro.Faults{Seed: seed, TornRound: 0.5}
+		if f.WouldTearRoundAttempt(1, 1) && !f.WouldTearRoundAttempt(1, 2) {
+			break
+		}
+		seed++
+	}
+
+	db := repro.NewDatabase()
+	db.Put(repro.MatchingRelation("S1", 2, 1000, 1<<20, 1))
+	db.Put(repro.MatchingRelation("S2", 2, 1000, 1<<20, 2))
+	s, err := repro.Open(repro.Config{
+		P:      8,
+		Seed:   42,
+		Faults: &repro.Faults{Seed: seed, TornRound: 0.5},
+		// Default budget (three attempts), backoff waits disabled so the
+		// example spends no wall-clock time sleeping.
+		Retry: repro.Retry{BaseBackoff: -1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+
+	q := repro.MustParseQuery("q(x,y,z) = S1(x,z), S2(y,z)")
+	res, err := s.Exec(context.Background(), q, db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("attempts:", res.Recovery.Attempts, "rounds replayed:", res.Recovery.RoundsReplayed)
+	fmt.Println("legacy retries:", res.FaultRetries)
+	fmt.Println("breaker:", s.HealthStats().State)
+	// Output:
+	// attempts: 1 rounds replayed: 1
+	// legacy retries: 1
+	// breaker: disabled
+}
+
 // Serving sessions adapt the physical layout to skew: the first Exec on a
 // skewed instance plans and gives the join column a heavy-partition layout
 // (one contiguous run per heavy value); later Execs read snapshots with

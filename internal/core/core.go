@@ -104,10 +104,23 @@ type Config struct {
 	// Close stops it.
 	BackgroundReplan bool
 	// Faults, when non-nil, arms a seeded fault-injection schedule for every
-	// execution (see mpc.Faults): injected torn rounds and failed computes
-	// are retried once (Result.FaultRetries) and then surface as typed
-	// errors (mpc.ErrTornRound, mpc.ErrComputeFailed).
+	// execution (see mpc.Faults). Injected faults are recovered at round
+	// granularity within the Retry budget — a torn round is re-driven in
+	// place and a failed compute phase re-runs only the failed servers —
+	// and surface as typed errors (mpc.ErrTornRound, mpc.ErrComputeFailed)
+	// once the budget is spent. Result.Recovery reports what recovery an
+	// execution needed.
 	Faults *mpc.Faults
+	// Retry bounds per-execution fault recovery: attempts, capped
+	// exponential backoff with deterministic jitter, and an injectable
+	// sleep hook (see Retry). The zero value is the default policy.
+	Retry Retry
+	// BreakerThreshold arms the engine's circuit breaker: after this many
+	// consecutive executions ending in cluster-level fault errors the
+	// engine fails fast with ErrCircuitOpen, admitting one probe execution
+	// at a time until a probe succeeds (see HealthStats). 0 disables the
+	// breaker.
+	BreakerThreshold int
 	// DisableAutoPartition turns off the lazy heavy-partition layout
 	// maintenance serving executions drive by default: after planning, the
 	// engine calls data.Database.EnsurePartitioned for every (relation,
@@ -196,6 +209,9 @@ type Engine struct {
 	// repartitions counts heavy-partition layout rebuilds driven by serving
 	// executions (see Config.DisableAutoPartition). Guarded by mu.
 	repartitions uint64
+	// breaker is the per-engine circuit breaker over cluster-fault
+	// failures; nil unless Config.BreakerThreshold armed it.
+	breaker *breaker
 }
 
 // cacheEntry is one LRU node: the key (so eviction can unmap it) plus the
@@ -322,11 +338,30 @@ type Result struct {
 	// rebuild happens off the request path, so serving executions never
 	// report it.)
 	Replanned bool
-	// FaultRetries counts injected faults this execution absorbed by
-	// retrying: a torn round or failed compute (Config.Faults) is retried
-	// once before surfacing as an error.
+	// Recovery reports the fault recovery this execution needed: retry
+	// attempts consumed, rounds replayed in place, servers recomputed, and
+	// backoff waits taken. The zero value means a clean run.
+	Recovery Recovery
+	// FaultRetries is the legacy recovery counter, kept equal to
+	// Recovery.Attempts: before round-granular recovery existed it counted
+	// whole-execution retries (always 0 or 1); it now counts every
+	// recovery attempt the execution consumed, so values above 1 are
+	// possible. New code should read Recovery.
 	FaultRetries int
 }
+
+// Retry bounds per-execution fault recovery; see exec.Retry.
+type Retry = exec.Retry
+
+// Recovery reports one execution's fault-recovery stats; see exec.Recovery.
+type Recovery = exec.Recovery
+
+// Defaults of the zero Retry policy, re-exported from exec.
+const (
+	DefaultRetryAttempts    = exec.DefaultRetryAttempts
+	DefaultRetryBaseBackoff = exec.DefaultRetryBaseBackoff
+	DefaultRetryMaxBackoff  = exec.DefaultRetryMaxBackoff
+)
 
 // NewEngine returns an engine for p servers in pre-Session compatibility
 // mode: configuration is the exported mutable fields, to be set before the
@@ -354,7 +389,13 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.ResidentChunkTuples < 0 {
 		return nil, fmt.Errorf("core: negative resident chunk %d", cfg.ResidentChunkTuples)
 	}
+	if cfg.BreakerThreshold < 0 {
+		return nil, fmt.Errorf("core: negative breaker threshold %d", cfg.BreakerThreshold)
+	}
 	e := &Engine{P: cfg.P, Seed: cfg.Seed, conf: &cfg}
+	if cfg.BreakerThreshold > 0 {
+		e.breaker = &breaker{threshold: cfg.BreakerThreshold}
+	}
 	e.capacity = effectiveCapacity(cfg.PlanCacheCapacity)
 	e.capResolved = true
 	e.clusters.Depth = cfg.ClusterPoolDepth
@@ -468,6 +509,7 @@ type settings struct {
 	residentChunk int
 	bgReplan      bool
 	faults        *mpc.Faults
+	retry         Retry
 	autoPartition bool
 }
 
@@ -481,6 +523,7 @@ func (e *Engine) settings(opts ExecOptions) settings {
 		s.residentChunk = e.conf.ResidentChunkTuples
 		s.bgReplan = e.conf.BackgroundReplan
 		s.faults = e.conf.Faults
+		s.retry = e.conf.Retry
 	} else {
 		s.forced = e.ForceStrategy
 		s.mr = e.ConsiderMultiRound
@@ -610,6 +653,16 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Query, db *data.Da
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	// Circuit breaker: a persistently faulting cluster sheds fast instead of
+	// burning a retry-backoff budget per caller. Checked before planning so
+	// shed calls cost nothing.
+	var probe bool
+	if e.breaker != nil {
+		var berr error
+		if probe, berr = e.breaker.admit(); berr != nil {
+			return Result{}, berr
+		}
+	}
 	cp, key, replanned := e.planFor(q, db, s)
 	if s.autoPartition {
 		// Lazy skew-adaptive layout maintenance: make sure every relation
@@ -630,9 +683,9 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Query, db *data.Da
 	if sc == nil {
 		sc = new(exec.Scratch)
 	}
-	ec := exec.Config{Scratch: sc, Clusters: &e.clusters, Ctx: ctx, ResidentChunkTuples: s.residentChunk, Faults: s.faults}
+	var rec Recovery
+	ec := exec.Config{Scratch: sc, Clusters: &e.clusters, Ctx: ctx, ResidentChunkTuples: s.residentChunk, Faults: s.faults, Retry: s.retry, Recovery: &rec}
 	var execErr error
-retry:
 	switch {
 	case cp.hc != nil:
 		hc, err := cp.hc.ExecuteWith(db, ec)
@@ -671,16 +724,25 @@ retry:
 		}
 	}
 	if execErr != nil {
-		// Injected faults are transient by construction: retry the execution
-		// once (the fault schedule has moved past the faulted event), then
-		// surface the typed error so the caller can shed or degrade.
-		if res.FaultRetries == 0 && isInjectedFault(execErr) && ctx.Err() == nil {
-			res.FaultRetries = 1
-			goto retry
+		// Recovery happened inside the executor (round replays, partial
+		// recomputes); an error here means the retry budget is spent. Surface
+		// the typed error so the caller can shed or degrade, and let the
+		// breaker count cluster-level faults.
+		if e.breaker != nil {
+			outcome := breakerNeutral
+			if isInjectedFault(execErr) {
+				outcome = breakerFault
+			}
+			e.breaker.done(probe, outcome)
 		}
 		e.scratchPool.Put(sc)
 		return Result{}, execErr
 	}
+	if e.breaker != nil {
+		e.breaker.done(probe, breakerOK)
+	}
+	res.Recovery = rec
+	res.FaultRetries = rec.Attempts
 	// Result.Output escapes to the caller: the scratch must release the
 	// buffer it aliases, or the next Execute reusing this scratch would
 	// overwrite answers the caller already holds.
@@ -703,8 +765,8 @@ retry:
 	return res, nil
 }
 
-// isInjectedFault reports whether err is a fault-injection error the engine
-// retries once before surfacing.
+// isInjectedFault reports whether err is a cluster-level fault error — the
+// kind the executor's retry budget fights and the circuit breaker counts.
 func isInjectedFault(err error) bool {
 	return errors.Is(err, mpc.ErrTornRound) || errors.Is(err, mpc.ErrComputeFailed)
 }

@@ -16,4 +16,12 @@ var (
 
 	// ErrStandingClosed is returned by StandingQuery methods after Close.
 	ErrStandingClosed = errors.New("core: standing query is closed")
+
+	// ErrCircuitOpen is returned without executing anything when the
+	// engine's circuit breaker is open: Config.BreakerThreshold consecutive
+	// executions ended in cluster-level faults, so further callers fail
+	// fast instead of each burning a retry-backoff budget against a
+	// persistently failing cluster. One probe execution is admitted at a
+	// time (half-open); its success closes the circuit.
+	ErrCircuitOpen = errors.New("core: circuit breaker open: cluster faulting persistently")
 )

@@ -44,6 +44,11 @@ type StandingStats struct {
 	ResidentTuples int64
 	// Pending is the number of captured-but-unadvanced deltas.
 	Pending int
+	// Recovery accumulates the fault recovery performed across the
+	// handle's lifetime: the seed's (and every reseed's) round replays and
+	// server recomputes, plus the one reseed retry Advance grants a seed
+	// that failed on an injected fault.
+	Recovery Recovery
 }
 
 // StandingQuery is an incrementally maintained query registration: opened
@@ -170,12 +175,16 @@ func (h *StandingQuery) seed(ctx context.Context) error {
 		phys = cp.gen.Phys
 	}
 	if phys != nil {
+		var rec Recovery
 		st, err := exec.NewStanding(phys, h.q, snap, exec.Config{
 			Clusters:            &h.e.clusters,
 			Ctx:                 ctx,
 			Faults:              h.s.faults,
+			Retry:               h.s.retry,
+			Recovery:            &rec,
 			ResidentChunkTuples: h.s.residentChunk,
 		})
+		h.stats.Recovery.Add(rec)
 		if err != nil {
 			return err
 		}
@@ -185,6 +194,7 @@ func (h *StandingQuery) seed(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+		h.stats.Recovery.Add(res.Recovery)
 		c := mpc.NewCounted()
 		for _, t := range res.Output {
 			c.Add(t, 1)
@@ -332,6 +342,7 @@ func (h *StandingQuery) Advance(ctx context.Context) (ResultDelta, error) {
 			h.stale.Store(true)
 			return ResultDelta{}, err
 		}
+		h.stats.Recovery.Add(res.Recovery)
 		c := mpc.NewCounted()
 		for _, t := range res.Output {
 			c.Add(t, 1)
@@ -349,7 +360,19 @@ func (h *StandingQuery) Advance(ctx context.Context) (ResultDelta, error) {
 	// (new-heavy-hitter reseeds are invisible to drift detection).
 	h.e.markStale(h.key)
 	old := h.counted()
-	if err := h.seed(ctx); err != nil {
+	err := h.seed(ctx)
+	if err != nil && isInjectedFault(err) && ctx.Err() == nil && h.s.retry.MaxAttempts >= 0 {
+		// The seed itself is transactional (a failed seed never installs
+		// half-built resident state), so a reseed that lost to an injected
+		// fault even after the execution-level retry budget gets one more
+		// whole-seed try with a backoff in between — the standing analogue
+		// of Exec's retry — before the handle is left stale.
+		if werr := h.s.retry.Wait(ctx, 1, &h.stats.Recovery); werr == nil {
+			h.stats.Recovery.Attempts++
+			err = h.seed(ctx)
+		}
+	}
+	if err != nil {
 		// Seeding failed (cancellation, injected fault): state is
 		// unchanged; the deltas are lost from the queue but appliedVersion
 		// still gates a later reseed, which re-reads a snapshot in full.

@@ -100,9 +100,20 @@ type Config struct {
 	// BenchmarkResidentChunk for the tradeoff the default balances.
 	ResidentChunkTuples int
 	// Faults, when non-nil, arms the seeded fault-injection schedule for
-	// this execution (see mpc.Faults). Injected faults surface as typed
-	// errors (mpc.ErrTornRound, mpc.ErrComputeFailed) rather than panics.
+	// this execution (see mpc.Faults). Injected faults are recovered in
+	// place within the Retry budget — torn rounds are re-driven against
+	// the unchanged pre-round state, failed compute phases re-run only the
+	// failed servers — and surface as typed errors (mpc.ErrTornRound,
+	// mpc.ErrComputeFailed) once the budget is spent.
 	Faults *mpc.Faults
+	// Retry bounds the execution's fault recovery; the zero value is the
+	// default policy (see Retry).
+	Retry Retry
+	// Recovery, when non-nil, accumulates the execution's recovery stats
+	// (attempts, rounds replayed, servers recomputed, backoff waits) so
+	// callers can surface them without threading a result through every
+	// strategy wrapper.
+	Recovery *Recovery
 }
 
 // ctxErr returns the configured context's cancellation error, if any.
@@ -150,6 +161,23 @@ type Scratch struct {
 // overwriting the escaped slice.
 func (s *Scratch) DetachOutput() { s.output = nil }
 
+// appendOuts concatenates per-server compute outputs into buf in server
+// order, sizing the allocation once.
+func appendOuts(buf []data.Tuple, outs [][]data.Tuple) []data.Tuple {
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	if cap(buf) < total {
+		buf = make([]data.Tuple, 0, total)
+	}
+	buf = buf[:0]
+	for _, o := range outs {
+		buf = append(buf, o...)
+	}
+	return buf
+}
+
 // grow returns buf resized to n with every element zeroed, reusing the
 // backing array when capacity allows.
 func grow(buf []int64, n int) []int64 {
@@ -187,7 +215,9 @@ type Result struct {
 // accounts loads, and parks the cluster for reuse. Routing errors are
 // internal bugs (planners validate their layouts), so Run panics on them;
 // the errors Run returns are cfg.Ctx's cancellation and injected faults
-// from cfg.Faults (mpc.ErrTornRound, mpc.ErrComputeFailed).
+// from cfg.Faults (mpc.ErrTornRound, mpc.ErrComputeFailed) that outlived
+// the cfg.Retry budget — a torn round is re-driven in place and a failed
+// compute phase re-runs only the failed servers first.
 func Run(plan *PhysicalPlan, db *data.Database, cfg Config) (Result, error) {
 	if plan.Virtual < 1 {
 		panic(fmt.Sprintf("exec: %s plan has %d virtual servers", plan.Strategy, plan.Virtual))
@@ -204,16 +234,17 @@ func Run(plan *PhysicalPlan, db *data.Database, cfg Config) (Result, error) {
 	}
 	cluster := pool.Get(plan.Virtual)
 	cfg.arm(cluster)
-	var err error
-	if len(plan.Relations) > 0 {
-		rels := make([]*data.Relation, len(plan.Relations))
-		for i, name := range plan.Relations {
-			rels[i] = db.MustGet(name)
+	rt := newRetrier(&cfg, cluster)
+	err := rt.driveRound(nil, func() error {
+		if len(plan.Relations) > 0 {
+			rels := make([]*data.Relation, len(plan.Relations))
+			for i, name := range plan.Relations {
+				rels[i] = db.MustGet(name)
+			}
+			return cluster.RoundRelations(plan.Router, rels...)
 		}
-		err = cluster.RoundRelations(plan.Router, rels...)
-	} else {
-		err = cluster.Round(db, plan.Router)
-	}
+		return cluster.Round(db, plan.Router)
+	})
 	if err != nil {
 		if cfg.recoverable(err) {
 			pool.Put(cluster)
@@ -227,17 +258,18 @@ func Run(plan *PhysicalPlan, db *data.Database, cfg Config) (Result, error) {
 	}
 	var res Result
 	if plan.Local != nil && !cfg.SkipCompute {
+		outs := make([][]data.Tuple, plan.Virtual)
+		if err := rt.driveCompute(plan.Strategy, outs, plan.Local); err != nil {
+			pool.Put(cluster)
+			return Result{}, err
+		}
 		var buf []data.Tuple
 		if cfg.Scratch != nil {
 			buf = cfg.Scratch.output
 		}
-		res.Output = cluster.ComputeAppend(buf, plan.Local)
+		res.Output = appendOuts(buf, outs)
 		if cfg.Scratch != nil {
 			cfg.Scratch.output = res.Output
-		}
-		if err := cluster.TakeFault(); err != nil {
-			pool.Put(cluster)
-			return Result{}, fmt.Errorf("exec: %s: %w", plan.Strategy, err)
 		}
 		if plan.Dedup {
 			// Dedup compacts in place, so the deduped view still reuses

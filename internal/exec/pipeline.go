@@ -68,6 +68,9 @@ type RoundLoad struct {
 	// round server-to-server — tuples that never round-tripped through the
 	// coordinator or a data.Database.
 	ResidentTuples int64
+	// Replays counts this stage's communication rounds that tore and were
+	// re-driven in place (earlier stages' resident state untouched).
+	Replays int
 }
 
 // PipelineResult reports one execution of a pipeline.
@@ -95,8 +98,12 @@ type PipelineResult struct {
 // internal bugs (planners validate their layouts), so RunPipeline panics
 // on them; the errors it returns are cfg.Ctx's cancellation — checked
 // before every round and at send-part checkpoints inside rounds — and
-// injected faults from cfg.Faults (mpc.ErrTornRound, mpc.ErrComputeFailed).
-// Either way the cluster is released back to the pool.
+// injected faults from cfg.Faults (mpc.ErrTornRound, mpc.ErrComputeFailed)
+// that outlived the cfg.Retry budget. Recovery is round-granular: a torn
+// round k is re-driven in place against the surviving resident state
+// (rounds 1..k-1 are never repeated), and a failed compute phase re-runs
+// only the failed servers. Either way the cluster is released back to the
+// pool.
 func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) (PipelineResult, error) {
 	if len(pl.Stages) == 0 {
 		panic(fmt.Sprintf("exec: %s pipeline has no stages", pl.Strategy))
@@ -130,6 +137,7 @@ func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) (PipelineResult, e
 	}
 	cluster := pool.Get(maxVirtual)
 	cfg.arm(cluster)
+	rt := newRetrier(&cfg, cluster)
 	prev := make([]int64, maxVirtual)
 	var res PipelineResult
 	for i := range pl.Stages {
@@ -150,7 +158,14 @@ func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) (PipelineResult, e
 			}
 		}
 		if len(st.Resident) > 0 {
-			if err := cluster.ShuffleResident(st.Plan.Router, st.Resident...); err != nil {
+			// A torn shuffle is replayed in place: the sharded engine
+			// discarded the round's staged deliveries and re-attached the
+			// detached outgoing fragments, so the replay sees exactly the
+			// pre-round resident state.
+			err := rt.driveRound(&load.Replays, func() error {
+				return cluster.ShuffleResident(st.Plan.Router, st.Resident...)
+			})
+			if err != nil {
 				if cfg.recoverable(err) {
 					pool.Put(cluster)
 					return PipelineResult{}, err
@@ -163,7 +178,10 @@ func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) (PipelineResult, e
 			for j, name := range st.Base {
 				rels[j] = db.MustGet(name)
 			}
-			if err := cluster.RoundRelations(st.Plan.Router, rels...); err != nil {
+			err := rt.driveRound(&load.Replays, func() error {
+				return cluster.RoundRelations(st.Plan.Router, rels...)
+			})
+			if err != nil {
 				if cfg.recoverable(err) {
 					pool.Put(cluster)
 					return PipelineResult{}, err
@@ -175,10 +193,9 @@ func RunPipeline(pl *Pipeline, db *data.Database, cfg Config) (PipelineResult, e
 		if cfg.SkipCompute && i == len(pl.Stages)-1 {
 			local = func(*mpc.Server) *data.Relation { return nil }
 		}
-		cluster.ComputeResident(local)
-		if err := cluster.TakeFault(); err != nil {
+		if err := rt.driveComputeResident(pl.Strategy, i, local); err != nil {
 			pool.Put(cluster)
-			return PipelineResult{}, fmt.Errorf("exec: %s stage %d: %w", pl.Strategy, i, err)
+			return PipelineResult{}, err
 		}
 		for id, sv := range cluster.Servers {
 			d := sv.BitsIn - prev[id]

@@ -89,7 +89,8 @@ type deltaStep struct {
 // the pool keeps serving ordinary runs. db must not mutate during the seed —
 // pass an immutable snapshot epoch (data.Database.Snapshot) or otherwise
 // exclude Apply — and the plan must be the same single-round, Local-bearing
-// plan the engine would execute for q.
+// plan the engine would execute for q. The seed's round and compute phase
+// recover injected faults exactly as Run does, within cfg.Retry's budget.
 func NewStanding(plan *PhysicalPlan, q *query.Query, db *data.Database, cfg Config) (*Standing, error) {
 	if plan.Local == nil {
 		return nil, fmt.Errorf("exec: standing: %s plan has no local phase", plan.Strategy)
@@ -114,11 +115,15 @@ func NewStanding(plan *PhysicalPlan, q *query.Query, db *data.Database, cfg Conf
 	}
 	cluster := pool.Get(plan.Virtual)
 	cfg.arm(cluster)
+	rt := newRetrier(&cfg, cluster)
 	rels := make([]*data.Relation, 0, q.NumAtoms())
 	for _, a := range q.Atoms {
 		rels = append(rels, db.MustGet(a.Name))
 	}
-	if err := cluster.RoundRelations(plan.Router, rels...); err != nil {
+	err := rt.driveRound(nil, func() error {
+		return cluster.RoundRelations(plan.Router, rels...)
+	})
+	if err != nil {
 		pool.Put(cluster)
 		if cfg.recoverable(err) {
 			return nil, err
@@ -133,11 +138,12 @@ func NewStanding(plan *PhysicalPlan, q *query.Query, db *data.Database, cfg Conf
 	// server's derivations count +1, so answers derived on several servers
 	// (overlapping §4.2 bin combinations) carry their true multiplicity
 	// and later retractions retire them one derivation at a time.
-	out := cluster.ComputeAppend(nil, plan.Local)
-	if err := cluster.TakeFault(); err != nil {
+	outs := make([][]data.Tuple, plan.Virtual)
+	if err := rt.driveCompute("standing: "+plan.Strategy, outs, plan.Local); err != nil {
 		pool.Put(cluster)
-		return nil, fmt.Errorf("exec: standing: %s: %w", plan.Strategy, err)
+		return nil, err
 	}
+	out := appendOuts(nil, outs)
 	for _, t := range out {
 		s.counted.Add(t, 1)
 		s.derivations++

@@ -16,6 +16,13 @@
 //     and bulk-appends each mailbox's slabs into the server's fragments —
 //     no receiver goroutines, no channels, no locks (phase 1 finished).
 //
+// The two passes double as a transaction: the mailboxes are the round's
+// staged state, and the deliver pass is its commit point, run only once
+// every send part of the round has been routed. A torn or canceled round
+// discards the staged slabs instead (discardStaged), so receiver fragments
+// and load counters stay bit-identical to the pre-round state and the
+// round can simply be re-driven.
+//
 // Slabs are recycled through per-worker free lists and mailbox/table
 // scratch lives on the Cluster, so a pooled cluster serving repeated
 // rounds stops allocating at steady state. Within a fragment the arrival
@@ -140,7 +147,7 @@ func (w *commWorker) route(c *Cluster, parts []sendPart, next *atomic.Int64, rou
 		// instead of letting the round run to completion. Checkpoint
 		// granularity is one send part — bounded by Senders/ResidentChunk —
 		// so a canceled 1000-part round stops after the parts in flight.
-		if f := c.Faults; f != nil && f.OnStraggle != nil && f.WouldStraggle(c.curRound, pi) {
+		if f := c.Faults; f != nil && f.OnStraggle != nil && f.WouldStraggleAttempt(c.curRound, c.curAttempt, pi) {
 			f.OnStraggle()
 		}
 		if ctx := c.Ctx; ctx != nil {
@@ -343,8 +350,14 @@ func (w *commWorker) deliver(c *Cluster, next *atomic.Int64) {
 	}
 }
 
-// communicateSharded runs the two-pass sharded delivery engine.
-func (c *Cluster) communicateSharded(parts []sendPart, router Router) error {
+// stageSharded runs the route pass of the sharded delivery engine: every
+// part is routed and its slabs are staged in the receivers' mailboxes, but
+// nothing touches receiver fragments or load counters. The round's staged
+// state is then either committed wholesale (commitStaged) once the caller
+// knows every send part of the round arrived, or discarded wholesale
+// (discardStaged) — the transactional half-round that makes a torn round
+// replayable in place.
+func (c *Cluster) stageSharded(parts []sendPart, router Router) error {
 	var errOnce sync.Once
 	var routeErr error
 	report := func(err error) {
@@ -358,6 +371,8 @@ func (c *Cluster) communicateSharded(parts []sendPart, router Router) error {
 	if len(st.mail) < c.P {
 		st.mail = make([]mailbox, c.P)
 	}
+	// Size the worker pool for the deliver pass too, so commitStaged can
+	// run without re-checking.
 	for len(st.workers) < max(routeWorkers, deliverWorkers) {
 		st.workers = append(st.workers, &commWorker{})
 	}
@@ -376,22 +391,54 @@ func (c *Cluster) communicateSharded(parts []sendPart, router Router) error {
 		}
 		wg.Wait()
 	}
-
-	var next2 atomic.Int64
-	if deliverWorkers <= 1 {
-		st.workers[0].deliver(c, &next2)
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < deliverWorkers; w++ {
-			wg.Add(1)
-			go func(cw *commWorker) {
-				defer wg.Done()
-				cw.deliver(c, &next2)
-			}(st.workers[w])
-		}
-		wg.Wait()
-	}
 	return routeErr
+}
+
+// commitStaged runs the deliver pass over the staged mailboxes: bounded
+// workers claim servers and bulk-append each mailbox's slabs into the
+// server's fragments and load counters. This is the round's commit point —
+// it runs only after every send part has been routed cleanly.
+func (c *Cluster) commitStaged() {
+	st := &c.comm
+	if len(st.mail) < c.P || len(st.workers) == 0 {
+		return // nothing was staged
+	}
+	deliverWorkers := min(runtime.GOMAXPROCS(0), c.P)
+	var next atomic.Int64
+	if deliverWorkers <= 1 {
+		st.workers[0].deliver(c, &next)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < deliverWorkers; w++ {
+		wg.Add(1)
+		go func(cw *commWorker) {
+			defer wg.Done()
+			cw.deliver(c, &next)
+		}(st.workers[w])
+	}
+	wg.Wait()
+}
+
+// discardStaged drops every staged slab without touching receiver fragments
+// or load counters, leaving the cluster bit-identical to its pre-round
+// state. Slabs are recycled into the first worker's free list up to its
+// cap; the rest is left to the collector — discard runs only on faulted or
+// canceled rounds.
+func (c *Cluster) discardStaged() {
+	st := &c.comm
+	if len(st.workers) == 0 {
+		return
+	}
+	w := st.workers[0]
+	for i := range st.mail {
+		mb := &st.mail[i]
+		for j := range mb.box {
+			w.recycle(mb.box[j].cols)
+			mb.box[j] = delivery{}
+		}
+		mb.box = mb.box[:0]
+	}
 }
 
 // dedupScanLimit is the fan-out up to which dedup uses the allocation-free

@@ -15,15 +15,20 @@ import (
 )
 
 // Typed injected-fault errors. The executor treats them as recoverable
-// degradations (retry once, then surface) — unlike router-contract
-// violations, which remain panics.
+// degradations (replay the round or re-run the failed servers, within the
+// retry budget) — unlike router-contract violations, which remain panics.
 var (
-	// ErrTornRound reports a communication round that delivered only a
-	// prefix of its send parts before tearing. Receiver fragments are
-	// incomplete; the cluster must be reset (or discarded) before reuse.
+	// ErrTornRound reports a communication round in which only a prefix of
+	// the send parts arrived. Under the sharded engine the round is
+	// transactional: the staged prefix is discarded wholesale and receiver
+	// fragments are bit-identical to their pre-round state, so the round
+	// can simply be re-driven (see Cluster.MarkReplay). The legacy channel
+	// engine delivers the prefix directly; there the cluster must be Reset
+	// (or discarded) before reuse.
 	ErrTornRound = errors.New("mpc: torn communication round (injected fault)")
 	// ErrComputeFailed reports a server whose local-computation phase
-	// failed; the round's output is incomplete.
+	// failed; the round's output is incomplete until the failed servers
+	// are re-run.
 	ErrComputeFailed = errors.New("mpc: local compute failed (injected fault)")
 )
 
@@ -42,6 +47,16 @@ const (
 // Straggler. Decisions are deterministic in (Seed, event index); event
 // indexes advance on the cluster's own round/compute counters, so a
 // sequential run replays identically regardless of scheduling.
+//
+// Every event additionally carries an attempt dimension: when the executor
+// re-drives a torn round or re-runs failed servers, the cluster keeps the
+// same round/phase number and advances the attempt (see Cluster.MarkReplay),
+// so a retry draws a fresh decision instead of deterministically re-hitting
+// the same injected event. Attempt 1 hashes exactly as the pre-attempt
+// schedule did, so existing seeds fault identically on first tries; the
+// WouldXxxAttempt predicates let tests construct multi-fault scenarios
+// (e.g. "round 2 tears on attempts 1 and 2, heals on 3") directly instead
+// of seed-searching.
 //
 // One Faults value must not be shared by concurrent executions: the event
 // counters are atomic, but interleaving would make event indexes — and so
@@ -87,22 +102,57 @@ func (f *Faults) nextRound() uint64 { return f.rounds.Add(1) }
 // nextComputePhase advances and returns the compute-phase counter.
 func (f *Faults) nextComputePhase() uint64 { return f.computes.Add(1) }
 
-// WouldTearRound reports whether communication round number `round`
-// (1-based, in cluster call order) tears under this schedule. Tests use it
-// to pick seeds that fault exactly where the scenario needs — e.g. tear the
-// first attempt's round but not the retry's.
+// attemptEvent folds the attempt dimension into an event index. Attempt 1
+// (and 0, for callers that don't track attempts) maps to the base event
+// itself, so first-try schedules are identical to the pre-attempt ones;
+// later attempts re-mix the event so each retry draws an independent
+// decision.
+func attemptEvent(event, attempt uint64) uint64 {
+	if attempt <= 1 {
+		return event
+	}
+	return hashing.Mix64(event ^ hashing.Mix64(attempt))
+}
+
+// WouldTearRound reports whether the first attempt of communication round
+// number `round` (1-based, in cluster call order) tears under this
+// schedule. Equivalent to WouldTearRoundAttempt(round, 1).
 func (f *Faults) WouldTearRound(round uint64) bool {
-	return f.chance(streamTorn, round, f.TornRound)
+	return f.WouldTearRoundAttempt(round, 1)
 }
 
-// WouldFailCompute reports whether the given server fails in compute phase
-// number `phase` (1-based, in cluster call order).
+// WouldTearRoundAttempt reports whether attempt number `attempt` (1-based)
+// of communication round `round` tears under this schedule. A replayed
+// round keeps its round number and advances the attempt, so tests compose
+// scenarios like "round 2 tears twice, then heals" by checking attempts
+// 1..3 directly.
+func (f *Faults) WouldTearRoundAttempt(round, attempt uint64) bool {
+	return f.chance(streamTorn, attemptEvent(round, attempt), f.TornRound)
+}
+
+// WouldFailCompute reports whether the given server fails on the first
+// attempt of compute phase number `phase` (1-based, in cluster call order).
+// Equivalent to WouldFailComputeAttempt(phase, 1, server).
 func (f *Faults) WouldFailCompute(phase uint64, server int) bool {
-	return f.chance(streamComp, phase<<20^uint64(server), f.ComputeFail)
+	return f.WouldFailComputeAttempt(phase, 1, server)
 }
 
-// WouldStraggle reports whether part index `part` of communication round
-// `round` stalls at its checkpoint.
+// WouldFailComputeAttempt reports whether the given server fails on attempt
+// number `attempt` (1-based) of compute phase `phase`. Re-running the
+// failed servers of a phase advances the attempt, never the phase number.
+func (f *Faults) WouldFailComputeAttempt(phase, attempt uint64, server int) bool {
+	return f.chance(streamComp, attemptEvent(phase<<20^uint64(server), attempt), f.ComputeFail)
+}
+
+// WouldStraggle reports whether part index `part` of the first attempt of
+// communication round `round` stalls at its checkpoint. Equivalent to
+// WouldStraggleAttempt(round, 1, part).
 func (f *Faults) WouldStraggle(round uint64, part int) bool {
-	return f.chance(streamStrg, round<<20^uint64(part), f.Straggler)
+	return f.WouldStraggleAttempt(round, 1, part)
+}
+
+// WouldStraggleAttempt reports whether part index `part` of attempt number
+// `attempt` of communication round `round` stalls at its checkpoint.
+func (f *Faults) WouldStraggleAttempt(round, attempt uint64, part int) bool {
+	return f.chance(streamStrg, attemptEvent(round<<20^uint64(part), attempt), f.Straggler)
 }

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -172,9 +173,9 @@ type Cluster struct {
 	// Ctx, when non-nil, is checked at in-round checkpoints: sharded route
 	// workers test it per claimed send part, so canceling mid-round aborts
 	// the round instead of running it to completion. The round returns the
-	// context's error; partial deliveries may have occurred, so the caller
-	// must Reset (or discard) the cluster. The legacy channel engine does
-	// not checkpoint.
+	// context's error; the sharded engine discards its staged deliveries,
+	// leaving fragments untouched, while the legacy channel engine (which
+	// does not checkpoint) may have delivered partially.
 	Ctx context.Context
 	// Faults, when non-nil, injects the seeded fault schedule (torn rounds,
 	// failed compute, stragglers); see Faults. Executors set it per run and
@@ -192,8 +193,22 @@ type Cluster struct {
 	// curRound is the Faults round number of the communication phase in
 	// flight (set by communicate before workers start; workers only read).
 	curRound uint64
+	// curAttempt is the attempt number (1-based) of the communication round
+	// in flight: MarkReplay makes the next communicate keep curRound and
+	// advance this instead of drawing a new round number.
+	curAttempt uint64
+	// replayRound flags the next communicate call as a replay; communicate
+	// consumes it.
+	replayRound bool
+	// curPhase/phaseAttempt mirror curRound/curAttempt for compute phases:
+	// re-running a phase's failed servers advances the attempt, never the
+	// phase number.
+	curPhase     uint64
+	phaseAttempt uint64
 	// faultMu/faultErr record the first injected compute failure of the
-	// current execution; TakeFault surfaces and clears it.
+	// current execution; TakeFault surfaces and clears it. faultMu also
+	// guards the failed-server lists the gather/resident compute variants
+	// collect.
 	faultMu  sync.Mutex
 	faultErr error
 }
@@ -232,6 +247,10 @@ func (c *Cluster) Resize(p int) *Cluster {
 	c.Faults = nil
 	c.faultErr = nil
 	c.curRound = 0
+	c.curAttempt = 0
+	c.replayRound = false
+	c.curPhase = 0
+	c.phaseAttempt = 0
 	return c
 }
 
@@ -300,7 +319,12 @@ func (c *Cluster) ShuffleResident(router Router, names ...string) error {
 	if chunk <= 0 {
 		chunk = DefaultResidentChunkTuples
 	}
+	type detached struct {
+		s    *Server
+		frag *data.Relation
+	}
 	var parts []sendPart
+	var moved []detached
 	for _, s := range c.Servers {
 		for _, name := range names {
 			frag, ok := s.Received[name]
@@ -311,10 +335,21 @@ func (c *Cluster) ShuffleResident(router Router, names ...string) error {
 			// concurrently, so the outgoing fragment must no longer be
 			// reachable there.
 			delete(s.Received, name)
+			moved = append(moved, detached{s, frag})
 			parts = appendChunkedParts(parts, frag, chunk)
 		}
 	}
-	return c.communicate(parts, router)
+	err := c.communicate(parts, router)
+	if err != nil && c.Comm != ChannelComm {
+		// The sharded engine discarded the round wholesale, so re-attaching
+		// the outgoing fragments restores the exact pre-round state and the
+		// shuffle can simply be re-driven. (The channel engine delivered
+		// partially; restoring would double-count, so its callers Reset.)
+		for _, d := range moved {
+			d.s.Received[d.frag.Name] = d.frag
+		}
+	}
+	return err
 }
 
 // sendPart is one unit of routing work: rows [lo, hi) of one relation (an
@@ -339,36 +374,71 @@ func appendChunkedParts(parts []sendPart, rel *data.Relation, chunk int) []sendP
 	return parts
 }
 
+// MarkReplay flags the next communication round as a replay of the round
+// most recently driven: the fault schedule keeps the same round number and
+// advances the attempt dimension, so a re-driven round draws a fresh
+// injected-fault decision instead of deterministically re-tearing. The
+// executor calls this after a torn round before re-driving it.
+func (c *Cluster) MarkReplay() { c.replayRound = true }
+
 // communicate dispatches the communication phase to the selected engine,
-// applying the torn-round fault (deliver a prefix of the parts, then fail)
-// engine-independently.
+// applying the torn-round fault (only a prefix of the parts arrives)
+// engine-independently. Under the sharded engine the round is a
+// transaction: routed slabs are staged in mailboxes and committed into
+// receiver fragments only once every part of the round has arrived; a torn
+// round (or a mid-round context cancellation) discards the staged state
+// wholesale, leaving fragments and load counters bit-identical to the
+// pre-round state. The legacy channel engine delivers as it routes and
+// keeps its non-transactional semantics.
 func (c *Cluster) communicate(parts []sendPart, router Router) error {
 	if len(parts) == 0 {
+		c.replayRound = false
 		return nil
 	}
 	torn := false
 	total := len(parts)
 	if f := c.Faults; f != nil {
-		c.curRound = f.nextRound()
-		if f.WouldTearRound(c.curRound) {
+		if c.replayRound && c.curRound > 0 {
+			c.curAttempt++
+		} else {
+			c.curRound = f.nextRound()
+			c.curAttempt = 1
+		}
+		if f.WouldTearRoundAttempt(c.curRound, c.curAttempt) {
 			torn = true
 			parts = parts[:total/2]
 		}
 	}
+	c.replayRound = false
+	tornErr := func() error {
+		return fmt.Errorf("mpc: round %d attempt %d delivered %d of %d parts: %w",
+			c.curRound, c.curAttempt, len(parts), total, ErrTornRound)
+	}
+	if c.Comm == ChannelComm {
+		var err error
+		if len(parts) > 0 {
+			err = c.communicateChannels(parts, router)
+		}
+		if err != nil {
+			return err
+		}
+		if torn {
+			return tornErr()
+		}
+		return nil
+	}
 	var err error
 	if len(parts) > 0 {
-		if c.Comm == ChannelComm {
-			err = c.communicateChannels(parts, router)
-		} else {
-			err = c.communicateSharded(parts, router)
+		err = c.stageSharded(parts, router)
+	}
+	if err != nil || torn {
+		c.discardStaged()
+		if err != nil {
+			return err
 		}
+		return tornErr()
 	}
-	if err != nil {
-		return err
-	}
-	if torn {
-		return fmt.Errorf("mpc: round %d delivered %d of %d parts: %w", c.curRound, len(parts), total, ErrTornRound)
-	}
+	c.commitStaged()
 	return nil
 }
 
@@ -421,6 +491,35 @@ func (c *Cluster) eachServer(f func(worker int, s *Server)) {
 	wg.Wait()
 }
 
+// eachIn runs f over exactly the given server IDs from a bounded pool, the
+// subset analogue of eachServer — recompute after a partial compute failure
+// touches only the failed servers.
+func (c *Cluster) eachIn(ids []int, f func(s *Server)) {
+	workers := min(runtime.GOMAXPROCS(0), len(ids))
+	if workers <= 1 {
+		for _, id := range ids {
+			f(c.Servers[id])
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				f(c.Servers[ids[i]])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // ComputeResident runs f on every server and installs the returned relation
 // as the server's sole resident fragment (under the relation's own name); a
 // nil return leaves the server empty. The round's input fragments are
@@ -428,12 +527,46 @@ func (c *Cluster) eachServer(f func(worker int, s *Server)) {
 // its share of the current intermediate, ready to be moved by
 // ShuffleResident. Load counters are untouched: local computation is free
 // in the MPC model.
+//
+// An injected compute failure is recorded via TakeFault and the failed
+// server is left empty, as before this engine grew recovery: callers that
+// want to re-run just the failed servers use ComputeResidentRecover.
 func (c *Cluster) ComputeResident(f func(s *Server) *data.Relation) {
-	flt, phase := c.computePhaseFaults()
-	c.eachServer(func(_ int, s *Server) {
-		if flt != nil && flt.WouldFailCompute(phase, s.ID) {
-			c.reportFault(fmt.Errorf("mpc: compute phase %d, server %d: %w", phase, s.ID, ErrComputeFailed))
-			clear(s.Received)
+	for _, id := range c.ComputeResidentRecover(f) {
+		c.reportFault(fmt.Errorf("mpc: compute phase %d, server %d: %w", c.curPhase, id, ErrComputeFailed))
+		clear(c.Servers[id].Received)
+	}
+}
+
+// ComputeResidentRecover is ComputeResident built for recovery: a server
+// whose compute fails under the injected schedule keeps its input
+// fragments untouched (and installs nothing), and the failed server IDs
+// are returned in ascending order — compute is a pure function of the
+// server's fragments, so the caller re-runs exactly those servers with
+// RecomputeResident while successful servers' outputs stand.
+func (c *Cluster) ComputeResidentRecover(f func(s *Server) *data.Relation) []int {
+	flt, phase, attempt := c.computePhaseFaults()
+	return c.computeResidentOn(nil, flt, phase, attempt, f)
+}
+
+// RecomputeResident re-runs f on exactly the given servers as the next
+// attempt of the most recent compute phase, with ComputeResidentRecover's
+// semantics; other servers are untouched. It returns the servers that
+// failed again.
+func (c *Cluster) RecomputeResident(ids []int, f func(s *Server) *data.Relation) []int {
+	flt, phase, attempt := c.recomputePhaseFaults()
+	return c.computeResidentOn(ids, flt, phase, attempt, f)
+}
+
+// computeResidentOn runs the resident-compute body over all servers (ids
+// nil) or a subset, collecting injected failures.
+func (c *Cluster) computeResidentOn(ids []int, flt *Faults, phase, attempt uint64, f func(s *Server) *data.Relation) []int {
+	var failed []int
+	body := func(s *Server) {
+		if flt != nil && flt.WouldFailComputeAttempt(phase, attempt, s.ID) {
+			c.faultMu.Lock()
+			failed = append(failed, s.ID)
+			c.faultMu.Unlock()
 			return
 		}
 		out := f(s)
@@ -441,16 +574,36 @@ func (c *Cluster) ComputeResident(f func(s *Server) *data.Relation) {
 		if out != nil {
 			s.Received[out.Name] = out
 		}
-	})
+	}
+	if ids == nil {
+		c.eachServer(func(_ int, s *Server) { body(s) })
+	} else {
+		c.eachIn(ids, body)
+	}
+	sort.Ints(failed)
+	return failed
 }
 
-// computePhaseFaults resolves the fault schedule of one compute phase:
-// non-nil with the phase's event number when compute failures are armed.
-func (c *Cluster) computePhaseFaults() (*Faults, uint64) {
+// computePhaseFaults opens a new compute phase and resolves its fault
+// schedule: non-nil with the phase's event number and attempt 1 when
+// compute failures are armed.
+func (c *Cluster) computePhaseFaults() (*Faults, uint64, uint64) {
 	if f := c.Faults; f != nil && f.ComputeFail > 0 {
-		return f, f.nextComputePhase()
+		c.curPhase = f.nextComputePhase()
+		c.phaseAttempt = 1
+		return f, c.curPhase, 1
 	}
-	return nil, 0
+	return nil, 0, 0
+}
+
+// recomputePhaseFaults advances the attempt of the current compute phase
+// for a failed-server re-run.
+func (c *Cluster) recomputePhaseFaults() (*Faults, uint64, uint64) {
+	if f := c.Faults; f != nil && f.ComputeFail > 0 {
+		c.phaseAttempt++
+		return f, c.curPhase, c.phaseAttempt
+	}
+	return nil, 0, 0
 }
 
 // Compute runs f on every server (the local-computation phase) and returns
@@ -462,17 +615,20 @@ func (c *Cluster) Compute(f func(s *Server) []data.Tuple) []data.Tuple {
 // ComputeAppend is Compute concatenating into buf: per-server output
 // lengths are summed first so the result is allocated (or buf's capacity
 // reused) exactly once. buf's contents are discarded; the returned slice
-// reuses buf's backing array when it is large enough.
+// reuses buf's backing array when it is large enough. Injected compute
+// failures are recorded via TakeFault; the failed servers contribute no
+// output.
 func (c *Cluster) ComputeAppend(buf []data.Tuple, f func(s *Server) []data.Tuple) []data.Tuple {
 	outs := make([][]data.Tuple, c.P)
-	flt, phase := c.computePhaseFaults()
-	c.eachServer(func(_ int, s *Server) {
-		if flt != nil && flt.WouldFailCompute(phase, s.ID) {
-			c.reportFault(fmt.Errorf("mpc: compute phase %d, server %d: %w", phase, s.ID, ErrComputeFailed))
-			return
-		}
-		outs[s.ID] = f(s)
-	})
+	for _, id := range c.ComputeGather(outs, f) {
+		c.reportFault(fmt.Errorf("mpc: compute phase %d, server %d: %w", c.curPhase, id, ErrComputeFailed))
+	}
+	return concatOuts(buf, outs)
+}
+
+// concatOuts concatenates per-server outputs into buf in server order,
+// allocating at most once.
+func concatOuts(buf []data.Tuple, outs [][]data.Tuple) []data.Tuple {
 	total := 0
 	for _, o := range outs {
 		total += len(o)
@@ -485,6 +641,48 @@ func (c *Cluster) ComputeAppend(buf []data.Tuple, f func(s *Server) []data.Tuple
 		buf = append(buf, o...)
 	}
 	return buf
+}
+
+// ComputeGather runs f on every server (the local-computation phase),
+// storing each server's output at outs[s.ID]; outs must have length P.
+// Servers whose compute fails under the injected schedule leave their outs
+// entry untouched, and the failed IDs are returned in ascending order so
+// the caller can re-run exactly those servers with RecomputeGather. Input
+// fragments are never consumed — gather-style compute leaves s.Received
+// alone on success and failure alike.
+func (c *Cluster) ComputeGather(outs [][]data.Tuple, f func(s *Server) []data.Tuple) []int {
+	flt, phase, attempt := c.computePhaseFaults()
+	return c.computeGatherOn(nil, outs, flt, phase, attempt, f)
+}
+
+// RecomputeGather re-runs f on exactly the given servers as the next
+// attempt of the most recent compute phase, storing outputs at outs[s.ID];
+// other entries are untouched. It returns the servers that failed again.
+func (c *Cluster) RecomputeGather(outs [][]data.Tuple, ids []int, f func(s *Server) []data.Tuple) []int {
+	flt, phase, attempt := c.recomputePhaseFaults()
+	return c.computeGatherOn(ids, outs, flt, phase, attempt, f)
+}
+
+// computeGatherOn runs the gather-compute body over all servers (ids nil)
+// or a subset, collecting injected failures.
+func (c *Cluster) computeGatherOn(ids []int, outs [][]data.Tuple, flt *Faults, phase, attempt uint64, f func(s *Server) []data.Tuple) []int {
+	var failed []int
+	body := func(s *Server) {
+		if flt != nil && flt.WouldFailComputeAttempt(phase, attempt, s.ID) {
+			c.faultMu.Lock()
+			failed = append(failed, s.ID)
+			c.faultMu.Unlock()
+			return
+		}
+		outs[s.ID] = f(s)
+	}
+	if ids == nil {
+		c.eachServer(func(_ int, s *Server) { body(s) })
+	} else {
+		c.eachIn(ids, body)
+	}
+	sort.Ints(failed)
+	return failed
 }
 
 // LoadSummary aggregates per-server loads after one or more Round calls.
@@ -540,4 +738,8 @@ func (c *Cluster) Reset() {
 	c.Faults = nil
 	c.faultErr = nil
 	c.curRound = 0
+	c.curAttempt = 0
+	c.replayRound = false
+	c.curPhase = 0
+	c.phaseAttempt = 0
 }

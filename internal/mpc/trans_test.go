@@ -1,0 +1,257 @@
+package mpc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// findFaultSeed scans for a seed whose fault schedule satisfies ok.
+// Schedules are pure functions of the seed, so the search is deterministic.
+func findFaultSeed(t *testing.T, mk func(seed uint64) *Faults, ok func(*Faults) bool) uint64 {
+	t.Helper()
+	for seed := uint64(0); seed < 10000; seed++ {
+		if ok(mk(seed)) {
+			return seed
+		}
+	}
+	t.Fatal("no seed under 10000 produces the wanted fault schedule")
+	return 0
+}
+
+// TestAttemptPredicates pins the attempt dimension's contract: attempt 1 is
+// the legacy schedule (old seeds keep their meaning), further attempts are
+// independent deterministic draws.
+func TestAttemptPredicates(t *testing.T) {
+	f := &Faults{Seed: 42, TornRound: 0.5, ComputeFail: 0.5, Straggler: 0.5}
+	for round := uint64(1); round < 50; round++ {
+		if f.WouldTearRound(round) != f.WouldTearRoundAttempt(round, 1) {
+			t.Fatalf("round %d: WouldTearRound != WouldTearRoundAttempt(·, 1)", round)
+		}
+		if f.WouldFailCompute(round, 3) != f.WouldFailComputeAttempt(round, 1, 3) {
+			t.Fatalf("phase %d: WouldFailCompute != WouldFailComputeAttempt(·, 1, ·)", round)
+		}
+		if f.WouldStraggle(round, 3) != f.WouldStraggleAttempt(round, 1, 3) {
+			t.Fatalf("round %d: WouldStraggle != WouldStraggleAttempt(·, 1, ·)", round)
+		}
+	}
+	// Attempts draw independently: across many rounds, some torn first
+	// attempt must pair with a clean second attempt and vice versa.
+	healed, relapsed := false, false
+	for round := uint64(1); round < 200; round++ {
+		a1, a2 := f.WouldTearRoundAttempt(round, 1), f.WouldTearRoundAttempt(round, 2)
+		healed = healed || (a1 && !a2)
+		relapsed = relapsed || (!a1 && a2)
+	}
+	if !healed || !relapsed {
+		t.Fatalf("attempt dimension not independent: healed=%v relapsed=%v", healed, relapsed)
+	}
+}
+
+// snapshotCluster captures per-server loads and sorted fragments for exact
+// state comparison around a torn round.
+type serverSnap struct {
+	bits, tuples int64
+	frags        map[string]*data.Relation
+}
+
+func snapshotCluster(c *Cluster) []serverSnap {
+	snaps := make([]serverSnap, len(c.Servers))
+	for i, s := range c.Servers {
+		sn := serverSnap{bits: s.BitsIn, tuples: s.TuplesIn, frags: make(map[string]*data.Relation)}
+		for name, f := range s.Received {
+			sn.frags[name] = sortedFragment(f)
+		}
+		snaps[i] = sn
+	}
+	return snaps
+}
+
+func assertSnapshotUnchanged(t *testing.T, want []serverSnap, c *Cluster) {
+	t.Helper()
+	for i, s := range c.Servers {
+		w := want[i]
+		if s.BitsIn != w.bits || s.TuplesIn != w.tuples {
+			t.Fatalf("server %d loads changed across torn round: (%d, %d) vs (%d, %d)",
+				i, s.BitsIn, s.TuplesIn, w.bits, w.tuples)
+		}
+		if len(s.Received) != len(w.frags) {
+			t.Fatalf("server %d fragment set changed: %d vs %d relations", i, len(s.Received), len(w.frags))
+		}
+		for name, wf := range w.frags {
+			gf := s.Received[name]
+			if gf == nil {
+				t.Fatalf("server %d lost fragment %q to a torn round", i, name)
+			}
+			g := sortedFragment(gf)
+			if g.Size() != wf.Size() {
+				t.Fatalf("server %d fragment %q resized: %d vs %d", i, name, g.Size(), wf.Size())
+			}
+			for col := 0; col < wf.Arity; col++ {
+				gc, wc := g.Column(col), wf.Column(col)
+				for row := range wc {
+					if gc[row] != wc[row] {
+						t.Fatalf("server %d fragment %q mutated by torn round (col %d row %d)", i, name, col, row)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTornRoundLeavesStateUntouched drives the transactional invariant
+// directly: a second round that tears must leave every fragment and load
+// counter from the first round bit-identical, and a replay of the same
+// round must land exactly where a fault-free run would have.
+func TestTornRoundLeavesStateUntouched(t *testing.T) {
+	mk := func(seed uint64) *Faults { return &Faults{Seed: seed, TornRound: 0.5} }
+	seed := findFaultSeed(t, mk, func(f *Faults) bool {
+		return !f.WouldTearRoundAttempt(1, 1) &&
+			f.WouldTearRoundAttempt(2, 1) && !f.WouldTearRoundAttempt(2, 2)
+	})
+	db1 := singleRel(300)
+	db2 := data.NewDatabase()
+	r := data.NewRelation("T", 1, 1024)
+	for i := int64(0); i < 200; i++ {
+		r.Add(i * 3 % 1024)
+	}
+	db2.Put(r)
+	route1 := RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, int(tu[0]%8))
+	})
+	route2 := RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, int(tu[0]%5), int(tu[0]%7))
+	})
+
+	c := NewCluster(8)
+	c.Faults = mk(seed)
+	if err := c.Round(db1, route1); err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	before := snapshotCluster(c)
+	err := c.Round(db2, route2)
+	if !errors.Is(err, ErrTornRound) {
+		t.Fatalf("round 2 err = %v, want ErrTornRound", err)
+	}
+	assertSnapshotUnchanged(t, before, c)
+
+	// Replay round 2 in place; the fault schedule's attempt 2 is clean.
+	c.MarkReplay()
+	if err := c.Round(db2, route2); err != nil {
+		t.Fatalf("replayed round 2: %v", err)
+	}
+	oracle := NewCluster(8)
+	if err := oracle.Round(db1, route1); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.Round(db2, route2); err != nil {
+		t.Fatal(err)
+	}
+	assertClustersEquivalent(t, oracle, c)
+}
+
+// TestShuffleResidentRestoresOnTear: a torn resident shuffle must re-attach
+// the detached fragments (state identical to pre-shuffle) and a replay must
+// match the fault-free shuffle exactly.
+func TestShuffleResidentRestoresOnTear(t *testing.T) {
+	mk := func(seed uint64) *Faults { return &Faults{Seed: seed, TornRound: 0.5} }
+	seed := findFaultSeed(t, mk, func(f *Faults) bool {
+		return !f.WouldTearRoundAttempt(1, 1) &&
+			f.WouldTearRoundAttempt(2, 1) && !f.WouldTearRoundAttempt(2, 2)
+	})
+	db := singleRel(1000)
+	route1 := RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, int(tu[0]%10))
+	})
+	route2 := RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, int(tu[0]/100))
+	})
+
+	c := NewCluster(10)
+	c.Faults = mk(seed)
+	if err := c.Round(db, route1); err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	before := snapshotCluster(c)
+	err := c.ShuffleResident(route2, "S")
+	if !errors.Is(err, ErrTornRound) {
+		t.Fatalf("shuffle err = %v, want ErrTornRound", err)
+	}
+	assertSnapshotUnchanged(t, before, c)
+
+	c.MarkReplay()
+	if err := c.ShuffleResident(route2, "S"); err != nil {
+		t.Fatalf("replayed shuffle: %v", err)
+	}
+	oracle := NewCluster(10)
+	if err := oracle.Round(db, route1); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.ShuffleResident(route2, "S"); err != nil {
+		t.Fatal(err)
+	}
+	assertClustersEquivalent(t, oracle, c)
+}
+
+// TestRecomputeKeepsSurvivorOutputs: a compute phase with failing servers
+// keeps the failed servers' input fragments for recompute, and the
+// per-server recompute touches only the listed servers.
+func TestRecomputeKeepsSurvivorOutputs(t *testing.T) {
+	mk := func(seed uint64) *Faults { return &Faults{Seed: seed, ComputeFail: 0.3} }
+	seed := findFaultSeed(t, mk, func(f *Faults) bool {
+		n := 0
+		for s := 0; s < 8; s++ {
+			if f.WouldFailComputeAttempt(1, 2, s) {
+				return false
+			}
+			if f.WouldFailComputeAttempt(1, 1, s) {
+				n++
+			}
+		}
+		return n >= 1 && n < 8
+	})
+	db := singleRel(160)
+	c := NewCluster(8)
+	c.Faults = mk(seed)
+	if err := c.Round(db, RouterFunc(func(rel string, tu data.Tuple, dst []int) []int {
+		return append(dst, int(tu[0]%8))
+	})); err != nil {
+		t.Fatal(err)
+	}
+	calls := make([]int, 8)
+	local := func(s *Server) *data.Relation {
+		calls[s.ID]++
+		in := s.Fragment("S")
+		out := data.NewRelation("out", 1, in.Domain)
+		for _, v := range in.Column(0) {
+			out.Add(v)
+		}
+		return out
+	}
+	failed := c.ComputeResidentRecover(local)
+	if len(failed) == 0 {
+		t.Fatal("schedule promised at least one failing server")
+	}
+	for _, id := range failed {
+		if c.Servers[id].Fragment("S") == nil {
+			t.Fatalf("failed server %d lost its input fragment before recompute", id)
+		}
+	}
+	if again := c.RecomputeResident(failed, local); len(again) != 0 {
+		t.Fatalf("recompute attempt 2 still failing servers %v", again)
+	}
+	for id, s := range c.Servers {
+		if s.Fragment("out") == nil {
+			t.Fatalf("server %d missing output after recovery", id)
+		}
+		if s.Fragment("S") != nil {
+			t.Fatalf("server %d still holds the consumed input after recovery", id)
+		}
+		// An injected failure aborts before the local function runs, so every
+		// server — survivor or recovered — computes exactly once.
+		if calls[id] != 1 {
+			t.Fatalf("server %d computed %d times, want 1", id, calls[id])
+		}
+	}
+}

@@ -58,10 +58,23 @@ type Config struct {
 	BackgroundReplan bool
 	// Faults, when non-nil, arms a seeded deterministic fault-injection
 	// schedule (see Faults): injected torn rounds and failed computes are
-	// retried once per Exec (Result.FaultRetries) and then surface as
-	// ErrTornRound / ErrComputeFailed. Robustness tests use it to drive
-	// every degradation path without sleeps or real failures.
+	// recovered at round/server granularity within Retry's budget
+	// (Result.Recovery) and then surface as ErrTornRound /
+	// ErrComputeFailed. Robustness tests use it to drive every degradation
+	// path without sleeps or real failures.
 	Faults *Faults
+	// Retry bounds each execution's fault recovery: the total attempts any
+	// faulting round or compute phase may consume and the backoff between
+	// them. The zero value is the default policy (3 attempts, jittered
+	// exponential backoff from 1ms capped at 100ms); MaxAttempts < 0
+	// disables recovery so faults surface on first occurrence.
+	Retry Retry
+	// BreakerThreshold arms the session's circuit breaker: after that many
+	// consecutive executions ending in cluster-level faults (post-retry),
+	// further Execs fail fast with ErrCircuitOpen while one probe execution
+	// at a time tests whether the cluster recovered (see HealthStats). 0
+	// disables the breaker; negative is rejected by Open.
+	BreakerThreshold int
 	// DisableAutoPartition turns off the skew-adaptive storage maintenance
 	// Execs drive by default: after planning, relations the plan routes by
 	// a single heavy attribute get a heavy-partition column layout
@@ -104,6 +117,8 @@ func Open(cfg Config) (*Session, error) {
 		ResidentChunkTuples:  cfg.ResidentChunkTuples,
 		BackgroundReplan:     cfg.BackgroundReplan,
 		Faults:               cfg.Faults,
+		Retry:                cfg.Retry,
+		BreakerThreshold:     cfg.BreakerThreshold,
 		DisableAutoPartition: cfg.DisableAutoPartition,
 	})
 	if err != nil {
@@ -268,6 +283,11 @@ func (s *Session) PoolStats() PoolStats { return s.eng.PoolStats() }
 // ClearPlanCache drops every cached plan and resets the cache counters.
 func (s *Session) ClearPlanCache() { s.eng.ClearPlanCache() }
 
+// HealthStats reports the session's circuit-breaker state and counters.
+// Sessions without a breaker (Config.BreakerThreshold zero) report State
+// "disabled".
+func (s *Session) HealthStats() HealthStats { return s.eng.HealthStats() }
+
 // Typed serving errors, re-exported from the internal packages so callers
 // can branch with errors.Is against the public package alone.
 var (
@@ -279,11 +299,15 @@ var (
 	// ErrStandingClosed reports an Advance on a closed StandingQuery.
 	ErrStandingClosed = core.ErrStandingClosed
 	// ErrTornRound reports an injected communication-round fault that
-	// persisted through the retry (see Config.Faults).
+	// persisted through the retry budget (see Config.Faults, Config.Retry).
 	ErrTornRound = mpc.ErrTornRound
 	// ErrComputeFailed reports an injected local-compute fault that
-	// persisted through the retry (see Config.Faults).
+	// persisted through the retry budget (see Config.Faults, Config.Retry).
 	ErrComputeFailed = mpc.ErrComputeFailed
+	// ErrCircuitOpen reports an Exec shed by the session's circuit breaker
+	// (Config.BreakerThreshold): the cluster has been faulting
+	// persistently, so calls fail fast instead of burning retry budgets.
+	ErrCircuitOpen = core.ErrCircuitOpen
 )
 
 // Serving-API types re-exported from the internal packages.
@@ -310,6 +334,14 @@ type (
 	// StandingStats reports a standing query's cumulative maintenance
 	// counters.
 	StandingStats = core.StandingStats
+	// Retry is the session's fault-recovery policy; see Config.Retry.
+	Retry = core.Retry
+	// Recovery reports the fault recovery one execution needed; see
+	// Result.Recovery.
+	Recovery = core.Recovery
+	// HealthStats is a snapshot of the session's circuit-breaker state;
+	// see Session.HealthStats.
+	HealthStats = core.HealthStats
 )
 
 // NewDelta returns an empty delta for chaining:
