@@ -1,0 +1,141 @@
+package main
+
+// The go vet -vettool protocol ("unitchecker"): cmd/go type-checks the
+// build graph itself and invokes the tool once per package with a JSON
+// config file naming the package's sources and the export-data files of
+// its dependencies. The tool analyzes that one package, writes a facts
+// file (empty here — skewlint's analyzers are fact-free by design), and
+// exits non-zero if it found anything. This mirrors the contract of
+// x/tools' go/analysis/unitchecker without depending on it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+// vetConfig is the JSON schema cmd/go writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs the suite on one package described by cfgFile and returns
+// the process exit code.
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skewlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "skewlint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// Facts output must exist even when empty, or cmd/go fails the step.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "skewlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, and skewlint has none
+	}
+
+	fset := token.NewFileSet()
+	pkg := &load.Package{
+		ID:      cfg.ID,
+		PkgPath: stripVariant(cfg.ImportPath),
+		Dir:     cfg.Dir,
+		Fset:    fset,
+	}
+	for _, name := range cfg.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(cfg.Dir, name)
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "skewlint:", perr)
+			return 2
+		}
+		pkg.Syntax = append(pkg.Syntax, f)
+		pkg.IsTest = append(pkg.IsTest, strings.HasSuffix(name, "_test.go"))
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tc := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := tc.Check(cfg.ImportPath, fset, pkg.Syntax, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "skewlint: type checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+
+	findings, err := lint.Run([]*load.Package{pkg}, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skewlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// stripVariant removes go list's test-variant suffix from an import path.
+func stripVariant(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -98,5 +98,9 @@
 //
 // See DESIGN.md for the planner/executor layering and system inventory;
 // `go test -bench .` regenerates the paper-versus-measured experiment
-// tables.
+// tables. The engine's invariant contracts (deterministic core,
+// allocation-free routing hot paths, context flow, pooled-scratch
+// ownership, error wrapping) are mechanically enforced by the custom
+// static-analysis suite in internal/lint: run it with
+// `go run ./cmd/skewlint ./...`.
 package repro

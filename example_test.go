@@ -166,8 +166,8 @@ func ExampleSession_Exec_overload() {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := s.Exec(context.Background(), q, db)
-		done <- err
+		_, execErr := s.Exec(context.Background(), q, db)
+		done <- execErr
 	}()
 	<-parked // the first call now holds the only slot, parked mid-round
 

@@ -612,6 +612,7 @@ func (e *Engine) logicalPlan(q *query.Query, db *data.Database, s settings) Plan
 // This is the pre-Session entry point: it panics on invalid input and
 // cannot be canceled; ExecuteContext is the serving-grade form.
 func (e *Engine) Execute(q *query.Query, db *data.Database) Result {
+	//skewlint:allow ctxflow — Execute is the documented uncancelable pre-Session entry point
 	res, err := e.ExecuteContext(context.Background(), q, db, ExecOptions{})
 	if err != nil {
 		// The pre-Session API surfaced invalid input as panics; keep that
@@ -643,7 +644,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.Query, db *data.Da
 		return Result{}, fmt.Errorf("core: need p >= 2, got %d", s.p)
 	}
 	if err := q.Validate(); err != nil {
-		return Result{}, fmt.Errorf("core: invalid query: %v", err)
+		return Result{}, fmt.Errorf("%w: %w", ErrInvalidQuery, err)
 	}
 	for _, a := range q.Atoms {
 		if db.Get(a.Name) == nil {

@@ -5,6 +5,13 @@ import "errors"
 // Typed serving-path errors. Callers branch on these with errors.Is; the
 // serving API never requires string matching.
 var (
+	// ErrInvalidQuery wraps query.Validate failures surfaced by
+	// ExecuteContext and Standing: the query is structurally malformed
+	// (no atoms, out-of-range variables, unsupported self-join, …). The
+	// structural detail is wrapped alongside it and stays reachable
+	// through errors.Is/As.
+	ErrInvalidQuery = errors.New("core: invalid query")
+
 	// ErrOverloaded is returned by admission control when the session is at
 	// its in-flight capacity and the wait queue is full: the call was shed
 	// immediately instead of queueing without bound.

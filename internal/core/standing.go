@@ -129,7 +129,7 @@ func (e *Engine) Standing(ctx context.Context, q *query.Query, db *data.Database
 		return nil, fmt.Errorf("core: need p >= 2, got %d", s.p)
 	}
 	if err := q.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid query: %v", err)
+		return nil, fmt.Errorf("%w: %w", ErrInvalidQuery, err)
 	}
 	for _, a := range q.Atoms {
 		if db.Get(a.Name) == nil {

@@ -117,6 +117,7 @@ func (r Retry) Wait(ctx context.Context, retry int, rec *Recovery) error {
 		return r.Sleep(ctx, d)
 	}
 	if ctx == nil {
+		//skewlint:allow nodeterminismbreak — the default for a nil Sleep hook and nil ctx is a real wait
 		time.Sleep(d)
 		return nil
 	}

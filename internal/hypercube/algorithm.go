@@ -150,6 +150,8 @@ func (r *Router) atomFor(rel string) *routerAtom {
 // Destinations implements mpc.Router: the subcube of servers receiving t,
 // in lexicographic coordinate order, with no allocations beyond growing
 // dst. Relations outside the query are not routed.
+//
+//skewlint:noalloc
 func (r *Router) Destinations(rel string, t data.Tuple, dst []int) []int {
 	ra := r.lastAtom
 	if rel != r.lastName || ra == nil {
@@ -173,6 +175,8 @@ func (r *Router) Destinations(rel string, t data.Tuple, dst []int) []int {
 
 // DestinationsAt implements mpc.ColumnRouter: identical routing to
 // Destinations, hashing the relation's column strides directly.
+//
+//skewlint:noalloc
 func (r *Router) DestinationsAt(rel *data.Relation, row int, dst []int) []int {
 	ra := r.lastAtom
 	if rel != r.lastRel || ra == nil {

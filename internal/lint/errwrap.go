@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// ErrWrap keeps the typed error taxonomy (PR 7) closed: callers branch on
+// sentinel errors with errors.Is, which only works when every wrapping
+// site uses %w and every sentinel is a package-level Err… variable.
+var ErrWrap = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: `fmt.Errorf must wrap embedded errors with %w; sentinels must be var Err…
+
+In non-test engine code (everything outside cmd/ harnesses):
+
+  1. A fmt.Errorf call whose arguments include an error must use the %w
+     verb, so errors.Is/As can traverse the chain — %v flattens the error
+     into text and breaks the taxonomy.
+  2. An exported package-level variable of type error must be named with
+     an Err prefix (ErrOverloaded, ErrTornRound, …), keeping the sentinel
+     namespace scannable and the errors.Is surface explicit.`,
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *analysis.Pass) error {
+	if isCmdPath(pass.Pkg.Path()) {
+		return nil
+	}
+	info := pass.TypesInfo
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+	for i, file := range pass.Files {
+		if i < len(pass.IsTest) && pass.IsTest[i] {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, e)
+				if !isPkgFunc(fn, "fmt", "Errorf") || len(e.Args) < 2 {
+					return true
+				}
+				format, ok := constFormat(info, e.Args[0])
+				if !ok || strings.Contains(format, "%w") {
+					return true
+				}
+				for _, arg := range e.Args[1:] {
+					at := info.Types[arg].Type
+					if at == nil {
+						continue
+					}
+					if types.Implements(at, errType) {
+						pass.Reportf(e.Pos(), "fmt.Errorf embeds an error without %%w: errors.Is/As cannot traverse it — wrap with %%w (or strip the error argument)")
+						break
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range e.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj, _ := info.Defs[name].(*types.Var)
+						if obj == nil || !obj.Exported() || obj.Parent() != pass.Pkg.Scope() {
+							continue
+						}
+						if !types.Implements(obj.Type(), errType) {
+							continue
+						}
+						if !strings.HasPrefix(name.Name, "Err") {
+							pass.Reportf(name.Pos(), "exported sentinel error %s must be named with an Err prefix (var ErrXxx = errors.New(…))", name.Name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constFormat extracts a constant string value from an expression.
+func constFormat(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,492 @@
+package lint
+
+// This file holds the standard-analyzer ports. Vanilla `go vet` ships a
+// fixed analyzer set; the x/tools extras reimplemented here (shadow, a
+// broader copylocks surface, unusedwrite, nilness) normally require
+// golang.org/x/tools, which is not vendored in this module. These are
+// deliberately conservative versions: each flags only patterns that are
+// almost certainly bugs, so the suite can run blocking in CI without a
+// standing triage queue.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Shadow flags inner declarations that shadow a same-typed variable of an
+// enclosing function scope while the outer variable is still used
+// afterwards — the classic `err :=`-in-a-branch bug.
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc: `report shadowed variable declarations that look like bugs
+
+An inner := or var declaration shadows an outer function-scope variable of
+the identical type, and the outer variable is read again after the inner
+scope closes. (Same-type + used-after is vet's own noise filter: a shadow
+nobody reads past is stylistic, not a bug.) Declarations that are Go
+idiom — function-literal parameters, "if err := f(); …" init clauses,
+"case v := <-ch" receive clauses, and "x := x" loop-variable rebinds —
+are never flagged.`,
+	Run: runShadow,
+}
+
+func runShadow(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	funcDecls(pass, func(fd *ast.FuncDecl, inTest bool) {
+		// Declarations in control-flow init clauses and select receive
+		// clauses are scoped to the statement they guard; shadowing there
+		// is deliberate idiom, not a bug.
+		idiomatic := map[ast.Stmt]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.IfStmt:
+				idiomatic[e.Init] = true
+			case *ast.ForStmt:
+				idiomatic[e.Init] = true
+			case *ast.SwitchStmt:
+				idiomatic[e.Init] = true
+			case *ast.TypeSwitchStmt:
+				idiomatic[e.Init] = true
+				idiomatic[e.Assign] = true
+			case *ast.CommClause:
+				idiomatic[e.Comm] = true
+			}
+			return true
+		})
+
+		checkIdent := func(id *ast.Ident) {
+			if id.Name == "_" {
+				return
+			}
+			inner, ok := info.Defs[id].(*types.Var)
+			if !ok || inner.IsField() {
+				return
+			}
+			scope := inner.Parent()
+			if scope == nil || scope.Parent() == nil {
+				return
+			}
+			// Look outward, stopping at package scope: only function-local
+			// shadowing is in scope.
+			_, outerObj := scope.Parent().LookupParent(id.Name, id.Pos())
+			outer, ok := outerObj.(*types.Var)
+			if !ok || outer == inner || outer.IsField() {
+				return
+			}
+			if outer.Parent() == pass.Pkg.Scope() || outer.Parent() == types.Universe {
+				return
+			}
+			if !types.Identical(outer.Type(), inner.Type()) {
+				return
+			}
+			// The shadow is only bug-shaped if the outer variable is used
+			// after the inner scope ends.
+			if usedAfter(info, fd.Body, outer, scope.End()) {
+				pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s (outer variable is used after this scope)", id.Name, pass.Fset.Position(outer.Pos()))
+			}
+		}
+
+		// Mirror vet's shadow surface: short variable declarations and var
+		// specs. Parameters (the `b.Run(func(b *testing.B))` pattern) and
+		// range clauses are out of scope by construction.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.AssignStmt:
+				if e.Tok != token.DEFINE || idiomatic[ast.Stmt(e)] {
+					return true
+				}
+				for i, lhs := range e.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					// x := x rebinds (pre-1.22 loop-capture idiom).
+					if len(e.Lhs) == len(e.Rhs) {
+						if rid, ok := ast.Unparen(e.Rhs[i]).(*ast.Ident); ok && rid.Name == id.Name {
+							continue
+						}
+					}
+					checkIdent(id)
+				}
+			case *ast.GenDecl:
+				if e.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range e.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							checkIdent(id)
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// usedAfter reports whether v is referenced at a position past end.
+func usedAfter(info *types.Info, body *ast.BlockStmt, v *types.Var, end token.Pos) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if ok && id.Pos() > end && info.Uses[id] == v {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// CopyLocks flags lock-containing values copied by value: parameters,
+// results, range variables, and plain assignments. It recurses through
+// struct and array composition, which is the "beyond defaults" surface —
+// vet checks method receivers and a fixed call list.
+var CopyLocks = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc: `report values containing sync primitives passed or assigned by value
+
+A type transitively containing sync.Mutex, sync.RWMutex, sync.WaitGroup,
+sync.Once, sync.Cond, sync.Map, sync.Pool, or atomic.* must travel by
+pointer; a copy forks the lock state and silently unsynchronizes the two
+halves (the engine's cache-line-padded mailbox is exactly such a type).`,
+	Run: runCopyLocks,
+}
+
+func runCopyLocks(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	report := func(pos token.Pos, what string, t types.Type) {
+		pass.Reportf(pos, "%s copies lock value: %s contains a sync primitive — pass by pointer", what, t.String())
+	}
+	funcDecls(pass, func(fd *ast.FuncDecl, inTest bool) {
+		check := func(fl *ast.FieldList, what string) {
+			if fl == nil {
+				return
+			}
+			for _, f := range fl.List {
+				t := info.Types[f.Type].Type
+				if t != nil && containsLock(t, nil) {
+					report(f.Type.Pos(), what, t)
+				}
+			}
+		}
+		check(fd.Type.Params, "parameter")
+		check(fd.Type.Results, "result")
+		if fd.Recv != nil {
+			check(fd.Recv, "receiver")
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range e.Rhs {
+					if i >= len(e.Lhs) {
+						break
+					}
+					// Copying an existing value (deref, variable, index) is
+					// the bug; building a fresh composite literal is not.
+					switch ast.Unparen(rhs).(type) {
+					case *ast.CompositeLit, *ast.CallExpr:
+						continue
+					}
+					t := info.Types[rhs].Type
+					if t != nil && containsLock(t, nil) {
+						report(e.Pos(), "assignment", t)
+					}
+				}
+			case *ast.RangeStmt:
+				if e.Value != nil {
+					t := info.Types[e.Value].Type
+					if t == nil {
+						// With :=, the value ident is a definition, not a use.
+						if id, ok := e.Value.(*ast.Ident); ok {
+							if obj := info.Defs[id]; obj != nil {
+								t = obj.Type()
+							}
+						}
+					}
+					if t != nil && containsLock(t, nil) {
+						report(e.Value.Pos(), "range value", t)
+					}
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// containsLock reports whether t transitively contains a sync primitive by
+// value.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return true
+				}
+			case "sync/atomic":
+				return true // all atomic.* types are noCopy
+			}
+		}
+		return containsLock(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// UnusedWrite flags straight-line dead stores: a local variable written
+// and then unconditionally overwritten with no intervening read.
+var UnusedWrite = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc: `report writes to a local variable that are overwritten before any read
+
+Within one block's consecutive statements: x = a immediately followed
+(modulo statements not mentioning x, with no intervening control flow) by
+x = b makes the first write dead. Restricted to plain locals that are
+never captured by a closure or address-taken, so the finding is exact.`,
+	Run: runUnusedWrite,
+}
+
+func runUnusedWrite(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	funcDecls(pass, func(fd *ast.FuncDecl, inTest bool) {
+		// Locals disqualified by capture or address-taking.
+		unsafe := map[*types.Var]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncLit:
+				ast.Inspect(e.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if v, ok := info.Uses[id].(*types.Var); ok {
+							unsafe[v] = true
+						}
+					}
+					return true
+				})
+			case *ast.UnaryExpr:
+				if e.Op == token.AND {
+					if v := rootVar(info, e.X); v != nil {
+						unsafe[v] = true
+					}
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkDeadStores(pass, info, block, unsafe)
+			return true
+		})
+	})
+	return nil
+}
+
+// checkDeadStores scans one statement list for write-then-overwrite pairs.
+func checkDeadStores(pass *analysis.Pass, info *types.Info, block *ast.BlockStmt, unsafe map[*types.Var]bool) {
+	// pending[v] is the position of v's last unread write.
+	pending := map[*types.Var]token.Pos{}
+	mentions := func(st ast.Stmt, skipWrite *ast.Ident) map[*types.Var]bool {
+		out := map[*types.Var]bool{}
+		ast.Inspect(st, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id != skipWrite {
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					out[v] = true
+				}
+			}
+			return true
+		})
+		return out
+	}
+	for _, st := range block.List {
+		as, ok := st.(*ast.AssignStmt)
+		// Any control flow, call with side effects on x, etc.: a non-assign
+		// statement clears pendings it mentions; control-flow statements
+		// clear everything (the write may be read on another path).
+		if !ok {
+			switch st.(type) {
+			case *ast.ExprStmt, *ast.IncDecStmt, *ast.DeclStmt:
+				for v := range mentions(st, nil) {
+					delete(pending, v)
+				}
+			default:
+				pending = map[*types.Var]token.Pos{}
+			}
+			continue
+		}
+		if as.Tok != token.ASSIGN || len(as.Lhs) != 1 {
+			// := introduces, compound ops read; multi-assign is rare enough
+			// to skip. All still clear mentioned pendings.
+			for v := range mentions(as, nil) {
+				delete(pending, v)
+			}
+			continue
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			for v := range mentions(as, nil) {
+				delete(pending, v)
+			}
+			continue
+		}
+		v, _ := info.Uses[id].(*types.Var)
+		if v == nil || unsafe[v] || v.IsField() {
+			for m := range mentions(as, nil) {
+				delete(pending, m)
+			}
+			continue
+		}
+		// Reads on the RHS (and any other vars mentioned) clear pendings.
+		for m := range mentions(as, id) {
+			delete(pending, m)
+		}
+		if prev, dead := pending[v]; dead {
+			pass.Reportf(prev, "value written to %q is overwritten at %s before any read", id.Name, pass.Fset.Position(as.Pos()))
+		}
+		pending[v] = as.Pos()
+	}
+}
+
+// Nilness flags uses of a value inside the branch that just established it
+// is nil — a guaranteed runtime panic.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: `report guaranteed nil dereferences inside nil-check branches
+
+Inside "if x == nil { … }" (or the else arm of "if x != nil"), a
+dereference *x, a field access x.f on a pointer, an index write on a nil
+map, an index on a nil slice, or a call of a nil func — before any
+reassignment of x — panics unconditionally.`,
+	Run: runNilness,
+}
+
+func runNilness(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	funcDecls(pass, func(fd *ast.FuncDecl, inTest bool) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Init != nil {
+				return true
+			}
+			cond, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok || !isNilIdent(cond.Y) {
+				return true
+			}
+			id, ok := ast.Unparen(cond.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			switch cond.Op {
+			case token.EQL:
+				checkNilUses(pass, info, ifs.Body, v)
+			case token.NEQ:
+				if els, ok := ifs.Else.(*ast.BlockStmt); ok {
+					checkNilUses(pass, info, els, v)
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// checkNilUses reports guaranteed-panic uses of the nil variable v in
+// body, stopping at reassignments and skipping nested function literals.
+func checkNilUses(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt, v *types.Var) {
+	reassigned := token.Pos(-1)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && info.Uses[id] == v {
+					if reassigned < 0 || as.Pos() < reassigned {
+						reassigned = as.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	past := func(pos token.Pos) bool { return reassigned >= 0 && pos > reassigned }
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.StarExpr:
+			if isVarUse(info, e.X, v) && !past(e.Pos()) {
+				pass.Reportf(e.Pos(), "dereference of %q, which is nil on this path", v.Name())
+			}
+		case *ast.SelectorExpr:
+			if isVarUse(info, e.X, v) && !past(e.Pos()) {
+				if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+					if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+						pass.Reportf(e.Pos(), "field access on %q, which is nil on this path", v.Name())
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			if !isVarUse(info, e.X, v) || past(e.Pos()) {
+				return true
+			}
+			switch v.Type().Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(e.Pos(), "index of %q, which is a nil slice on this path", v.Name())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok && isVarUse(info, ix.X, v) && !past(e.Pos()) {
+					if _, isMap := v.Type().Underlying().(*types.Map); isMap {
+						pass.Reportf(ix.Pos(), "write to %q, which is a nil map on this path", v.Name())
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isVarUse(info, e.Fun, v) && !past(e.Pos()) {
+				if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc {
+					pass.Reportf(e.Pos(), "call of %q, which is a nil func on this path", v.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isVarUse reports whether e is exactly a use of v.
+func isVarUse(info *types.Info, e ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == v
+}

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// ScratchEscape enforces the pooled-output discipline around exec.Scratch:
+// an owner that lets a scratch-aliasing Output escape must interpose
+// Scratch.DetachOutput first, or the next pooled run overwrites answers
+// the caller already holds — the aliasing bug class PR 4's
+// TestConcurrentExecuteSharedEngine hunts dynamically under -race.
+var ScratchEscape = &analysis.Analyzer{
+	Name: "scratchescape",
+	Doc: `pooled exec.Scratch outputs must be detached before they escape
+
+A function OWNS a scratch when it creates one (new(exec.Scratch),
+&exec.Scratch{}) or recycles one through a pool (sync.Pool Get/Put). If an
+owning function both executes a plan with that scratch (stores it in an
+exec.Config) and lets a value derived from a ".Output" field escape — by
+returning it or storing it into longer-lived state — then a
+sc.DetachOutput() call must precede the escape. Functions that merely
+receive a Config (the strategy planners) are not owners: their results
+stay inside the owner's scratch lifetime by contract.`,
+	Run: runScratchEscape,
+}
+
+func runScratchEscape(pass *analysis.Pass) error {
+	// The exec package implements the pool itself.
+	if pass.Pkg.Path() == "repro/internal/exec" {
+		return nil
+	}
+	info := pass.TypesInfo
+	funcDecls(pass, func(fd *ast.FuncDecl, inTest bool) {
+		checkScratchEscape(pass, info, fd)
+	})
+	return nil
+}
+
+func checkScratchEscape(pass *analysis.Pass, info *types.Info, fd *ast.FuncDecl) {
+	// Scratch variables this function owns (created or pooled here).
+	owned := map[*types.Var]bool{}
+	configured := false // some owned scratch was armed into an exec.Config
+	var detaches []token.Pos
+
+	isScratchVar := func(e ast.Expr) *types.Var {
+		v := rootVar(info, e)
+		if v != nil && namedFrom(v.Type(), "repro/internal/exec", "Scratch") {
+			return v
+		}
+		return nil
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range e.Lhs {
+				if i >= len(e.Rhs) && len(e.Rhs) != 1 {
+					break
+				}
+				rhs := e.Rhs[min(i, len(e.Rhs)-1)]
+				v := isScratchVar(lhs)
+				if v == nil {
+					continue
+				}
+				if scratchOrigin(info, rhs) {
+					owned[v] = true
+				}
+			}
+		case *ast.CallExpr:
+			// sc.DetachOutput() and pool.Put(sc).
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "DetachOutput":
+					if isScratchVar(sel.X) != nil {
+						detaches = append(detaches, e.Pos())
+					}
+				case "Put":
+					if len(e.Args) == 1 {
+						if v := isScratchVar(e.Args[0]); v != nil {
+							owned[v] = true // recycling implies ownership
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			// exec.Config{..., Scratch: sc, ...} arms the scratch.
+			t := info.Types[ast.Expr(e)].Type
+			if t == nil || !namedFrom(t, "repro/internal/exec", "Config") {
+				return true
+			}
+			for _, el := range e.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Scratch" {
+					if v := isScratchVar(kv.Value); v != nil && owned[v] {
+						configured = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if !configured {
+		return
+	}
+
+	// Taint: values assigned from a ".Output" selector, or whole results
+	// of exec.Run-shaped calls recorded into locals that then escape.
+	tainted := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if !outputDerived(info, rhs, tainted) {
+				continue
+			}
+			if v := rootVar(info, as.Lhs[i]); v != nil {
+				tainted[v] = true
+			}
+		}
+		return true
+	})
+	if len(tainted) == 0 {
+		return
+	}
+
+	detachedBefore := func(pos token.Pos) bool {
+		for _, d := range detaches {
+			if d < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Escapes: returns of tainted values, and stores of tainted values
+	// into selector chains rooted outside the function's locals.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range e.Results {
+				if v := rootVar(info, res); v != nil && tainted[v] && !detachedBefore(e.Pos()) {
+					pass.Reportf(e.Pos(), "returning %s, which aliases a pooled exec.Scratch output, without a preceding DetachOutput", v.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range e.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || i >= len(e.Rhs) {
+					continue
+				}
+				rv := rootVar(info, e.Rhs[i])
+				if rv == nil || !tainted[rv] {
+					continue
+				}
+				if lv := rootVar(info, sel.X); lv != nil && !lv.IsField() && lv.Parent() != nil {
+					// A store into a local struct stays inside the
+					// function; a store through the receiver or an
+					// escaping pointer is an escape. Approximate: flag
+					// stores through function parameters/receiver.
+					if isParamOrRecv(fd, info, lv) && !detachedBefore(e.Pos()) {
+						pass.Reportf(e.Pos(), "storing a pooled exec.Scratch output into %s.%s without a preceding DetachOutput", lv.Name(), sel.Sel.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scratchOrigin reports whether rhs creates or pools a Scratch:
+// new(exec.Scratch), &exec.Scratch{}, or a pool Get (possibly behind a
+// type assertion).
+func scratchOrigin(info *types.Info, rhs ast.Expr) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+				return true
+			}
+		}
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Get" {
+			return true
+		}
+	case *ast.UnaryExpr:
+		if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+			return true
+		}
+	case *ast.TypeAssertExpr:
+		return scratchOrigin(info, e.X)
+	}
+	return false
+}
+
+// outputDerived reports whether rhs reads a ".Output" field or an already
+// tainted variable.
+func outputDerived(info *types.Info, rhs ast.Expr, tainted map[*types.Var]bool) bool {
+	derived := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if e.Sel.Name == "Output" {
+				derived = true
+				return false
+			}
+		case *ast.Ident:
+			if v, ok := info.Uses[e].(*types.Var); ok && tainted[v] {
+				derived = true
+				return false
+			}
+		}
+		return !derived
+	})
+	return derived
+}
+
+// isParamOrRecv reports whether v is a parameter or the receiver of fd.
+func isParamOrRecv(fd *ast.FuncDecl, info *types.Info, v *types.Var) bool {
+	match := false
+	check := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if info.Defs[name] == v {
+					match = true
+				}
+			}
+		}
+	}
+	check(fd.Recv)
+	check(fd.Type.Params)
+	return match
+}

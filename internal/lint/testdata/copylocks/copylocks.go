@@ -1,0 +1,55 @@
+// Package p distills by-value travel of lock-bearing types, including
+// transitive composition (the engine's padded mailbox pattern).
+package p
+
+import "sync"
+
+// Guarded carries a mutex by value through composition.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// padded mirrors the mpc mailbox: the lock is two levels down.
+type padded struct {
+	g Guarded
+	_ [64]byte
+}
+
+// ByValue copies its lock-bearing parameter.
+func ByValue(g Guarded) int { // want `parameter copies lock value`
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// ByPointer is the correct shape.
+func ByPointer(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Copy duplicates lock state by assignment.
+func Copy(g *Guarded) {
+	snapshot := *g // want `assignment copies lock value`
+	_ = snapshot.n
+}
+
+// Range copies each element's transitively lock-bearing value.
+func Range(ps []padded) int {
+	total := 0
+	for _, p := range ps { // want `range value copies lock value`
+		total += p.g.n
+	}
+	return total
+}
+
+// RangeIndex is the correct shape: index, don't copy.
+func RangeIndex(ps []padded) int {
+	total := 0
+	for i := range ps {
+		total += ps[i].g.n
+	}
+	return total
+}

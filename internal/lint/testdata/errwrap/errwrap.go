@@ -1,0 +1,35 @@
+// Package p distills the typed-error-taxonomy contracts: %w wrapping and
+// Err-prefixed sentinels.
+package p
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is a compliant sentinel.
+var ErrNotFound = errors.New("p: not found")
+
+// Missing is an exported error sentinel without the Err prefix.
+var Missing = errors.New("p: missing") // want `exported sentinel error Missing must be named with an Err prefix`
+
+// BadWrap flattens the chain with %v.
+func BadWrap(err error) error {
+	return fmt.Errorf("lookup failed: %v", err) // want `fmt.Errorf embeds an error without %w`
+}
+
+// GoodWrap keeps the chain traversable.
+func GoodWrap(err error) error {
+	return fmt.Errorf("lookup failed: %w", err)
+}
+
+// NoError has no error argument: %v of a plain value is fine.
+func NoError(n int) error {
+	return fmt.Errorf("bad count: %v", n)
+}
+
+// Allowed keeps a flattened %v with an audited waiver.
+func Allowed(err error) error {
+	//skewlint:allow errwrap — corpus: deliberate flattening
+	return fmt.Errorf("lookup failed: %v", err)
+}

@@ -1,0 +1,68 @@
+// Package p distills guaranteed nil dereferences inside the branch that
+// just established nilness.
+package p
+
+type node struct {
+	next *node
+	val  int
+}
+
+// DerefNil reads a field inside its own nil branch.
+func DerefNil(n *node) int {
+	if n == nil {
+		return n.val // want `field access on "n", which is nil on this path`
+	}
+	return n.val
+}
+
+// StarNil dereferences explicitly.
+func StarNil(p *int) int {
+	if p == nil {
+		return *p // want `dereference of "p", which is nil on this path`
+	}
+	return *p
+}
+
+// ElseArm writes to the nil map in the else of a != nil check.
+func ElseArm(m map[int]int) {
+	if m != nil {
+		m[1] = 1
+	} else {
+		m[2] = 2 // want `write to "m", which is a nil map on this path`
+	}
+}
+
+// NilSlice indexes a nil slice.
+func NilSlice(s []int) int {
+	if s == nil {
+		return s[0] // want `index of "s", which is a nil slice on this path`
+	}
+	return s[0]
+}
+
+// NilFunc calls a nil func.
+func NilFunc(f func() int) int {
+	if f == nil {
+		return f() // want `call of "f", which is a nil func on this path`
+	}
+	return f()
+}
+
+// Reassigned recovers before use: never flagged.
+func Reassigned(s []int) int {
+	if s == nil {
+		s = []int{0}
+		return s[0]
+	}
+	return s[0]
+}
+
+// Guarded mirrors the engine's lazy-init idiom: the nil branch only
+// creates, then uses after the branch.
+func Guarded(m map[int]int) map[int]int {
+	if m == nil {
+		m = make(map[int]int)
+	}
+	m[1] = 1
+	return m
+}

@@ -1,0 +1,90 @@
+// Package p exercises the //skewlint:noalloc contract with shapes taken
+// from the routing hot paths.
+package p
+
+import (
+	"fmt"
+
+	"repro/internal/mpc"
+)
+
+// Destinations mirrors a router hot path: growth into the caller's dst
+// buffer is the only allowed append target.
+//
+//skewlint:noalloc
+func Destinations(t []int64, dst []int) []int {
+	for range t {
+		dst = append(dst, 1)
+	}
+	return dst
+}
+
+// BadAllocs collects the flagged constructs.
+//
+//skewlint:noalloc
+func BadAllocs(n int, dst []int) []int {
+	tmp := make([]int, n)    // want `make allocates`
+	local := []int{1, 2}     // want `composite literal allocates`
+	local = append(local, n) // want `append to a slice not rooted in a caller-provided buffer`
+	dst = append(dst, tmp...)
+	_ = fmt.Sprint(n) // want `fmt.Sprint allocates`
+	return append(dst, local...)
+}
+
+// BadStrings collects the string and interface boxing cases.
+//
+//skewlint:noalloc
+func BadStrings(a, b string, v int64) string {
+	s := a + b    // want `string concatenation allocates`
+	_ = []byte(a) // want `string conversion copies`
+	sink(v)       // want `implicit conversion to interface parameter allocates`
+	return s
+}
+
+// BadClosure creates a closure per call.
+//
+//skewlint:noalloc
+func BadClosure(dst []int) []int {
+	f := func() {} // want `closure literal allocates`
+	f()
+	return dst
+}
+
+// ColdPath mirrors the comm engine's lazy scratch growth: an audited
+// directive waives the one-time allocation.
+//
+//skewlint:noalloc
+func ColdPath(dst []int) []int {
+	if cap(dst) == 0 {
+		//skewlint:allow noalloc — one-time growth, amortized across calls
+		dst = make([]int, 0, 8)
+	}
+	return dst
+}
+
+// OwnedChain mirrors the comm engine's d := &table[server] pattern:
+// ownership propagates through local aliases of caller buffers.
+//
+//skewlint:noalloc
+func OwnedChain(table [][]int, server, v int) {
+	d := &table[server]
+	*d = append(*d, v)
+}
+
+// Unannotated functions may allocate freely.
+func Unannotated() []int {
+	return make([]int, 3)
+}
+
+// CompileSpan mirrors the span-router contract: a closure assigned to
+// mpc.SpanRoute.PerRow runs once per routed row, so its body is
+// implicitly //skewlint:noalloc.
+func CompileSpan(sp *mpc.SpanRoute, p int) {
+	sp.PerRow = func(row int, dst []int) []int {
+		tmp := make([]int, 1) // want `make allocates`
+		_ = tmp
+		return append(dst, row%p)
+	}
+}
+
+func sink(v interface{}) { _ = v }

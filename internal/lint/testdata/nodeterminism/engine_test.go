@@ -1,0 +1,15 @@
+package p
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSleepy violates the sleep-free-test contract; reading the clock in
+// a test is fine (only Sleep makes a test timing-dependent).
+func TestSleepy(t *testing.T) {
+	time.Sleep(time.Millisecond) // want `time.Sleep in a test`
+	if time.Now().IsZero() {
+		t.Fatal("clock is broken")
+	}
+}

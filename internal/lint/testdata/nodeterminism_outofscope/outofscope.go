@@ -1,0 +1,19 @@
+// Package p carries core-forbidden calls under a non-core import path
+// (the harness checks it as repro/internal/stats): the analyzer must
+// produce nothing here.
+package p
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ClockOK reads the wall clock outside the deterministic core.
+func ClockOK() time.Time {
+	return time.Now()
+}
+
+// RandOK draws global randomness outside the deterministic core.
+func RandOK() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,62 @@
+// Package p distills the pooled-scratch ownership discipline from
+// core.Engine.ExecuteContext: owners that let a scratch-aliased Output
+// escape must interpose DetachOutput first.
+package p
+
+import (
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/exec"
+)
+
+var pool sync.Pool
+
+func run(cfg exec.Config) exec.Result {
+	_ = cfg
+	return exec.Result{}
+}
+
+// BadReturn lets a pooled output escape without detaching.
+func BadReturn() []data.Tuple {
+	sc, _ := pool.Get().(*exec.Scratch)
+	cfg := exec.Config{Scratch: sc}
+	res := run(cfg)
+	out := res.Output
+	pool.Put(sc)
+	return out // want `returning out, which aliases a pooled exec.Scratch output`
+}
+
+// GoodReturn detaches before the escape, exactly like the engine.
+func GoodReturn() []data.Tuple {
+	sc, _ := pool.Get().(*exec.Scratch)
+	cfg := exec.Config{Scratch: sc}
+	res := run(cfg)
+	out := res.Output
+	if out != nil {
+		sc.DetachOutput()
+	}
+	pool.Put(sc)
+	return out
+}
+
+type holder struct {
+	kept []data.Tuple
+}
+
+// BadStore parks a pooled output on long-lived state without detaching.
+func (h *holder) BadStore() {
+	sc := new(exec.Scratch)
+	cfg := exec.Config{Scratch: sc}
+	res := run(cfg)
+	out := res.Output
+	h.kept = out // want `storing a pooled exec.Scratch output into h.kept`
+}
+
+// NotOwner receives an armed Config but owns no scratch: strategy
+// planners like this stay inside the owner's lifetime by contract.
+func NotOwner(cfg exec.Config) []data.Tuple {
+	res := run(cfg)
+	out := res.Output
+	return out
+}

@@ -1,0 +1,51 @@
+// Package p distills bug-shaped shadowing against the idioms vet skips.
+package p
+
+// Shadowed loses an inner err to an outer check.
+func Shadowed(f, g func() error) error {
+	err := f()
+	if err == nil {
+		err := g() // want `declaration of "err" shadows declaration`
+		_ = err
+	}
+	return err
+}
+
+// IfInit is the guarded idiom: never flagged.
+func IfInit(f, g func() error) error {
+	err := f()
+	if err := g(); err != nil {
+		return err
+	}
+	return err
+}
+
+// Rebind is the pre-1.22 loop-capture idiom: never flagged.
+func Rebind(xs []int) []func() int {
+	var out []func() int
+	for _, x := range xs {
+		x := x
+		out = append(out, func() int { return x })
+	}
+	return out
+}
+
+// LitParam mirrors the b.Run(func(b *testing.B)) pattern: parameters of
+// function literals are out of scope.
+func LitParam(run func(func(n int))) {
+	n := 1
+	run(func(n int) { _ = n })
+	_ = n
+}
+
+// Recv mirrors the select idiom: receive-clause declarations are never
+// flagged.
+func Recv(ch chan error) error {
+	err := error(nil)
+	select {
+	case err := <-ch:
+		_ = err
+	default:
+	}
+	return err
+}

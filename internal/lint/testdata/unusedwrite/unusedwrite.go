@@ -1,0 +1,50 @@
+// Package p distills straight-line dead stores against the control-flow
+// and aliasing shapes the checker must not flag.
+package p
+
+// DeadStore overwrites x before any read.
+func DeadStore(a, b int) int {
+	x := 0
+	x = a // want `value written to "x" is overwritten`
+	x = b
+	return x
+}
+
+// ReadBetween reads the first write: never flagged.
+func ReadBetween(a, b int) (int, int) {
+	x := a
+	x = a + 1
+	y := x
+	x = b
+	return x, y
+}
+
+// BranchedStore may be read on the other path: never flagged.
+func BranchedStore(a, b int, cond bool) int {
+	x := a
+	if cond {
+		return x
+	}
+	x = b
+	return x
+}
+
+// AddressTaken writes through an alias between stores: never flagged.
+func AddressTaken(a, b int) int {
+	x := 0
+	p := &x
+	x = a
+	*p = 0
+	x = b
+	return x
+}
+
+// Captured is written by a closure between stores: never flagged.
+func Captured(a, b int) int {
+	x := 0
+	bump := func() { x++ }
+	x = a
+	bump()
+	x = b
+	return x
+}

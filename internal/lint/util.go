@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// enginePaths are the deterministic-core packages nodeterminismbreak and
+// ctxflow scope to. Testdata corpora mirror these paths so analysistest
+// exercises the same scoping logic as production runs.
+var enginePaths = map[string]bool{
+	"repro/internal/mpc":  true,
+	"repro/internal/exec": true,
+	"repro/internal/core": true,
+}
+
+// ctxPaths are the serving entry-point packages ctxflow covers.
+var ctxPaths = map[string]bool{
+	"repro/internal/exec": true,
+	"repro/internal/core": true,
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil
+// (builtins, type conversions, indirect calls through variables).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// isPkgFunc reports whether f is the package-level function path.name.
+func isPkgFunc(f *types.Func, path, name string) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == path && f.Name() == name && f.Type().(*types.Signature).Recv() == nil
+}
+
+// isCmdPath reports whether a package path belongs to a command (cmd/
+// trees are benchmarking harnesses, outside the engine contracts).
+func isCmdPath(path string) bool {
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasContextAccess reports whether the function signature gives the body a
+// context to thread: a context.Context parameter, or a parameter/receiver
+// whose (possibly pointed-to) struct type carries a context.Context field
+// one level down (the exec.Config.Ctx pattern).
+func hasContextAccess(sig *types.Signature) bool {
+	check := func(t types.Type) bool {
+		if isContextType(t) {
+			return true
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return false
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if isContextType(st.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	if r := sig.Recv(); r != nil && check(r.Type()) {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if check(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDecls yields every function declaration with a body in the pass,
+// along with whether it lives in a test file.
+func funcDecls(pass *analysis.Pass, fn func(decl *ast.FuncDecl, inTest bool)) {
+	for i, f := range pass.Files {
+		inTest := i < len(pass.IsTest) && pass.IsTest[i]
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd, inTest)
+			}
+		}
+	}
+}
+
+// rootVar traces expr to the variable at its base: a plain identifier, or
+// the root of a selector/index/slice/star/paren/address chain (x.f[i][:n]
+// → x). Returns nil when the chain bottoms out in anything else (a call,
+// a literal).
+func rootVar(info *types.Info, expr ast.Expr) *types.Var {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[e].(*types.Var)
+			if v == nil {
+				v, _ = info.Defs[e].(*types.Var)
+			}
+			return v
+		case *ast.SelectorExpr:
+			// A package-qualified name roots at the var itself.
+			if pkgName, ok := info.Uses[selRootIdent(e)].(*types.PkgName); ok && selRootIdent(e) != nil {
+				_ = pkgName
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// selRootIdent returns the leftmost identifier of a selector chain.
+func selRootIdent(e *ast.SelectorExpr) *ast.Ident {
+	expr := ast.Expr(e)
+	for {
+		switch x := expr.(type) {
+		case *ast.SelectorExpr:
+			expr = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// namedFrom reports whether t (after stripping one pointer) is the named
+// type pkgPath.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -176,11 +176,14 @@ func (w *commWorker) route(c *Cluster, parts []sendPart, next *atomic.Int64, rou
 // routeRows routes rows [lo, hi) of rel one tuple at a time — the general
 // path for unpartitioned relations, light regions, uncovered tails, and
 // declined spans.
+//
+//skewlint:noalloc
 func (w *commWorker) routeRows(c *Cluster, table []delivery, rel *data.Relation, lo, hi int, r Router, cr ColumnRouter, columnar bool, report func(error)) {
 	cols := rel.Columns()
 	arity := rel.Arity
 	bits := rel.BitsPerTuple()
 	if cap(w.scratch) < arity {
+		//skewlint:allow noalloc — one-time scratch growth to the widest arity, amortized across rounds
 		w.scratch = make(data.Tuple, arity)
 	}
 	scratch := w.scratch[:arity]
@@ -234,6 +237,8 @@ func (w *commWorker) routeSpans(c *Cluster, table []delivery, part sendPart, idx
 }
 
 // routePerRow routes rows [lo, hi) through a compiled per-row closure.
+//
+//skewlint:noalloc
 func (w *commWorker) routePerRow(c *Cluster, table []delivery, rel *data.Relation, lo, hi int, perRow func(row int, dst []int) []int, report func(error)) {
 	cols := rel.Columns()
 	arity := rel.Arity
@@ -246,9 +251,12 @@ func (w *commWorker) routePerRow(c *Cluster, table []delivery, rel *data.Relatio
 
 // send batches row `row` of rel for every (deduplicated, validated)
 // destination in dst.
+//
+//skewlint:noalloc
 func (w *commWorker) send(c *Cluster, table []delivery, rel *data.Relation, cols [][]int64, arity int, bits int64, row int, dst []int, report func(error)) {
 	for _, server := range w.dedup.dedup(dst) {
 		if server < 0 || server >= c.P {
+			//skewlint:allow noalloc — error path: a malformed router has already broken the round
 			report(fmt.Errorf("mpc: destination %d out of range [0,%d)", server, c.P))
 			continue
 		}
@@ -260,6 +268,7 @@ func (w *commWorker) send(c *Cluster, table []delivery, rel *data.Relation, cols
 		}
 		if d.cols == nil {
 			d.rel, d.arity, d.domain, d.bits = rel.Name, arity, rel.Domain, bits
+			//skewlint:allow noalloc — fresh-batch header, once per batchTuples rows; columns come from the slab pool
 			s := make([][]int64, arity)
 			for a := range s {
 				s[a] = w.slab()
@@ -280,12 +289,15 @@ func (w *commWorker) send(c *Cluster, table []delivery, rel *data.Relation, cols
 // sendRange ships rows [lo, hi) of rel wholesale to every destination in
 // dst: per-column range appends into slabs, batchTuples at a time — the
 // uniform-span fast path with no per-row router work.
+//
+//skewlint:noalloc
 func (w *commWorker) sendRange(c *Cluster, table []delivery, rel *data.Relation, lo, hi int, dst []int, report func(error)) {
 	cols := rel.Columns()
 	arity := rel.Arity
 	bits := rel.BitsPerTuple()
 	for _, server := range w.dedup.dedup(dst) {
 		if server < 0 || server >= c.P {
+			//skewlint:allow noalloc — error path: a malformed router has already broken the round
 			report(fmt.Errorf("mpc: destination %d out of range [0,%d)", server, c.P))
 			continue
 		}
@@ -297,6 +309,7 @@ func (w *commWorker) sendRange(c *Cluster, table []delivery, rel *data.Relation,
 		for row < hi {
 			if d.cols == nil {
 				d.rel, d.arity, d.domain, d.bits = rel.Name, arity, rel.Domain, bits
+				//skewlint:allow noalloc — fresh-batch header, once per batchTuples rows; columns come from the slab pool
 				s := make([][]int64, arity)
 				for a := range s {
 					s[a] = w.slab()

@@ -459,6 +459,8 @@ func (r *stepRouter) keyScratch(n int) data.Tuple {
 
 // Destinations implements mpc.Router. Relations that are not this step's
 // inputs are not routed.
+//
+//skewlint:noalloc
 func (r *stepRouter) Destinations(rel string, t data.Tuple, dst []int) []int {
 	isLeft := rel == r.leftName
 	if !isLeft && rel != r.rightName {
@@ -485,6 +487,8 @@ func (r *stepRouter) Destinations(rel string, t data.Tuple, dst []int) []int {
 // DestinationsAt implements mpc.ColumnRouter: identical routing, reading
 // the key columns (and, on the grid paths, all columns for the row hash)
 // in place.
+//
+//skewlint:noalloc
 func (r *stepRouter) DestinationsAt(rel *data.Relation, row int, dst []int) []int {
 	isLeft := rel.Name == r.leftName
 	if !isLeft && rel.Name != r.rightName {
@@ -567,6 +571,8 @@ func (r *stepRouter) cartesianGrid() (int, int) {
 
 // gridRoute places a left row in one grid row (replicated across columns)
 // and a right row in one grid column (replicated across rows).
+//
+//skewlint:noalloc
 func (r *stepRouter) gridRoute(isLeft bool, base, p1, p2 int, rh int64, dst []int) []int {
 	if isLeft {
 		row := r.family.Hash(dimLeft, rh, p1)

@@ -315,6 +315,8 @@ func (r *generalRouter) ensureScratch() {
 }
 
 // Destinations implements mpc.Router over the bin-combination layout.
+//
+//skewlint:noalloc
 func (r *generalRouter) Destinations(rel string, t data.Tuple, dst []int) []int {
 	j, ok := r.atomIndex[rel]
 	if !ok {
@@ -328,6 +330,8 @@ func (r *generalRouter) Destinations(rel string, t data.Tuple, dst []int) []int 
 // reusable scratch (the §4.2 projections touch every attribute subset, so
 // unlike the HC and skew-join routers there is no untouched column to
 // skip) and routed identically to Destinations.
+//
+//skewlint:noalloc
 func (r *generalRouter) DestinationsAt(rel *data.Relation, row int, dst []int) []int {
 	j, ok := r.atomIndex[rel.Name]
 	if !ok {
@@ -338,6 +342,8 @@ func (r *generalRouter) DestinationsAt(rel *data.Relation, row int, dst []int) [
 }
 
 // destinations routes one tuple of atom j.
+//
+//skewlint:noalloc
 func (r *generalRouter) destinations(j int, t data.Tuple, dst []int) []int {
 	for _, plan := range r.plans {
 		ap := &plan.byAtom[j]

@@ -340,6 +340,8 @@ type joinRouter struct {
 }
 
 // Destinations implements mpc.Router.
+//
+//skewlint:noalloc
 func (r *joinRouter) Destinations(rel string, t data.Tuple, dst []int) []int {
 	// The database may carry relations outside the join (the engine no
 	// longer isolates the two via a renamed copy); they are not routed.
@@ -355,6 +357,8 @@ func (r *joinRouter) Destinations(rel string, t data.Tuple, dst []int) []int {
 
 // DestinationsAt implements mpc.ColumnRouter: identical routing, hashing
 // the join columns in place.
+//
+//skewlint:noalloc
 func (r *joinRouter) DestinationsAt(rel *data.Relation, row int, dst []int) []int {
 	first := rel.Name == r.sh.name1
 	if !first && rel.Name != r.sh.name2 {
@@ -369,6 +373,8 @@ func (r *joinRouter) DestinationsAt(rel *data.Relation, row int, dst []int) []in
 
 // route appends the destinations of one tuple given its join value z and
 // private value x.
+//
+//skewlint:noalloc
 func (r *joinRouter) route(first bool, z, x int64, dst []int) []int {
 	pl := r.plans[z]
 	if pl == nil { // light: hash join on z over servers [0,p)
